@@ -1,0 +1,62 @@
+// Command janusbench regenerates the tables and figures of the Janus
+// paper's evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	janusbench -list            # show available experiments
+//	janusbench -run fig14       # run one experiment
+//	janusbench -run table1,fig3 # run several
+//	janusbench                  # run everything, in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"janus/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "janusbench: unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("=== %s — %s (ran in %v)\n\n%s\n", e.ID, e.Title,
+			time.Since(start).Round(time.Millisecond), res.Render())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

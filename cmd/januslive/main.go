@@ -1,0 +1,69 @@
+// Command januslive runs a real (non-simulated) miniature Janus
+// deployment on loopback TCP: every "machine" hosts its experts behind
+// a pull server, workers execute a real numeric MoE forward pass by
+// pulling expert weights through the §6 protocol, and the tool verifies
+// the result against the in-process expert-centric reference and
+// reports the measured wire traffic against the token-exchange volume.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"janus"
+	"janus/internal/tensor"
+)
+
+func main() {
+	machines := flag.Int("machines", 2, "number of machines (TCP servers)")
+	workers := flag.Int("workers", 2, "workers per machine")
+	experts := flag.Int("experts", 8, "experts in the MoE layer")
+	hidden := flag.Int("hidden", 32, "hidden dimension H")
+	tokens := flag.Int("tokens", 256, "tokens per worker")
+	topk := flag.Int("topk", 2, "gate topK")
+	seed := flag.Int64("seed", 42, "weight/token seed")
+	flag.Parse()
+
+	cfg := janus.LiveConfig{
+		Machines: *machines, WorkersPerNode: *workers,
+		NumExperts: *experts, TopK: *topk, Hidden: *hidden,
+		TokensPerWorker: *tokens, Seed: *seed, Credits: 4,
+	}
+	cl, err := janus.StartLiveCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "januslive:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	res, err := cl.RunDataCentric()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "januslive:", err)
+		os.Exit(1)
+	}
+	ref := cl.RunExpertCentricReference()
+	maxDiff := 0.0
+	for w := range ref {
+		if d := tensor.MaxAbsDiff(res.Outputs[w], ref[w]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+
+	tokenBytes := cl.TokenExchangeBytes()
+	fmt.Printf("live cluster: %d machines x %d workers, %d experts (H=%d), %d tokens/worker, topK=%d\n",
+		*machines, *workers, *experts, *hidden, *tokens, *topk)
+	fmt.Printf("paradigm equivalence:   max |Δ| vs expert-centric reference = %g\n", maxDiff)
+	fmt.Printf("expert pulls served:    %d (single flight per machine)\n", res.PullsServed)
+	fmt.Printf("cross-machine traffic:  data-centric %d bytes, token exchange would be %d bytes",
+		res.CrossMachineBytes, tokenBytes)
+	if res.CrossMachineBytes > 0 {
+		fmt.Printf("  (%.1fx reduction)", float64(tokenBytes)/float64(res.CrossMachineBytes))
+	}
+	fmt.Println()
+	if maxDiff != 0 {
+		fmt.Fprintln(os.Stderr, "januslive: outputs differ from reference")
+		os.Exit(1)
+	}
+	fmt.Println("OK: data-centric execution over real sockets is bit-identical to the reference")
+}

@@ -1,0 +1,149 @@
+// Command janussim runs a single simulated training iteration with
+// full control over the model, cluster, engine and Janus optimizations,
+// and prints the resulting report (optionally with an ASCII timeline).
+//
+// Examples:
+//
+//	janussim -model bert -experts 32 -machines 4
+//	janussim -model xl -engine tutel -skew 0.5
+//	janussim -model gpt -credit 12 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"janus"
+)
+
+func main() {
+	modelName := flag.String("model", "bert", "model preset: bert, gpt, xl, prmoe")
+	experts := flag.Int("experts", 32, "experts per MoE block (prmoe: shallow count; deep is 4x)")
+	machines := flag.Int("machines", 4, "number of machines")
+	gpusPerNode := flag.Int("gpus-per-node", 8, "GPUs per machine")
+	engineName := flag.String("engine", "janus", "engine: janus or tutel")
+	topo := flag.Bool("topo", true, "janus: topology-aware priority")
+	prefetch := flag.Bool("prefetch", true, "janus: provident prefetch")
+	credit := flag.Int("credit", 0, "janus: credit buffer size (0 = default)")
+	conservative := flag.Bool("conservative", false, "janus: use the conservative R>2 policy")
+	skew := flag.Float64("skew", 0, "gate Zipf skew (0 = balanced)")
+	seed := flag.Int64("seed", 1, "gate seed")
+	batch := flag.Int("batch", 0, "override per-worker batch size")
+	seqLen := flag.Int("seq", 0, "override sequence length")
+	topk := flag.Int("topk", 0, "override gate topK")
+	trace := flag.Bool("trace", false, "print block completions and a worker-0 gantt")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON to this path (implies -trace)")
+	flag.Parse()
+	if *chrome != "" {
+		*trace = true
+	}
+
+	var model janus.Model
+	switch *modelName {
+	case "bert":
+		model = janus.MoEBERT(*experts)
+	case "gpt":
+		model = janus.MoEGPT(*experts)
+	case "xl":
+		model = janus.MoETransformerXL(*experts)
+	case "prmoe":
+		model = janus.PRMoETransformerXL(*experts, 4**experts, 32)
+	default:
+		fmt.Fprintf(os.Stderr, "janussim: unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+	if *batch > 0 {
+		model.B = *batch
+	}
+	if *seqLen > 0 {
+		model.S = *seqLen
+	}
+	if *topk > 0 {
+		model.K = *topk
+	}
+
+	spec := janus.DefaultSpec(*machines)
+	spec.GPUsPerNode = *gpusPerNode
+
+	var assign func(int) janus.Assignment
+	if *skew > 0 {
+		workers := spec.TotalGPUs()
+		m := model
+		s := *seed
+		sk := *skew
+		assign = func(block int) janus.Assignment {
+			return janus.ZipfAssignment(workers, m.Blocks[block].NumExperts,
+				int(m.TokensPerWorker()), sk, s+int64(block))
+		}
+	}
+
+	var rep janus.Report
+	var err error
+	switch *engineName {
+	case "tutel":
+		rep, err = janus.TrainExpertCentric(janus.BaselineConfig{
+			Model: model, Spec: spec, Assignment: assign, Trace: *trace,
+		})
+	case "janus":
+		cfg := janus.JanusConfig{
+			Model: model, Spec: spec, Assignment: assign,
+			TopoAware: *topo, Prefetch: *prefetch, CreditSize: *credit,
+			Trace: *trace,
+		}
+		if *conservative {
+			cfg.Policy = janus.ConservativePolicy()
+		}
+		rep, err = janus.TrainJanus(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "janussim: unknown engine %q\n", *engineName)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janussim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.String())
+	if rep.OOM {
+		os.Exit(0)
+	}
+
+	fmt.Println("\ntraffic by link class:")
+	classes := make([]string, 0, len(rep.TrafficByClass))
+	for c := range rep.TrafficByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Printf("  %-10s %10.3f GiB\n", c, rep.TrafficByClass[c]/(1<<30))
+	}
+	fmt.Println("\nper-block paradigms:")
+	for i, p := range rep.Paradigms {
+		if model.Blocks[i].NumExperts > 0 {
+			fmt.Printf("  block %2d (%3d experts): %v\n", i, model.Blocks[i].NumExperts, p)
+		}
+	}
+
+	if *chrome != "" && rep.Timeline != nil {
+		out, err := rep.Timeline.ChromeJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "janussim:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*chrome, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "janussim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+	}
+
+	if *trace && rep.Timeline != nil {
+		fmt.Println("\nblock completions (worker 0):")
+		for _, m := range rep.Timeline.MarksNamed("fwd.block") {
+			fmt.Printf("  %-18s %8.1f ms\n", m.Name, m.At*1e3)
+		}
+		fmt.Println("\nworker gantt (m0g0..m0g3):")
+		fmt.Print(rep.Timeline.Gantt([]string{"m0g0", "m0g1", "m0g2", "m0g3"}, 100))
+	}
+}

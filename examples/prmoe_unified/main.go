@@ -1,0 +1,59 @@
+// prmoe_unified walks through §7.5 of the paper: on a Pyramid-Residual
+// MoE model the gain metric R differs per block, so neither pure
+// paradigm is optimal — Janus runs the shallow (high-R) blocks
+// data-centric and the deep (low-R) blocks expert-centric, and beats
+// both pure configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"janus"
+)
+
+func main() {
+	// The paper's 16-GPU run: 4 machines × 4 GPUs; the first two MoE
+	// blocks have 16 experts (R=4), the last two have 64 (R=1).
+	model := janus.PRMoETransformerXL(16, 64, 32)
+	spec := janus.DefaultSpec(4)
+	spec.GPUsPerNode = 4
+	workers := spec.TotalGPUs()
+	assign := func(block int) janus.Assignment {
+		return janus.ZipfAssignment(workers, model.Blocks[block].NumExperts,
+			int(model.TokensPerWorker()), 0.3, int64(block)+1)
+	}
+
+	fmt.Println("per-block paradigm choice (conservative policy):")
+	paradigms := janus.BlockParadigms(janus.JanusConfig{
+		Model: model, Spec: spec, Policy: janus.ConservativePolicy(),
+	})
+	for i, blk := range model.Blocks {
+		if blk.NumExperts == 0 {
+			continue
+		}
+		r := model.GainR(i, spec.NumMachines, workers)
+		fmt.Printf("  block %2d: %3d experts, R=%.1f -> %v\n", i, blk.NumExperts, r, paradigms[i])
+	}
+
+	run := func(force *janus.Paradigm) janus.Report {
+		rep, err := janus.TrainJanus(janus.JanusConfig{
+			Model: model, Spec: spec, Assignment: assign,
+			Policy: janus.ConservativePolicy(), ForceParadigm: force,
+			TopoAware: true, Prefetch: true, SkipMemoryCheck: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+	ec, dc := janus.ExpertCentric, janus.DataCentric
+	pureEC := run(&ec)
+	pureDC := run(&dc)
+	unified := run(nil)
+
+	fmt.Printf("\npure expert-centric: %7.1f ms\n", pureEC.IterationTime*1e3)
+	fmt.Printf("pure data-centric:   %7.1f ms\n", pureDC.IterationTime*1e3)
+	fmt.Printf("unified Janus:       %7.1f ms  (%.2fx over pure expert-centric)\n",
+		unified.IterationTime*1e3, pureEC.IterationTime/unified.IterationTime)
+}

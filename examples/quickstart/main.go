@@ -1,0 +1,34 @@
+// Quickstart: train one iteration of MoE-BERT on a simulated 4-machine
+// A100 cluster under both paradigms and print the speedup — the
+// 20-line version of the paper's Figure 14.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"janus"
+)
+
+func main() {
+	model := janus.MoEBERT(32)   // Table 1: 32 experts on 32 GPUs
+	spec := janus.DefaultSpec(4) // 4 machines × 8 A100s, paper testbed
+
+	tutel, err := janus.TrainExpertCentric(janus.BaselineConfig{Model: model, Spec: spec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := janus.TrainJanus(janus.JanusConfig{
+		Model: model, Spec: spec,
+		TopoAware: true, Prefetch: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("expert-centric (Tutel): ", tutel)
+	fmt.Println("data-centric   (Janus): ", fast)
+	fmt.Printf("speedup: %.2fx, inter-node traffic reduced %.1fx\n",
+		tutel.IterationTime/fast.IterationTime,
+		tutel.InterNodeEgressBytes/fast.InterNodeEgressBytes)
+}

@@ -1,0 +1,214 @@
+// Package collective implements the communication collectives the
+// training engines use, as flow programs on the fabric: flat and
+// hierarchical All-to-All (the expert-centric dispatch/combine), ring
+// AllReduce (data-parallel gradient sync of the dense parameters), and
+// broadcast.
+//
+// All collectives are *synchronous* in the sense the paper criticises:
+// the completion callback fires only when every constituent flow has
+// finished, so the slowest sender/receiver pins the whole operation.
+//
+// Flow completions are delivered by simulation events, never
+// synchronously from StartFlow, so a collective can safely count its
+// flows before any of them finishes.
+package collective
+
+import (
+	"fmt"
+
+	"janus/internal/fabric"
+	"janus/internal/topology"
+)
+
+// joinCounter invokes done after n calls to its method.
+type joinCounter struct {
+	n    int
+	done func()
+}
+
+func (j *joinCounter) arrive() {
+	j.n--
+	if j.n == 0 && j.done != nil {
+		j.done()
+	}
+}
+
+// AllToAll moves sizes[i][j] bytes from gpus[i] to gpus[j] concurrently
+// and calls onDone when every transfer has completed. Diagonal entries
+// (i == j) are local and free. This is the flat algorithm: one flow per
+// (src, dst) pair with nonzero payload.
+func AllToAll(c *topology.Cluster, gpus []*topology.GPU, sizes [][]float64, name string, onDone func()) {
+	if len(sizes) != len(gpus) {
+		panic(fmt.Sprintf("collective: sizes has %d rows for %d gpus", len(sizes), len(gpus)))
+	}
+	var flows []func(*joinCounter)
+	for i, src := range gpus {
+		if len(sizes[i]) != len(gpus) {
+			panic(fmt.Sprintf("collective: sizes row %d has %d cols for %d gpus", i, len(sizes[i]), len(gpus)))
+		}
+		for j, dst := range gpus {
+			if i == j || sizes[i][j] <= 0 {
+				continue
+			}
+			src, dst, size := src, dst, sizes[i][j]
+			flows = append(flows, func(join *joinCounter) {
+				c.Net.StartFlowEff(fmt.Sprintf("%s:%v->%v", name, src, dst), size,
+					c.Spec.A2AEfficiency, c.PathGPUToGPU(src, dst),
+					func(*fabric.Flow) { join.arrive() })
+			})
+		}
+	}
+	if len(flows) == 0 {
+		if onDone != nil {
+			// Keep the "completion is asynchronous" contract even when
+			// nothing moves.
+			c.Engine.After(0, onDone)
+		}
+		return
+	}
+	join := &joinCounter{n: len(flows), done: onDone}
+	for _, f := range flows {
+		f(join)
+	}
+}
+
+// HierarchicalAllToAll implements the 2D algorithm Tutel and SE-MoE
+// use: (1) intra-node phase — data from GPU (M, r) bound for GPU
+// (M', r') is first moved over NVLink to the local GPU with rank r';
+// (2) inter-node phase — every GPU exchanges one aggregated flow per
+// remote machine with its same-rank counterpart, after which every
+// payload is already at its final destination. Total bytes are
+// unchanged (the tests assert it), but cross-node flows shrink from
+// O((nm)²) to O(n²m) aggregated ones, each at full NIC stripe.
+//
+// sizes is indexed by global rank, like AllToAll over all cluster GPUs.
+func HierarchicalAllToAll(c *topology.Cluster, sizes [][]float64, name string, onDone func()) {
+	gpus := c.GPUs()
+	m := c.Spec.GPUsPerNode
+	if len(sizes) != len(gpus) {
+		panic(fmt.Sprintf("collective: sizes has %d rows for %d gpus", len(sizes), len(gpus)))
+	}
+
+	intraBytes := make(map[[2]int]float64) // (src, local relay) -> bytes
+	interBytes := make(map[[2]int]float64) // (relay, dst) -> bytes
+	for i := range gpus {
+		for j := range gpus {
+			sz := sizes[i][j]
+			if sz <= 0 || i == j {
+				continue
+			}
+			srcM, dstM := i/m, j/m
+			if srcM == dstM {
+				intraBytes[[2]int{i, j}] += sz
+				continue
+			}
+			relay := srcM*m + j%m // local GPU with the destination's rank
+			if relay != i {
+				intraBytes[[2]int{i, relay}] += sz
+			}
+			interBytes[[2]int{relay, j}] += sz
+		}
+	}
+
+	runPhase := func(pairs map[[2]int]float64, phase string, then func()) {
+		if len(pairs) == 0 {
+			c.Engine.After(0, then)
+			return
+		}
+		// Deterministic iteration order over the map.
+		keys := make([][2]int, 0, len(pairs))
+		for k := range pairs {
+			keys = append(keys, k)
+		}
+		sortPairs(keys)
+		join := &joinCounter{n: len(keys), done: then}
+		for _, k := range keys {
+			src, dst := gpus[k[0]], gpus[k[1]]
+			c.Net.StartFlowEff(fmt.Sprintf("%s.%s:%v->%v", name, phase, src, dst),
+				pairs[k], c.Spec.A2AEfficiency, c.PathGPUToGPU(src, dst),
+				func(*fabric.Flow) { join.arrive() })
+		}
+	}
+	runPhase(intraBytes, "intra", func() {
+		runPhase(interBytes, "inter", func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+	})
+}
+
+func sortPairs(keys [][2]int) {
+	// insertion sort: tiny inputs, avoids importing sort for a tuple type
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			a, b := keys[j-1], keys[j]
+			if a[0] < b[0] || (a[0] == b[0] && a[1] <= b[1]) {
+				break
+			}
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+}
+
+// RingAllReduce reduces bytesPerGPU bytes across the given GPUs with
+// the standard ring algorithm: 2·(N−1) steps, each moving bytes/N per
+// GPU to its ring successor, with a barrier between steps. onDone fires
+// when the last step completes. The ring order is global-rank order,
+// which places machine boundaries at exactly n points — the usual
+// topology-friendly ring.
+func RingAllReduce(c *topology.Cluster, gpus []*topology.GPU, bytesPerGPU float64, name string, onDone func()) {
+	nGPU := len(gpus)
+	if nGPU < 2 || bytesPerGPU <= 0 {
+		c.Engine.After(0, func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return
+	}
+	chunk := bytesPerGPU / float64(nGPU)
+	steps := 2 * (nGPU - 1)
+	var runStep func(s int)
+	runStep = func(s int) {
+		if s == steps {
+			if onDone != nil {
+				onDone()
+			}
+			return
+		}
+		join := &joinCounter{n: nGPU, done: func() { runStep(s + 1) }}
+		for i, src := range gpus {
+			dst := gpus[(i+1)%nGPU]
+			c.Net.StartFlowEff(fmt.Sprintf("%s.step%d:%v->%v", name, s, src, dst),
+				chunk, c.Spec.AllReduceEfficiency, c.PathGPUToGPU(src, dst),
+				func(*fabric.Flow) { join.arrive() })
+		}
+	}
+	runStep(0)
+}
+
+// Broadcast sends size bytes from root to every other listed GPU
+// concurrently (the flat algorithm; adequate for the expert-push use).
+func Broadcast(c *topology.Cluster, root *topology.GPU, gpus []*topology.GPU, size float64, name string, onDone func()) {
+	var targets []*topology.GPU
+	for _, g := range gpus {
+		if g != root {
+			targets = append(targets, g)
+		}
+	}
+	if len(targets) == 0 || size <= 0 {
+		c.Engine.After(0, func() {
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return
+	}
+	join := &joinCounter{n: len(targets), done: onDone}
+	for _, dst := range targets {
+		c.Net.StartFlowEff(fmt.Sprintf("%s:%v->%v", name, root, dst), size,
+			c.Spec.PullEfficiency, c.PathGPUToGPU(root, dst),
+			func(*fabric.Flow) { join.arrive() })
+	}
+}

@@ -1,0 +1,253 @@
+// Package config defines model and scenario configurations: the block
+// structure of the evaluated MoE models (Table 1 and §7.5 of the Janus
+// paper), cluster shapes, and the per-block paradigm choice that makes
+// Janus a *unified* framework.
+package config
+
+import (
+	"fmt"
+
+	"janus/internal/costmodel"
+)
+
+// Paradigm selects how an MoE block's communication is implemented.
+type Paradigm int
+
+const (
+	// ExpertCentric keeps experts in place and moves tokens (All-to-All).
+	ExpertCentric Paradigm = iota
+	// DataCentric keeps tokens in place and moves experts (Janus pull).
+	DataCentric
+)
+
+func (p Paradigm) String() string {
+	switch p {
+	case ExpertCentric:
+		return "expert-centric"
+	case DataCentric:
+		return "data-centric"
+	default:
+		return fmt.Sprintf("Paradigm(%d)", int(p))
+	}
+}
+
+// BlockKind distinguishes dense Transformer blocks from MoE blocks.
+type BlockKind int
+
+const (
+	Dense BlockKind = iota
+	MoE
+)
+
+func (k BlockKind) String() string {
+	if k == Dense {
+		return "dense"
+	}
+	return "moe"
+}
+
+// Block is one layer of the model.
+type Block struct {
+	Index      int
+	Kind       BlockKind
+	NumExperts int // experts in the block's expert layer; 0 for dense
+}
+
+// Model is a full model configuration: the training shape (per-worker
+// batch B, sequence length S, gate top-k, hidden dim H) and the block
+// structure.
+type Model struct {
+	Name   string
+	B      int // per-worker batch size
+	S      int // sequence length
+	K      int // gate topK
+	H      int // hidden (expert) dimension
+	Blocks []Block
+}
+
+// Validate reports whether the model is internally consistent and
+// partitionable over the given number of workers.
+func (m Model) Validate(numWorkers int) error {
+	if m.B < 1 || m.S < 1 || m.K < 1 || m.H < 1 {
+		return fmt.Errorf("config: model %q has non-positive shape B=%d S=%d K=%d H=%d", m.Name, m.B, m.S, m.K, m.H)
+	}
+	if len(m.Blocks) == 0 {
+		return fmt.Errorf("config: model %q has no blocks", m.Name)
+	}
+	for i, b := range m.Blocks {
+		if b.Index != i {
+			return fmt.Errorf("config: model %q block %d has index %d", m.Name, i, b.Index)
+		}
+		switch b.Kind {
+		case Dense:
+			if b.NumExperts != 0 {
+				return fmt.Errorf("config: model %q dense block %d has experts", m.Name, i)
+			}
+		case MoE:
+			if b.NumExperts < 1 {
+				return fmt.Errorf("config: model %q MoE block %d has no experts", m.Name, i)
+			}
+			if b.NumExperts%numWorkers != 0 {
+				return fmt.Errorf("config: model %q MoE block %d: %d experts not divisible by %d workers",
+					m.Name, i, b.NumExperts, numWorkers)
+			}
+			if m.K > b.NumExperts {
+				return fmt.Errorf("config: model %q MoE block %d: topK %d > %d experts", m.Name, i, m.K, b.NumExperts)
+			}
+		default:
+			return fmt.Errorf("config: model %q block %d has unknown kind", m.Name, i)
+		}
+	}
+	return nil
+}
+
+// MoEBlockIndices returns the indices of the MoE blocks, in order.
+func (m Model) MoEBlockIndices() []int {
+	var out []int
+	for _, b := range m.Blocks {
+		if b.Kind == MoE {
+			out = append(out, b.Index)
+		}
+	}
+	return out
+}
+
+// NumMoEBlocks returns the number of MoE blocks.
+func (m Model) NumMoEBlocks() int { return len(m.MoEBlockIndices()) }
+
+// ExpertsPerWorker returns E for a block: resident experts per worker.
+func (m Model) ExpertsPerWorker(block, numWorkers int) int {
+	b := m.Blocks[block]
+	if b.Kind != MoE {
+		return 0
+	}
+	return b.NumExperts / numWorkers
+}
+
+// TokensPerWorker returns T = B·S·K.
+func (m Model) TokensPerWorker() float64 {
+	return costmodel.TokensPerWorker(m.B, m.S, m.K)
+}
+
+// GainR returns the paradigm-selection metric R = BSk/(4nHE) for one
+// MoE block given the cluster shape (equation 1 of the paper).
+func (m Model) GainR(block, numMachines, numWorkers int) float64 {
+	e := m.ExpertsPerWorker(block, numWorkers)
+	if e == 0 {
+		return 0
+	}
+	return costmodel.GainR(m.B, m.S, m.K, numMachines, m.H, e)
+}
+
+// blocksWithMoE builds a block list with MoE blocks at the given indices.
+func blocksWithMoE(total int, moeExperts map[int]int) []Block {
+	blocks := make([]Block, total)
+	for i := range blocks {
+		blocks[i] = Block{Index: i, Kind: Dense}
+		if e, ok := moeExperts[i]; ok {
+			blocks[i] = Block{Index: i, Kind: MoE, NumExperts: e}
+		}
+	}
+	return blocks
+}
+
+// uniformMoE maps each index in idx to numExperts experts.
+func uniformMoE(idx []int, numExperts int) map[int]int {
+	m := make(map[int]int, len(idx))
+	for _, i := range idx {
+		m[i] = numExperts
+	}
+	return m
+}
+
+// MoEBERT returns the Table 1 MoE-BERT configuration: 12 blocks, the
+// 2nd, 5th, 8th and 11th expanded as MoE blocks (indices 1,4,7,10),
+// B=256, S=128, k=2, H=768.
+func MoEBERT(numExperts int) Model {
+	return Model{
+		Name: "MoE-BERT", B: 256, S: 128, K: 2, H: 768,
+		Blocks: blocksWithMoE(12, uniformMoE([]int{1, 4, 7, 10}, numExperts)),
+	}
+}
+
+// MoEGPT returns the Table 1 MoE-GPT configuration: 12 blocks with the
+// 11th (index 10) expanded as an MoE block, B=256, S=64, k=4, H=768.
+func MoEGPT(numExperts int) Model {
+	return Model{
+		Name: "MoE-GPT", B: 256, S: 64, K: 4, H: 768,
+		Blocks: blocksWithMoE(12, uniformMoE([]int{10}, numExperts)),
+	}
+}
+
+// MoETransformerXL returns the Table 1 MoE-Transformer-XL configuration:
+// all 12 blocks are MoE blocks, B=64, S=512, k=2, H=256.
+func MoETransformerXL(numExperts int) Model {
+	idx := make([]int, 12)
+	for i := range idx {
+		idx[i] = i
+	}
+	return Model{
+		Name: "MoE-TransformerXL", B: 64, S: 512, K: 2, H: 256,
+		Blocks: blocksWithMoE(12, uniformMoE(idx, numExperts)),
+	}
+}
+
+// PRMoETransformerXL returns the §7.5 Pyramid-Residual MoE model:
+// four MoE blocks, the first two shallow (shallowExperts) and the last
+// two deep (deepExperts). The paper's runs use (16, 64) with B=32 on 16
+// GPUs and (32, 128) with B=64 on 32 GPUs; S=256, k=2, H=256.
+func PRMoETransformerXL(shallowExperts, deepExperts, batch int) Model {
+	return Model{
+		Name: "PR-MoE-TransformerXL", B: batch, S: 256, K: 2, H: 256,
+		Blocks: blocksWithMoE(12, map[int]int{
+			2: shallowExperts, 5: shallowExperts,
+			8: deepExperts, 11: deepExperts,
+		}),
+	}
+}
+
+// Scenario pairs a model with the cluster size it is evaluated on.
+type Scenario struct {
+	Model   Model
+	NumGPUs int
+}
+
+// Table1Scenarios returns the six (model, cluster-size) combinations of
+// Table 1: each model with 16 experts on 16 GPUs and 32 experts on 32
+// GPUs.
+func Table1Scenarios() []Scenario {
+	var out []Scenario
+	for _, n := range []int{16, 32} {
+		out = append(out,
+			Scenario{MoEBERT(n), n},
+			Scenario{MoEGPT(n), n},
+			Scenario{MoETransformerXL(n), n},
+		)
+	}
+	return out
+}
+
+// Policy decides the paradigm for an MoE block from its gain metric R.
+type Policy struct {
+	// RThreshold is the value R must exceed for the block to use the
+	// data-centric paradigm.
+	RThreshold float64
+}
+
+// NominalPolicy returns the paper's stated rule: data-centric when R>1
+// (§5.1.3).
+func NominalPolicy() Policy { return Policy{RThreshold: 1} }
+
+// ConservativePolicy returns the rule the paper actually applies in
+// §7.5: because the PCIe link between switch and CPU keeps the NIC from
+// reaching line rate on expert fetches, expert-centric is preferred
+// until the theoretical gain has ~2× headroom.
+func ConservativePolicy() Policy { return Policy{RThreshold: 2} }
+
+// Choose maps a block's R to a paradigm.
+func (p Policy) Choose(r float64) Paradigm {
+	if r > p.RThreshold {
+		return DataCentric
+	}
+	return ExpertCentric
+}

@@ -1,0 +1,156 @@
+package config
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	cases := []struct {
+		m       Model
+		workers int
+	}{
+		{MoEBERT(16), 16},
+		{MoEBERT(32), 32},
+		{MoEGPT(16), 16},
+		{MoEGPT(32), 32},
+		{MoETransformerXL(16), 16},
+		{MoETransformerXL(32), 32},
+		{PRMoETransformerXL(16, 64, 32), 16},
+		{PRMoETransformerXL(32, 128, 64), 32},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(c.workers); err != nil {
+			t.Errorf("%s on %d workers: %v", c.m.Name, c.workers, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := MoEBERT(16)
+	if err := m.Validate(32); err == nil {
+		t.Error("16 experts over 32 workers accepted")
+	}
+	bad := m
+	bad.B = 0
+	if err := bad.Validate(16); err == nil {
+		t.Error("B=0 accepted")
+	}
+	badBlocks := MoEGPT(16)
+	badBlocks.Blocks[10].NumExperts = 0
+	if err := badBlocks.Validate(16); err == nil {
+		t.Error("MoE block with 0 experts accepted")
+	}
+	dense := MoEGPT(16)
+	dense.Blocks[0].NumExperts = 4
+	if err := dense.Validate(16); err == nil {
+		t.Error("dense block with experts accepted")
+	}
+	topk := MoEGPT(16)
+	topk.K = 64
+	if err := topk.Validate(16); err == nil {
+		t.Error("topK > numExperts accepted")
+	}
+}
+
+func TestBlockStructure(t *testing.T) {
+	bert := MoEBERT(32)
+	if got := bert.MoEBlockIndices(); len(got) != 4 ||
+		got[0] != 1 || got[1] != 4 || got[2] != 7 || got[3] != 10 {
+		t.Fatalf("BERT MoE blocks = %v, want [1 4 7 10]", got)
+	}
+	gpt := MoEGPT(32)
+	if got := gpt.MoEBlockIndices(); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("GPT MoE blocks = %v, want [10]", got)
+	}
+	xl := MoETransformerXL(32)
+	if got := xl.NumMoEBlocks(); got != 12 {
+		t.Fatalf("Transformer-XL MoE blocks = %d, want 12", got)
+	}
+	pr := PRMoETransformerXL(16, 64, 32)
+	if pr.Blocks[2].NumExperts != 16 || pr.Blocks[11].NumExperts != 64 {
+		t.Fatalf("PR-MoE expert counts wrong: %v / %v", pr.Blocks[2].NumExperts, pr.Blocks[11].NumExperts)
+	}
+}
+
+func TestExpertsPerWorker(t *testing.T) {
+	pr := PRMoETransformerXL(16, 64, 32)
+	if got := pr.ExpertsPerWorker(2, 16); got != 1 {
+		t.Fatalf("shallow E = %d, want 1", got)
+	}
+	if got := pr.ExpertsPerWorker(8, 16); got != 4 {
+		t.Fatalf("deep E = %d, want 4", got)
+	}
+	if got := pr.ExpertsPerWorker(0, 16); got != 0 {
+		t.Fatalf("dense E = %d, want 0", got)
+	}
+}
+
+// TestPaperGainValues checks the R values the paper quotes for the
+// Figure 14 configs (5.33, 5.33, 16 at 32 GPUs / 4 machines) and the
+// §7.5 PR-MoE configs (4 and 1 at 16 GPUs over 4 machines).
+func TestPaperGainValues(t *testing.T) {
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 0.01*b }
+	if r := MoEBERT(32).GainR(1, 4, 32); !approx(r, 5.33) {
+		t.Errorf("BERT R = %v, want 5.33", r)
+	}
+	if r := MoEGPT(32).GainR(10, 4, 32); !approx(r, 5.33) {
+		t.Errorf("GPT R = %v, want 5.33", r)
+	}
+	if r := MoETransformerXL(32).GainR(0, 4, 32); !approx(r, 16) {
+		t.Errorf("Transformer-XL R = %v, want 16", r)
+	}
+	pr16 := PRMoETransformerXL(16, 64, 32)
+	if r := pr16.GainR(2, 4, 16); !approx(r, 4) {
+		t.Errorf("PR-MoE shallow R = %v, want 4", r)
+	}
+	if r := pr16.GainR(8, 4, 16); !approx(r, 1) {
+		t.Errorf("PR-MoE deep R = %v, want 1", r)
+	}
+}
+
+func TestPolicyChoice(t *testing.T) {
+	nominal := NominalPolicy()
+	if nominal.Choose(1.01) != DataCentric || nominal.Choose(1.0) != ExpertCentric {
+		t.Error("nominal policy threshold wrong")
+	}
+	cons := ConservativePolicy()
+	if cons.Choose(2.0) != ExpertCentric || cons.Choose(2.1) != DataCentric {
+		t.Error("conservative policy threshold wrong")
+	}
+}
+
+func TestTable1Scenarios(t *testing.T) {
+	sc := Table1Scenarios()
+	if len(sc) != 6 {
+		t.Fatalf("scenarios = %d, want 6", len(sc))
+	}
+	for _, s := range sc {
+		if err := s.Model.Validate(s.NumGPUs); err != nil {
+			t.Errorf("%s/%d: %v", s.Model.Name, s.NumGPUs, err)
+		}
+	}
+}
+
+// Property: GainR of a model equals the costmodel formula and is
+// invariant to which equal-expert MoE block is asked.
+func TestGainRConsistencyProperty(t *testing.T) {
+	xl := MoETransformerXL(32)
+	prop := func(b1, b2 uint8) bool {
+		i, j := int(b1%12), int(b2%12)
+		return xl.GainR(i, 4, 32) == xl.GainR(j, 4, 32)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParadigmStrings(t *testing.T) {
+	if ExpertCentric.String() != "expert-centric" || DataCentric.String() != "data-centric" {
+		t.Error("paradigm strings wrong")
+	}
+	if Dense.String() != "dense" || MoE.String() != "moe" {
+		t.Error("block kind strings wrong")
+	}
+}

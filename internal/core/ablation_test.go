@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"janus/internal/config"
+	"janus/internal/costmodel"
+	"janus/internal/engine"
+	"janus/internal/expertcentric"
+	"janus/internal/topology"
+)
+
+// The hierarchical-fetch ablation: without the Cache Manager, every
+// worker pulls its external experts across the NICs itself, so the
+// cross-node fetch volume inflates by roughly m (the per-machine worker
+// count) — the quantitative content of §5.1.2.
+func TestDisableCacheInflatesTraffic(t *testing.T) {
+	model := config.MoEGPT(32)
+	spec := topology.DefaultSpec(4)
+
+	with := mustRun(t, Config{Model: model, Spec: spec, TopoAware: true, Prefetch: true})
+	without := mustRun(t, Config{Model: model, Spec: spec, TopoAware: true, Prefetch: true,
+		DisableCache: true})
+
+	costs := engine.NewCosts(spec, model)
+	arCross := float64(2*31) * 4 * costs.DenseGradBytes(32) / 32
+	fetchWith := with.InterNodeEgressBytes - arCross
+	fetchWithout := without.InterNodeEgressBytes - arCross
+
+	// Forward fetches inflate by m=8; backward gradient pushes are
+	// still pre-reduced per machine in both runs, so the overall ratio
+	// sits between 1 and 8: (8·fwd + bwd)/(fwd + bwd) = 4.5 here.
+	ratio := fetchWithout / fetchWith
+	if ratio < 3.5 || ratio > 5.5 {
+		t.Fatalf("no-cache traffic ratio = %.2f, want ~4.5 (8x forward, 1x backward)", ratio)
+	}
+	if without.IterationTime <= with.IterationTime {
+		t.Fatal("removing the cache did not cost time")
+	}
+	t.Logf("fetch traffic: cache %.2f GiB, no cache %.2f GiB (%.1fx); iter %.1f -> %.1f ms",
+		fetchWith/(1<<30), fetchWithout/(1<<30), ratio,
+		with.IterationTime*1e3, without.IterationTime*1e3)
+}
+
+// Inference mode (§9): a forward-only iteration moves only the forward
+// half of the traffic and ends without gradient work.
+func TestForwardOnlyInference(t *testing.T) {
+	model := config.MoEGPT(32)
+	spec := topology.DefaultSpec(4)
+
+	train := mustRun(t, Config{Model: model, Spec: spec, TopoAware: true, Prefetch: true})
+	infer := mustRun(t, Config{Model: model, Spec: spec, TopoAware: true, Prefetch: true,
+		ForwardOnly: true})
+
+	if infer.IterationTime >= train.IterationTime {
+		t.Fatalf("inference %.1fms not faster than training %.1fms",
+			infer.IterationTime*1e3, train.IterationTime*1e3)
+	}
+	// Inference fetch traffic = exactly the forward half: each machine
+	// pulls each external expert once, no gradient pushes, no AllReduce.
+	wantFetch := costmodel.CommDCForwardPerMachine(model.H, 1, 8, 4) * 4
+	got := infer.InterNodeEgressBytes
+	if rel := (got - wantFetch) / wantFetch; rel > 0.001 || rel < -0.001 {
+		t.Fatalf("inference inter-node bytes = %.0f, want %.0f", got, wantFetch)
+	}
+	if infer.BackwardTime > 1e-9 {
+		t.Fatalf("inference has backward time %.3fms", infer.BackwardTime*1e3)
+	}
+}
+
+// ForwardOnly under the expert-centric paradigm too: the unified engine
+// must support inference for blocks it keeps on All-to-All.
+func TestForwardOnlyExpertCentricBlocks(t *testing.T) {
+	model := config.MoEGPT(32)
+	spec := topology.DefaultSpec(4)
+	ec := config.ExpertCentric
+	infer := mustRun(t, Config{Model: model, Spec: spec, ForceParadigm: &ec, ForwardOnly: true})
+	if infer.IterationTime <= 0 {
+		t.Fatal("EC inference did not complete")
+	}
+	// Exactly two All-to-Alls (dispatch+combine) for the single MoE
+	// block: 2·mHT(n−1)/n bytes per machine, n machines, plus nothing.
+	want := costmodel.CommECForwardPerMachine(model.B, model.S, model.K, model.H, 8, 4) * 4
+	got := infer.InterNodeEgressBytes
+	if rel := (got - want) / want; rel > 0.001 || rel < -0.001 {
+		t.Fatalf("EC inference bytes = %.0f, want %.0f", got, want)
+	}
+}
+
+// DisableCache still computes the same result set (every needed expert
+// arrives); the invariant checked here is completion + credit hygiene.
+func TestDisableCacheCompletesCleanly(t *testing.T) {
+	cfg := Config{Model: config.MoETransformerXL(16), Spec: topology.DefaultSpec(2),
+		TopoAware: true, Prefetch: true, DisableCache: true}
+	r, err := newRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run()
+	for _, w := range r.workers {
+		if w.outstanding != 0 || len(w.queue) != 0 {
+			t.Fatalf("worker %d left %d outstanding, %d queued", w.idx, w.outstanding, len(w.queue))
+		}
+	}
+	for _, ms := range r.machines {
+		if len(ms.fetchStarted) != 0 {
+			t.Fatalf("cache manager used while disabled: %d fetches", len(ms.fetchStarted))
+		}
+	}
+}
+
+// The unified engine forced to pure expert-centric must closely match
+// the standalone baseline engine — they implement the same paradigm on
+// the same fabric and cost model (they share the collective and the
+// AllReduce), so a divergence indicates an engine bug.
+func TestForcedECMatchesBaselineEngine(t *testing.T) {
+	model := config.MoEGPT(32)
+	spec := topology.DefaultSpec(4)
+	ec := config.ExpertCentric
+	unified := mustRun(t, Config{Model: model, Spec: spec, ForceParadigm: &ec})
+	base, err := expertcentric.Run(expertcentric.Config{Model: model, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (unified.IterationTime - base.IterationTime) / base.IterationTime
+	if rel > 0.05 || rel < -0.05 {
+		t.Fatalf("forced-EC %.1fms vs baseline %.1fms (%.1f%% apart)",
+			unified.IterationTime*1e3, base.IterationTime*1e3, rel*100)
+	}
+	relB := (unified.InterNodeEgressBytes - base.InterNodeEgressBytes) / base.InterNodeEgressBytes
+	if relB > 0.001 || relB < -0.001 {
+		t.Fatalf("forced-EC bytes %.0f vs baseline %.0f",
+			unified.InterNodeEgressBytes, base.InterNodeEgressBytes)
+	}
+}

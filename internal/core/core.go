@@ -1,0 +1,237 @@
+// Package core implements Janus: the unified, data-centric MoE training
+// engine that is the paper's primary contribution.
+//
+// One simulated iteration proceeds exactly as §4-§5 describe. Each MoE
+// block is assigned a paradigm up front from the gain metric
+// R = BSk/(4nHE): blocks with R above the policy threshold run
+// data-centric, the rest run classic expert-centric All-to-All. For
+// data-centric blocks, every worker keeps its tokens and pulls experts
+// through the Janus Task Queue:
+//
+//   - Fine-grained asynchronous fetch (§5.1.1): one task per (worker,
+//     expert), gated by a credit-based buffer of C expert slots; the
+//     computation of an arrived expert overlaps the fetch of the next.
+//   - Hierarchical communication (§5.1.2): an Inter-Node Scheduler per
+//     machine pulls each external expert across the NICs once into a
+//     CPU-side Cache Manager and serves all local workers from it; in
+//     backward, it pre-reduces the local workers' expert gradients and
+//     sends one gradient per expert per machine back to the owner.
+//   - Topology-aware priority (§5.2): internal experts are pulled in
+//     the staggered ring order of Algorithm 1 so each source GPU serves
+//     one puller at a time; cached external experts are split between
+//     the two GPUs of a PCIe switch, each half copied over PCIe by its
+//     designated GPU and the other half relayed between the peers over
+//     NVLink.
+//   - Provident prefetch (§5.3): all pull requests are issued at
+//     iteration start, so fetches ride the links while the early dense
+//     blocks compute.
+//
+// Workers do not synchronise during forward/backward of data-centric
+// blocks; the only global joins are the All-to-Alls of expert-centric
+// blocks and the end-of-iteration gradient sync.
+package core
+
+import (
+	"fmt"
+
+	"janus/internal/config"
+	"janus/internal/costmodel"
+	"janus/internal/engine"
+	"janus/internal/gate"
+	"janus/internal/topology"
+	"janus/internal/trace"
+)
+
+// DefaultCreditSize is the default capacity (in experts) of each
+// worker's credit-based buffer.
+const DefaultCreditSize = 4
+
+// Config describes one simulated Janus iteration.
+type Config struct {
+	Model config.Model
+	Spec  topology.Spec
+
+	// Policy chooses the paradigm per MoE block from its R. The zero
+	// value behaves like config.NominalPolicy().
+	Policy config.Policy
+
+	// ForceParadigm, when non-nil, overrides the policy for every MoE
+	// block (used for the pure-paradigm comparisons of Figure 17 and
+	// the expert-centric baseline of Figure 12).
+	ForceParadigm *config.Paradigm
+
+	// Assignment returns the token routing of an MoE block; nil means
+	// balanced.
+	Assignment func(block int) gate.Assignment
+
+	// CreditSize is the credit-based buffer capacity per worker, in
+	// experts; 0 means DefaultCreditSize.
+	CreditSize int
+
+	// TopoAware enables the §5.2 priority strategy (Algorithm 1
+	// staggered order + PCIe-switch-aware peering). Off, internal
+	// experts are pulled in plain index order by every worker (the
+	// contended schedule of Figure 7a) and every cached expert is
+	// copied over PCIe directly.
+	TopoAware bool
+
+	// Prefetch enables the §5.3 provident prefetch: all fetch requests
+	// enter the task queue at iteration start. Off, a block's requests
+	// are issued only when its gate completes.
+	Prefetch bool
+
+	SkipMemoryCheck bool
+	Trace           bool
+
+	// ComputeFactors optionally slows individual GPUs: the compute time
+	// of global rank i is multiplied by ComputeFactors[i] (nil or 1.0
+	// means nominal). Data-centric blocks never synchronise workers, so
+	// a straggler only delays itself until the end-of-iteration
+	// gradient sync — the §3.2 "less synchronization" claim.
+	ComputeFactors []float64
+
+	// Jitter adds uniform per-op compute noise in [1, 1+Jitter],
+	// deterministic from JitterSeed. Data-centric workers absorb it
+	// (each pays only its own sum); expert-centric blocks pay the
+	// per-block maximum.
+	Jitter     float64
+	JitterSeed int64
+
+	// DisableCache turns off the Inter-Node Scheduler's Cache Manager:
+	// every worker pulls its external experts straight across the NICs
+	// (GPU to GPU over GDR), so an expert crosses a machine boundary
+	// once per *worker* instead of once per *machine*. Ablation for the
+	// hierarchical communication mechanism of §5.1.2 — expect the
+	// cross-node fetch traffic to inflate by roughly m.
+	DisableCache bool
+
+	// ForwardOnly runs inference instead of training: no backward pass,
+	// no gradients, no optimizer (§9 argues the same design serves
+	// inference, where the communication pattern is the forward half).
+	ForwardOnly bool
+}
+
+// factor returns the compute slowdown of a rank.
+func (c Config) factor(rank int) float64 {
+	if rank < len(c.ComputeFactors) && c.ComputeFactors[rank] > 0 {
+		return c.ComputeFactors[rank]
+	}
+	return 1
+}
+
+func (c Config) creditSize() int {
+	if c.CreditSize > 0 {
+		return c.CreditSize
+	}
+	return DefaultCreditSize
+}
+
+// Paradigms returns the per-block paradigm choice this config makes on
+// the given cluster shape, without running the simulation.
+func Paradigms(cfg Config, numMachines, numWorkers int) []config.Paradigm {
+	pol := cfg.Policy
+	if pol.RThreshold == 0 {
+		pol = config.NominalPolicy()
+	}
+	out := make([]config.Paradigm, len(cfg.Model.Blocks))
+	for i, b := range cfg.Model.Blocks {
+		if b.Kind != config.MoE {
+			out[i] = config.ExpertCentric
+			continue
+		}
+		if cfg.ForceParadigm != nil {
+			out[i] = *cfg.ForceParadigm
+			continue
+		}
+		out[i] = pol.Choose(cfg.Model.GainR(i, numMachines, numWorkers))
+	}
+	return out
+}
+
+// Run simulates one Janus training iteration.
+func Run(cfg Config) (engine.Report, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return engine.Report{}, err
+	}
+	if r.report.OOM {
+		return r.report, nil
+	}
+	r.run()
+	return r.report, nil
+}
+
+// newRunner builds a runner with everything validated and scheduled to
+// begin at t=0, without running the simulation. Split from Run so tests
+// can inspect internal state after the run.
+func newRunner(cfg Config) (*runner, error) {
+	if err := cfg.Model.Validate(cfg.Spec.TotalGPUs()); err != nil {
+		return nil, err
+	}
+	c, err := topology.New(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:   cfg,
+		c:     c,
+		costs: engine.NewCosts(cfg.Spec, cfg.Model),
+		tl:    &trace.Timeline{},
+	}
+	r.report.Model = cfg.Model.Name
+	r.report.NumGPUs = c.NumGPUs()
+	r.report.Timeline = r.tl
+	r.report.Paradigms = Paradigms(cfg, len(c.Machines), c.NumGPUs())
+
+	in := r.costs.FootprintInput(c.NumGPUs())
+	in.CreditSize = cfg.creditSize()
+	// Memory footprint: data-centric buffers for DC blocks; if any block
+	// runs expert-centric, its token buffers count too.
+	mem := costmodel.WorkerFootprintDC(in, costmodel.DefaultMemoryParams())
+	for _, p := range r.report.Paradigms {
+		if p == config.ExpertCentric {
+			// At least one EC block: charge the EC buffer set instead
+			// (it dominates the DC one).
+			ecBlocks := 0
+			for i, q := range r.report.Paradigms {
+				if q == config.ExpertCentric && cfg.Model.Blocks[i].Kind == config.MoE {
+					ecBlocks++
+				}
+			}
+			inEC := in
+			inEC.MoEBlocks = ecBlocks
+			mem = costmodel.WorkerFootprintDC(in, costmodel.DefaultMemoryParams()) +
+				costmodel.ECBufferBytes(inEC, costmodel.DefaultMemoryParams())
+			break
+		}
+	}
+	r.report.PeakMemBytes = mem
+	if !cfg.SkipMemoryCheck && mem > cfg.Spec.GPUMemBytes {
+		r.report.OOM = true
+		return r, nil
+	}
+
+	r.assign = make(map[int]gate.Assignment)
+	for _, bi := range cfg.Model.MoEBlockIndices() {
+		var a gate.Assignment
+		if cfg.Assignment != nil {
+			a = cfg.Assignment(bi)
+		} else {
+			a = gate.Balanced(c.NumGPUs(), cfg.Model.Blocks[bi].NumExperts, int(cfg.Model.TokensPerWorker()))
+		}
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("core: block %d assignment: %w", bi, err)
+		}
+		r.assign[bi] = a
+	}
+
+	r.setup()
+	return r, nil
+}
+
+// run executes the prepared iteration to completion.
+func (r *runner) run() {
+	r.start()
+	r.c.Engine.Run()
+	r.finish()
+}

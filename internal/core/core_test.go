@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"janus/internal/config"
+	"janus/internal/costmodel"
+	"janus/internal/engine"
+	"janus/internal/expertcentric"
+	"janus/internal/gate"
+	"janus/internal/topology"
+)
+
+func mustRun(t *testing.T, cfg Config) engine.Report {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func janusCfg(model config.Model, machines int) Config {
+	return Config{
+		Model: model, Spec: topology.DefaultSpec(machines),
+		TopoAware: true, Prefetch: true,
+	}
+}
+
+func TestRunCompletesAndChoosesDC(t *testing.T) {
+	r := mustRun(t, janusCfg(config.MoEBERT(32), 4))
+	if r.OOM {
+		t.Fatal("unexpected OOM")
+	}
+	if r.IterationTime <= 0 || r.ForwardTime <= 0 || r.ForwardTime >= r.IterationTime {
+		t.Fatalf("times: iter=%v fwd=%v", r.IterationTime, r.ForwardTime)
+	}
+	for _, bi := range config.MoEBERT(32).MoEBlockIndices() {
+		if r.Paradigms[bi] != config.DataCentric {
+			t.Fatalf("block %d paradigm = %v, want data-centric (R=5.33)", bi, r.Paradigms[bi])
+		}
+	}
+}
+
+// The Table 1 headline: Janus's inter-node traffic matches the
+// Comm_DC closed form — each machine pulls each external expert once
+// per block per direction, plus the analytic AllReduce cross-bytes.
+func TestTrafficMatchesCommDC(t *testing.T) {
+	model := config.MoEBERT(32)
+	spec := topology.DefaultSpec(4)
+	r := mustRun(t, Config{Model: model, Spec: spec, TopoAware: true, Prefetch: true})
+
+	costs := engine.NewCosts(spec, model)
+	nGPU, n := 32, 4
+	dgb := costs.DenseGradBytes(nGPU)
+	arCross := float64(2*(nGPU-1)) * float64(n) * dgb / float64(nGPU)
+	// Forward fetch + backward gradient push, per machine, times n
+	// machines, times MoE blocks.
+	moe := 2 * costmodel.CommDCForwardPerMachine(model.H, 1, 8, n) * float64(n) * 4
+	want := moe + arCross
+	if math.Abs(r.InterNodeEgressBytes-want)/want > 0.001 {
+		t.Fatalf("inter-node bytes = %.0f, want %.0f (moe %.0f + ar %.0f)",
+			r.InterNodeEgressBytes, want, moe, arCross)
+	}
+}
+
+// The Figure 14 shape: Janus beats the expert-centric baseline on all
+// three Table-1 models at 32 GPUs, and the advantage is largest for
+// Transformer-XL (R=16) — matching the paper's 1.28/1.48/1.52 ordering.
+func TestFig14Shape(t *testing.T) {
+	spec := topology.DefaultSpec(4)
+	speedups := map[string]float64{}
+	for _, model := range []config.Model{config.MoEBERT(32), config.MoEGPT(32), config.MoETransformerXL(32)} {
+		base, err := expertcentric.Run(expertcentric.Config{Model: model, Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		janus := mustRun(t, janusCfg(model, 4))
+		sp := base.IterationTime / janus.IterationTime
+		speedups[model.Name] = sp
+		t.Logf("%s: tutel %.1fms janus %.1fms speedup %.2fx",
+			model.Name, base.IterationTime*1e3, janus.IterationTime*1e3, sp)
+		if sp <= 1.05 {
+			t.Errorf("%s: Janus not faster (%.2fx)", model.Name, sp)
+		}
+	}
+	if !(speedups["MoE-TransformerXL"] > speedups["MoE-BERT"]) {
+		t.Errorf("speedup ordering wrong: %+v", speedups)
+	}
+}
+
+// The Figure 12 ablation shape: plain data-centric already wins, and
+// topo-aware + prefetch each add something (or at least do not hurt).
+func TestFig12AblationOrdering(t *testing.T) {
+	model := config.MoEGPT(32)
+	spec := topology.DefaultSpec(4)
+	ec := config.ExpertCentric
+	base := mustRun(t, Config{Model: model, Spec: spec, ForceParadigm: &ec})
+	dc := mustRun(t, Config{Model: model, Spec: spec})
+	topo := mustRun(t, Config{Model: model, Spec: spec, TopoAware: true})
+	full := mustRun(t, Config{Model: model, Spec: spec, TopoAware: true, Prefetch: true})
+
+	t.Logf("ec=%.1fms dc=%.1fms +topo=%.1fms +prefetch=%.1fms",
+		base.IterationTime*1e3, dc.IterationTime*1e3, topo.IterationTime*1e3, full.IterationTime*1e3)
+	if !(dc.IterationTime < base.IterationTime) {
+		t.Error("data-centric not faster than expert-centric baseline")
+	}
+	if topo.IterationTime > dc.IterationTime*1.001 {
+		t.Error("topo-aware slowed things down")
+	}
+	if full.IterationTime > topo.IterationTime*1.001 {
+		t.Error("prefetch slowed things down")
+	}
+	if !(full.IterationTime < dc.IterationTime) {
+		t.Error("topo+prefetch gave no improvement at all")
+	}
+}
+
+// Credit invariant: no worker ever holds more than C outstanding pulls.
+func TestCreditBufferInvariant(t *testing.T) {
+	for _, credits := range []int{1, 2, 4, 8} {
+		cfg := janusCfg(config.MoEGPT(16), 2)
+		cfg.CreditSize = credits
+		r, err := newRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.run()
+		for _, w := range r.workers {
+			if w.maxOutstanding > credits {
+				t.Fatalf("C=%d: worker %d reached %d outstanding pulls", credits, w.idx, w.maxOutstanding)
+			}
+			if w.outstanding != 0 {
+				t.Fatalf("C=%d: worker %d ended with %d outstanding", credits, w.idx, w.outstanding)
+			}
+			if len(w.queue) != 0 {
+				t.Fatalf("C=%d: worker %d ended with %d queued tasks", credits, w.idx, len(w.queue))
+			}
+		}
+	}
+}
+
+// Cache Manager single-flight: each machine fetches each external
+// expert exactly once per iteration.
+func TestCacheManagerSingleFlight(t *testing.T) {
+	model := config.MoETransformerXL(16)
+	cfg := janusCfg(model, 2)
+	r, err := newRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run()
+	// 16 experts per block, 8 per machine, so 8 external per machine per
+	// block; 12 blocks.
+	wantPerMachine := 8 * 12
+	for mi, ms := range r.machines {
+		if got := len(ms.fetchStarted); got != wantPerMachine {
+			t.Fatalf("machine %d started %d cache fetches, want %d", mi, got, wantPerMachine)
+		}
+	}
+}
+
+// Figure 16 contrast: the data-centric engine does NOT OOM at the
+// S=512 configuration that kills the expert-centric baseline.
+func TestNoOOMWhereTutelOOMs(t *testing.T) {
+	model := config.MoEBERT(32)
+	model.S = 512
+	model.K = 4
+	base, err := expertcentric.Run(expertcentric.Config{Model: model, Spec: topology.DefaultSpec(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.OOM {
+		t.Fatal("baseline should OOM at S=512")
+	}
+	r := mustRun(t, janusCfg(model, 4))
+	if r.OOM {
+		t.Fatal("Janus should not OOM at S=512")
+	}
+	if r.IterationTime <= 0 {
+		t.Fatal("Janus S=512 run did not complete")
+	}
+}
+
+// Figure 17 shape: on PR-MoE, the unified engine (conservative policy)
+// is at least as fast as both pure paradigms at both cluster scales.
+func TestFig17UnifiedWins(t *testing.T) {
+	cases := []struct {
+		name     string
+		model    config.Model
+		machines int
+	}{
+		{"16GPU", config.PRMoETransformerXL(16, 64, 32), 4},  // 4 machines x 4 GPUs
+		{"32GPU", config.PRMoETransformerXL(32, 128, 64), 4}, // 4 machines x 8 GPUs
+	}
+	for _, tc := range cases {
+		spec := topology.DefaultSpec(tc.machines)
+		if tc.name == "16GPU" {
+			spec.GPUsPerNode = 4
+		}
+		model := tc.model
+		workers := spec.TotalGPUs()
+		mk := func(force *config.Paradigm) engine.Report {
+			return mustRun(t, Config{
+				Model: model, Spec: spec,
+				Policy:        config.ConservativePolicy(),
+				ForceParadigm: force,
+				TopoAware:     true, Prefetch: true,
+				// A realistically skewed gate: the imbalance penalises the
+				// synchronous A2A of expert-centric blocks (hardest for the
+				// shallow, few-expert blocks), which is the regime §7.5
+				// evaluates.
+				Assignment: func(block int) gate.Assignment {
+					return gate.Zipf(workers, model.Blocks[block].NumExperts,
+						int(model.TokensPerWorker()), 0.3, int64(block))
+				},
+			})
+		}
+		ec, dc := config.ExpertCentric, config.DataCentric
+		pureEC := mk(&ec)
+		pureDC := mk(&dc)
+		unified := mk(nil)
+		t.Logf("%s: pureEC=%.1fms pureDC=%.1fms unified=%.1fms (%.2fx over EC)",
+			tc.name, pureEC.IterationTime*1e3, pureDC.IterationTime*1e3,
+			unified.IterationTime*1e3, pureEC.IterationTime/unified.IterationTime)
+		if unified.IterationTime > pureEC.IterationTime*1.001 {
+			t.Errorf("%s: unified slower than pure expert-centric", tc.name)
+		}
+		if unified.IterationTime > pureDC.IterationTime*1.001 {
+			t.Errorf("%s: unified slower than pure data-centric", tc.name)
+		}
+		// The unified run must actually mix paradigms.
+		sawEC, sawDC := false, false
+		for _, bi := range tc.model.MoEBlockIndices() {
+			switch unified.Paradigms[bi] {
+			case config.ExpertCentric:
+				sawEC = true
+			case config.DataCentric:
+				sawDC = true
+			}
+		}
+		if !sawEC || !sawDC {
+			t.Errorf("%s: unified did not mix paradigms: %v", tc.name, unified.Paradigms)
+		}
+	}
+}
+
+// Prefetch moves fetch time under the dense blocks: with prefetch, the
+// first MoE block's experts should already be arriving before its gate
+// finishes (Figure 13's overlap).
+func TestFig13PrefetchOverlap(t *testing.T) {
+	model := config.MoEGPT(32)
+	cfg := janusCfg(model, 4)
+	cfg.Trace = true
+	r := mustRun(t, cfg)
+	arrivals := r.Timeline.MarksNamed("expert.block10.ep")
+	if len(arrivals) == 0 {
+		t.Fatal("no expert arrival marks recorded")
+	}
+	gateDone, ok := r.Timeline.MarkAt("fwd.block9.done")
+	if !ok {
+		t.Fatal("missing block 9 completion mark")
+	}
+	early := 0
+	for _, m := range arrivals {
+		if m.At < gateDone {
+			early++
+		}
+	}
+	if early == 0 {
+		t.Fatalf("prefetch produced no early arrivals (gate at %.3f, first arrival %.3f)",
+			gateDone, arrivals[0].At)
+	}
+	t.Logf("%d/%d experts arrived before block 9 completed", early, len(arrivals))
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := janusCfg(config.MoEBERT(16), 2)
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.IterationTime != b.IterationTime || a.InterNodeEgressBytes != b.InterNodeEgressBytes {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v",
+			a.IterationTime, a.InterNodeEgressBytes, b.IterationTime, b.InterNodeEgressBytes)
+	}
+}
+
+func TestImbalancedGateStillCorrectTraffic(t *testing.T) {
+	// With a skewed gate, data-centric traffic must not exceed the
+	// balanced closed form: workers that need fewer experts pull less.
+	model := config.MoEGPT(32)
+	spec := topology.DefaultSpec(4)
+	skew := mustRun(t, Config{
+		Model: model, Spec: spec, TopoAware: true, Prefetch: true,
+		Assignment: func(block int) gate.Assignment {
+			return gate.Zipf(32, 32, int(model.TokensPerWorker()), 1.5, 3)
+		},
+	})
+	bal := mustRun(t, janusCfg(model, 4))
+	if skew.InterNodeEgressBytes > bal.InterNodeEgressBytes*1.001 {
+		t.Fatalf("skewed traffic %.0f exceeds balanced %.0f",
+			skew.InterNodeEgressBytes, bal.InterNodeEgressBytes)
+	}
+	// And unlike the expert-centric A2A, the iteration time barely moves
+	// with skew (the fetch volume is load-independent).
+	if skew.IterationTime > bal.IterationTime*1.25 {
+		t.Fatalf("skew hurt data-centric too much: %.4f vs %.4f",
+			skew.IterationTime, bal.IterationTime)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := Run(janusCfg(config.MoEBERT(16), 4)); err == nil {
+		t.Fatal("16 experts on 32 GPUs accepted")
+	}
+}
+
+func TestParadigmsHelper(t *testing.T) {
+	cfg := Config{Model: config.PRMoETransformerXL(16, 64, 32), Policy: config.ConservativePolicy()}
+	p := Paradigms(cfg, 4, 16)
+	if p[2] != config.DataCentric || p[5] != config.DataCentric {
+		t.Errorf("shallow blocks (R=4) should be data-centric: %v", p)
+	}
+	if p[8] != config.ExpertCentric || p[11] != config.ExpertCentric {
+		t.Errorf("deep blocks (R=1) should be expert-centric: %v", p)
+	}
+	if p[0] != config.ExpertCentric {
+		t.Errorf("dense block paradigm should default to expert-centric")
+	}
+}

@@ -1,0 +1,227 @@
+// Package costmodel holds the closed-form size and compute math shared
+// by every engine and experiment: expert/token byte sizes, the paper's
+// traffic formulas (§5.1.3), per-op FLOP counts, and the GPU memory
+// footprint model used to reproduce the out-of-memory behaviour in
+// Figure 16.
+//
+// All byte formulas follow the paper's accounting, which Table 1 pins
+// down exactly: element size is 2 bytes (fp16) and an expert FFN is the
+// two Linear weight matrices, 8H² elements. With those two facts, every
+// number in Table 1 reproduces from the formulas below (verified in the
+// package tests).
+package costmodel
+
+// BytesPerElem is the training element size. The paper trains in fp16;
+// Table 1's traffic numbers are only consistent with 2-byte elements.
+const BytesPerElem = 2
+
+// ExpertParams returns the parameter count of one expert FFN: two
+// Linear layers H×4H and 4H×H (biases are omitted, matching the
+// paper's 8H² accounting).
+func ExpertParams(h int) float64 { return 8 * float64(h) * float64(h) }
+
+// ExpertBytes returns the wire size of one expert module.
+func ExpertBytes(h int) float64 { return ExpertParams(h) * BytesPerElem }
+
+// TokenBytes returns the wire size of one token activation.
+func TokenBytes(h int) float64 { return float64(h) * BytesPerElem }
+
+// TokensPerWorker returns T = B·S·k, the number of (replicated) tokens
+// a worker emits toward the expert layer each iteration (§5.1.3).
+func TokensPerWorker(b, s, k int) float64 { return float64(b) * float64(s) * float64(k) }
+
+// CommDCForwardPerMachine returns the inter-node traffic one machine
+// *receives* in the forward pass of one MoE block under the data-centric
+// paradigm: Comm_DC = 8H²·E·m·(n−1) elements (§5.1.3). m here is the
+// number of workers per machine, E experts per worker, n machines.
+// Each machine pulls each of the (n−1)·E·m external experts exactly once
+// thanks to the Cache Manager.
+func CommDCForwardPerMachine(h, e, m, n int) float64 {
+	return ExpertBytes(h) * float64(e) * float64(m) * float64(n-1)
+}
+
+// CommECForwardPerMachine returns the inter-node traffic one machine
+// sends in the forward pass of one MoE block under the expert-centric
+// paradigm with a balanced gate: Comm_EC = 2·m·H·T·(n−1)/n elements
+// (§5.1.3) — two All-to-All operations (dispatch and combine), of which
+// the fraction (n−1)/n crosses machines.
+func CommECForwardPerMachine(b, s, k, h, m, n int) float64 {
+	t := TokensPerWorker(b, s, k)
+	return 2 * float64(m) * TokenBytes(h) * t * float64(n-1) / float64(n)
+}
+
+// GainR returns the paper's paradigm-selection metric
+// R = B·S·k / (4·n·H·E) (equation 1). R > 1 means the data-centric
+// paradigm moves fewer inter-node bytes for the block.
+func GainR(b, s, k, n, h, e int) float64 {
+	return float64(b) * float64(s) * float64(k) / (4 * float64(n) * float64(h) * float64(e))
+}
+
+// --- FLOP counts -----------------------------------------------------
+//
+// Forward FLOPs per token, standard Transformer accounting (a matmul of
+// shape [1,a]×[a,b] is 2ab FLOPs). Backward is counted as 2× forward
+// (grad w.r.t. inputs and weights each replay the matmuls).
+
+// AttentionFwdFlops returns forward FLOPs for one attention layer over a
+// local batch: QKV and output projections (8H² per token) plus the two
+// S-length attention matmuls (4SH per token).
+func AttentionFwdFlops(b, s, h int) float64 {
+	perToken := 8*float64(h)*float64(h) + 4*float64(s)*float64(h)
+	return float64(b) * float64(s) * perToken
+}
+
+// DenseFFNFwdFlops returns forward FLOPs for one dense FFN layer over a
+// local batch: 16H² per token (two H↔4H matmuls).
+func DenseFFNFwdFlops(b, s, h int) float64 {
+	return float64(b) * float64(s) * 16 * float64(h) * float64(h)
+}
+
+// GateFwdFlops returns forward FLOPs for the MoE gate: one H×numExperts
+// projection per token plus top-k selection (counted as numExperts ops).
+func GateFwdFlops(b, s, h, numExperts int) float64 {
+	return float64(b) * float64(s) * (2*float64(h)*float64(numExperts) + float64(numExperts))
+}
+
+// ExpertFwdFlopsPerToken returns forward FLOPs for pushing one token
+// through one expert FFN: 16H².
+func ExpertFwdFlopsPerToken(h int) float64 { return 16 * float64(h) * float64(h) }
+
+// BackwardFactor scales a forward FLOP count to its backward cost.
+const BackwardFactor = 2.0
+
+// --- Compute-time model ----------------------------------------------
+
+// ComputeTime converts FLOPs to seconds on a GPU with the given
+// effective throughput, adding a fixed per-kernel overhead. Zero-FLOP
+// ops still pay the overhead (they are real kernel launches).
+func ComputeTime(flops, gpuFlops, kernelOverhead float64) float64 {
+	if flops < 0 {
+		panic("costmodel: negative flops")
+	}
+	return flops/gpuFlops + kernelOverhead
+}
+
+// --- Memory model (Figure 16 OOM reproduction) ------------------------
+//
+// The memory model tracks the components that matter for the paper's
+// S=512 MoE-BERT OOM under the expert-centric paradigm: parameter and
+// optimizer state, activations retained for backward (including the
+// O(S²) attention score matrices), and the All-to-All receive buffers
+// whose size grows with T = B·S·k. The data-centric paradigm replaces
+// the token buffers with the credit-based expert buffer, which is
+// O(C·8H²) and independent of T — that asymmetry is the entire Fig. 16
+// story.
+
+// MemoryParams configures the footprint model.
+type MemoryParams struct {
+	BytesPerParam    float64 // param + grad + Adam moments; mixed precision ≈ 16
+	AttentionHeads   int     // for the S×S score matrices
+	ActTensorsPerBlk float64 // retained activation tensors of size B·S·H per block
+	CapacityFactor   float64 // Tutel buffer padding over the balanced share
+	AllocatorSlack   float64 // multiplicative allocator fragmentation slack
+}
+
+// DefaultMemoryParams models PyTorch mixed-precision training with Adam
+// and no activation checkpointing, which is the configuration whose OOM
+// the paper reports.
+func DefaultMemoryParams() MemoryParams {
+	return MemoryParams{
+		BytesPerParam:    16,
+		AttentionHeads:   12,
+		ActTensorsPerBlk: 12,
+		CapacityFactor:   2.0,
+		AllocatorSlack:   1.15,
+	}
+}
+
+// FootprintInput describes one worker's view of the model for the
+// memory model.
+type FootprintInput struct {
+	B, S, H    int
+	NumBlocks  int
+	MoEBlocks  int // how many blocks are MoE blocks
+	ExpertsPer int // experts resident per worker per MoE block (E)
+	NumExperts int // experts per MoE block globally
+	TopK       int
+	NumWorkers int // global worker count
+	CreditSize int // data-centric credit buffer size, in experts
+}
+
+// DenseParamsPerWorker returns the per-worker parameter count of the
+// non-expert part of the model: for every block an attention layer
+// (4H²) and for dense blocks an FFN (8H²), replicated on every worker.
+func DenseParamsPerWorker(in FootprintInput) float64 {
+	h2 := float64(in.H) * float64(in.H)
+	dense := float64(in.NumBlocks-in.MoEBlocks) * (4*h2 + 8*h2)
+	moe := float64(in.MoEBlocks) * 4 * h2 // attention part of MoE blocks
+	return dense + moe
+}
+
+// ExpertParamsPerWorker returns the per-worker parameter count of the
+// resident experts across all MoE blocks.
+func ExpertParamsPerWorker(in FootprintInput) float64 {
+	return float64(in.MoEBlocks) * float64(in.ExpertsPer) * ExpertParams(in.H)
+}
+
+// ActivationBytes returns the bytes of activations retained for
+// backward: per block, ActTensorsPerBlk tensors of B·S·H fp16 elements
+// plus the attention score matrices B·heads·S·S (the S² term).
+func ActivationBytes(in FootprintInput, p MemoryParams) float64 {
+	bsh := float64(in.B) * float64(in.S) * float64(in.H) * BytesPerElem
+	scores := float64(in.B) * float64(p.AttentionHeads) * float64(in.S) * float64(in.S) * BytesPerElem
+	return float64(in.NumBlocks) * (p.ActTensorsPerBlk*bsh + scores)
+}
+
+// ECBufferBytes returns the expert-centric token-buffer bytes live on a
+// worker: per MoE block, the dispatch send buffer (T tokens), the padded
+// receive buffer (capacity-factor times the balanced share of global
+// tokens routed to this worker's experts), and the 4H expert
+// intermediate for the received tokens. These are activations of the
+// expert layer, retained for backward, so every MoE block's buffers are
+// live simultaneously — the count is multiplied by MoEBlocks. This
+// T-proportional retained state is exactly what the data-centric
+// paradigm avoids, and is why Tutel OOMs first in Figure 16.
+func ECBufferBytes(in FootprintInput, p MemoryParams) float64 {
+	t := TokensPerWorker(in.B, in.S, in.TopK)
+	// Balanced share of global tokens landing on this worker's experts.
+	globalTokens := t * float64(in.NumWorkers)
+	recvTokens := globalTokens * float64(in.ExpertsPer) / float64(in.NumExperts) * p.CapacityFactor
+	tokBytes := TokenBytes(in.H)
+	send := t * tokBytes
+	recv := recvTokens * tokBytes
+	intermediate := recvTokens * 4 * float64(in.H) * BytesPerElem
+	combine := t * tokBytes
+	return float64(in.MoEBlocks) * (send + recv + intermediate + combine)
+}
+
+// DCBufferBytes returns the data-centric buffer bytes: one credit-based
+// expert buffer (C experts, shared by all blocks since it is drained
+// block by block), plus per MoE block the worker's own T-token expert
+// output retained for backward and the per-expert 4H intermediate slice
+// (computed expert by expert, so only one expert's slice is live per
+// block). Used experts are offloaded to host memory, and the Cache
+// Manager lives in host memory, so neither occupies the GPU.
+func DCBufferBytes(in FootprintInput, p MemoryParams) float64 {
+	t := TokensPerWorker(in.B, in.S, in.TopK)
+	credit := float64(in.CreditSize) * ExpertBytes(in.H)
+	out := t * TokenBytes(in.H)
+	perExpertSlice := t / float64(in.NumExperts) * 4 * float64(in.H) * BytesPerElem * p.CapacityFactor
+	return credit + float64(in.MoEBlocks)*(out+perExpertSlice)
+}
+
+// WorkerFootprintEC returns the modelled peak GPU bytes for a worker
+// training under the expert-centric paradigm.
+func WorkerFootprintEC(in FootprintInput, p MemoryParams) float64 {
+	params := DenseParamsPerWorker(in) + ExpertParamsPerWorker(in)
+	base := params*p.BytesPerParam + ActivationBytes(in, p) + ECBufferBytes(in, p)
+	return base * p.AllocatorSlack
+}
+
+// WorkerFootprintDC returns the modelled peak GPU bytes for a worker
+// training under the data-centric paradigm.
+func WorkerFootprintDC(in FootprintInput, p MemoryParams) float64 {
+	params := DenseParamsPerWorker(in) + ExpertParamsPerWorker(in)
+	base := params*p.BytesPerParam + ActivationBytes(in, p) + DCBufferBytes(in, p)
+	return base * p.AllocatorSlack
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"janus/internal/config"
+	"janus/internal/costmodel"
+	"janus/internal/topology"
+)
+
+func TestBarrier(t *testing.T) {
+	fired := 0
+	b := NewBarrier(3, func() { fired++ })
+	b.Arrive()
+	b.Arrive()
+	if fired != 0 {
+		t.Fatal("barrier fired early")
+	}
+	b.Arrive()
+	if fired != 1 {
+		t.Fatal("barrier did not fire")
+	}
+}
+
+func TestZeroBarrierFiresImmediately(t *testing.T) {
+	fired := false
+	NewBarrier(0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero-count barrier did not fire")
+	}
+}
+
+func TestCostsMonotone(t *testing.T) {
+	spec := topology.DefaultSpec(4)
+	small := NewCosts(spec, config.MoEGPT(32))
+	bigModel := config.MoEGPT(32)
+	bigModel.B *= 2
+	big := NewCosts(spec, bigModel)
+	if !(big.AttentionFwd() > small.AttentionFwd()) {
+		t.Error("attention cost not monotone in batch")
+	}
+	if !(big.DenseFFNFwd() > small.DenseFFNFwd()) {
+		t.Error("FFN cost not monotone in batch")
+	}
+	if !(small.AttentionBwd() > small.AttentionFwd()) {
+		t.Error("backward not more expensive than forward")
+	}
+	if !(small.ExpertBwd(1000) > small.ExpertFwd(1000)) {
+		t.Error("expert backward not more expensive")
+	}
+	if small.ExpertFwd(0) <= 0 {
+		t.Error("zero-token expert op should still cost the kernel overhead")
+	}
+}
+
+func TestCostsGradReduceAndCombine(t *testing.T) {
+	spec := topology.DefaultSpec(2)
+	c := NewCosts(spec, config.MoEGPT(16))
+	if c.GradReduce(0) != 0 {
+		t.Error("zero-grad reduce should be free")
+	}
+	if !(c.GradReduce(8) > c.GradReduce(2)) {
+		t.Error("grad reduce not monotone")
+	}
+	if c.Combine() <= 0 {
+		t.Error("combine cost not positive")
+	}
+	zeroBps := spec
+	zeroBps.CPUReduceBps = 0
+	if NewCosts(zeroBps, config.MoEGPT(16)).GradReduce(4) != 0 {
+		t.Error("zero CPU bandwidth should make reduce free")
+	}
+}
+
+func TestFootprintInputPRMoE(t *testing.T) {
+	c := NewCosts(topology.DefaultSpec(2), config.PRMoETransformerXL(16, 64, 32))
+	in := c.FootprintInput(16)
+	if in.NumExperts != 64 {
+		t.Fatalf("largest MoE block should drive buffers: NumExperts=%d", in.NumExperts)
+	}
+	if in.MoEBlocks != 4 || in.ExpertsPer != 4 {
+		t.Fatalf("footprint input wrong: %+v", in)
+	}
+}
+
+func TestDenseGradBytesExcludesExperts(t *testing.T) {
+	spec := topology.DefaultSpec(4)
+	moe := NewCosts(spec, config.MoEBERT(32))
+	in := moe.FootprintInput(32)
+	wantDense := costmodel.DenseParamsPerWorker(in) * costmodel.BytesPerElem
+	if got := moe.DenseGradBytes(32); math.Abs(got-wantDense) > 1 {
+		t.Fatalf("DenseGradBytes = %v, want %v", got, wantDense)
+	}
+}
+
+func TestReportStringAndShare(t *testing.T) {
+	r := Report{Model: "m", NumGPUs: 8, IterationTime: 0.2, ForwardTime: 0.05,
+		CommBlockedTime: 0.1, InterNodeEgressBytes: 2 << 30}
+	if r.CommShare() != 0.5 {
+		t.Fatalf("share = %v", r.CommShare())
+	}
+	if !strings.Contains(r.String(), "50%") {
+		t.Fatalf("report string: %s", r.String())
+	}
+	oom := Report{Model: "m", OOM: true, PeakMemBytes: 100e9}
+	if !strings.Contains(oom.String(), "OOM") {
+		t.Fatalf("OOM string: %s", oom.String())
+	}
+	if (Report{}).CommShare() != 0 {
+		t.Fatal("zero report share should be 0")
+	}
+}
+
+// Property: expert kernel costs are strictly increasing in token count
+// and exhibit economies of scale — the small-batch ramp makes doubling
+// the batch less than double the cost (above the overhead floor).
+func TestExpertCostScalingProperty(t *testing.T) {
+	c := NewCosts(topology.DefaultSpec(2), config.MoEGPT(16))
+	prop := func(n16 uint16) bool {
+		n := int(n16) + 1
+		t1 := c.ExpertFwd(n)
+		t2 := c.ExpertFwd(2 * n)
+		if t2 <= t1 {
+			return false
+		}
+		return t2 < 2*t1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"janus/internal/config"
+	"janus/internal/expertcentric"
+	"janus/internal/topology"
+)
+
+// --- Figure 14: end-to-end Janus vs Tutel -----------------------------------
+
+// Fig14Row is one model's bar pair in Figure 14.
+type Fig14Row struct {
+	Model        string
+	R            float64
+	TutelMs      float64
+	JanusMs      float64
+	Speedup      float64
+	PaperSpeedup float64
+}
+
+// Fig14Result reproduces the end-to-end comparison.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 compares Janus (all optimizations, nominal policy) against the
+// Tutel-like expert-centric baseline on the three 32-GPU Table-1
+// models with profiled (mildly skewed) gates.
+func Fig14() (*Fig14Result, error) {
+	paper := map[string]float64{
+		"MoE-BERT": 1.28, "MoE-GPT": 1.48, "MoE-TransformerXL": 1.52,
+	}
+	res := &Fig14Result{}
+	for _, model := range []config.Model{
+		config.MoEBERT(32), config.MoEGPT(32), config.MoETransformerXL(32),
+	} {
+		spec := table1Spec(32)
+		assign := skewedAssignment(model, 32)
+		tutel, err := expertcentric.Run(expertcentric.Config{
+			Model: model, Spec: spec, Assignment: assign, SkipMemoryCheck: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		janus, err := coreRun(coreConfig{model: model, spec: spec,
+			topo: true, prefetch: true, assignment: assign, skipMem: true})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig14Row{
+			Model:        model.Name,
+			R:            model.GainR(model.MoEBlockIndices()[0], spec.NumMachines, 32),
+			TutelMs:      tutel.IterationTime * 1e3,
+			JanusMs:      janus.IterationTime * 1e3,
+			Speedup:      tutel.IterationTime / janus.IterationTime,
+			PaperSpeedup: paper[model.Name],
+		})
+	}
+	return res, nil
+}
+
+func (r *Fig14Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 14 — end-to-end iteration time, Janus vs Tutel (32 GPUs)\n")
+	fmt.Fprintf(&b, "%-20s %6s %11s %11s %9s %9s\n", "model", "R", "tutel(ms)", "janus(ms)", "speedup", "paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s %6.2f %11.1f %11.1f %8.2fx %8.2fx\n",
+			row.Model, row.R, row.TutelMs, row.JanusMs, row.Speedup, row.PaperSpeedup)
+	}
+	return b.String()
+}
+
+// --- Figures 15/16: sensitivity ----------------------------------------------
+
+// SensitivityRow is one (model, value) cell of Figures 15/16.
+type SensitivityRow struct {
+	Model    string
+	Param    string // "B" or "S"
+	Value    int
+	TutelMs  float64
+	JanusMs  float64
+	Speedup  float64
+	TutelOOM bool
+}
+
+// SensitivityResult holds a sweep.
+type SensitivityResult struct {
+	Title string
+	Note  string
+	Rows  []SensitivityRow
+}
+
+// fig15Configs returns the §7.4 batch-size sweep configs: fixed (S, k)
+// per model, 32 experts on 32 GPUs.
+func fig15Configs() []config.Model {
+	bert := config.MoEBERT(32)
+	bert.S, bert.K = 256, 4
+	gpt := config.MoEGPT(32)
+	gpt.S, gpt.K = 128, 8
+	xl := config.MoETransformerXL(32)
+	xl.S, xl.K = 256, 2
+	return []config.Model{bert, gpt, xl}
+}
+
+// Fig15 sweeps the per-worker batch size over {64, 128}.
+func Fig15() (*SensitivityResult, error) {
+	res := &SensitivityResult{
+		Title: "Figure 15 — batch-size sensitivity (32 GPUs)",
+		Note:  "paper shape: iteration time grows with B in both systems; Tutel grows faster, so the speedup grows with B",
+	}
+	for _, base := range fig15Configs() {
+		for _, batch := range []int{64, 128} {
+			model := base
+			model.B = batch
+			row, err := sensitivityPoint(model, "B", batch)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// fig16Configs returns the §7.4 sequence-length sweep configs: fixed
+// (B, k) per model.
+func fig16Configs() []config.Model {
+	bert := config.MoEBERT(32)
+	bert.B, bert.K = 256, 4
+	gpt := config.MoEGPT(32)
+	gpt.B, gpt.K = 32, 8
+	xl := config.MoETransformerXL(32)
+	xl.B, xl.K = 64, 2
+	return []config.Model{bert, gpt, xl}
+}
+
+// Fig16 sweeps the sequence length over {256, 512}, with the memory
+// check enabled — MoE-BERT at S=512 must OOM under Tutel but not Janus.
+func Fig16() (*SensitivityResult, error) {
+	res := &SensitivityResult{
+		Title: "Figure 16 — sequence-length sensitivity (32 GPUs)",
+		Note:  "paper shape: Tutel OOMs on MoE-BERT at S=512; Janus does not (experts, not tokens, cross the wire)",
+	}
+	for _, base := range fig16Configs() {
+		for _, seq := range []int{256, 512} {
+			model := base
+			model.S = seq
+			row, err := sensitivityPoint(model, "S", seq)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func sensitivityPoint(model config.Model, param string, value int) (SensitivityRow, error) {
+	spec := table1Spec(32)
+	assign := skewedAssignment(model, 32)
+	row := SensitivityRow{Model: model.Name, Param: param, Value: value}
+	tutel, err := expertcentric.Run(expertcentric.Config{
+		Model: model, Spec: spec, Assignment: assign,
+	})
+	if err != nil {
+		return row, err
+	}
+	if tutel.OOM {
+		row.TutelOOM = true
+	} else {
+		row.TutelMs = tutel.IterationTime * 1e3
+	}
+	janus, err := coreRun(coreConfig{model: model, spec: spec,
+		topo: true, prefetch: true, assignment: assign})
+	if err != nil {
+		return row, err
+	}
+	if janus.OOM {
+		return row, fmt.Errorf("experiments: Janus unexpectedly OOM on %s %s=%d", model.Name, param, value)
+	}
+	row.JanusMs = janus.IterationTime * 1e3
+	if !row.TutelOOM {
+		row.Speedup = row.TutelMs / row.JanusMs
+	}
+	return row, nil
+}
+
+func (r *SensitivityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-20s %6s %11s %11s %9s\n", "model", "param", "tutel(ms)", "janus(ms)", "speedup")
+	for _, row := range r.Rows {
+		tutel := fmt.Sprintf("%.1f", row.TutelMs)
+		speedup := fmt.Sprintf("%.2fx", row.Speedup)
+		if row.TutelOOM {
+			tutel, speedup = "OOM", "-"
+		}
+		fmt.Fprintf(&b, "%-20s %3s=%-3d %11s %11.1f %9s\n",
+			row.Model, row.Param, row.Value, tutel, row.JanusMs, speedup)
+	}
+	fmt.Fprintf(&b, "(%s)\n", r.Note)
+	return b.String()
+}
+
+// --- Figure 17: unified paradigm on PR-MoE -----------------------------------
+
+// Fig17Row is one cluster scale of Figure 17.
+type Fig17Row struct {
+	Scale        string
+	PureECMs     float64
+	PureDCMs     float64
+	UnifiedMs    float64
+	SpeedupEC    float64 // unified over pure expert-centric
+	PaperSpeedup float64
+	Paradigms    string
+}
+
+// Fig17Result reproduces the PR-MoE unified-paradigm experiment.
+type Fig17Result struct {
+	Rows []Fig17Row
+}
+
+// Fig17 runs PR-MoE-Transformer-XL at both scales under pure
+// expert-centric, pure data-centric, and the unified conservative
+// policy (§7.5). The 16-GPU run uses 4 machines of 4 GPUs, matching
+// the paper's R=4 (shallow) and R=1 (deep) quoted gains.
+func Fig17() (*Fig17Result, error) {
+	cases := []struct {
+		scale       string
+		model       config.Model
+		gpusPerNode int
+		paper       float64
+	}{
+		{"16 GPUs", config.PRMoETransformerXL(16, 64, 32), 4, 2.06},
+		{"32 GPUs", config.PRMoETransformerXL(32, 128, 64), 8, 1.44},
+	}
+	res := &Fig17Result{}
+	for _, tc := range cases {
+		spec := topology.DefaultSpec(4)
+		spec.GPUsPerNode = tc.gpusPerNode
+		assign := skewedAssignment(tc.model, spec.TotalGPUs())
+		run := func(force *config.Paradigm) (float64, string, error) {
+			rep, err := coreRun(coreConfig{model: tc.model, spec: spec,
+				topo: true, prefetch: true, skipMem: true,
+				policy: config.ConservativePolicy(), force: force, assignment: assign})
+			if err != nil {
+				return 0, "", err
+			}
+			var ps []string
+			for _, bi := range tc.model.MoEBlockIndices() {
+				ps = append(ps, rep.Paradigms[bi].String()[:4])
+			}
+			return rep.IterationTime, strings.Join(ps, ","), nil
+		}
+		ec, dc := config.ExpertCentric, config.DataCentric
+		tEC, _, err := run(&ec)
+		if err != nil {
+			return nil, err
+		}
+		tDC, _, err := run(&dc)
+		if err != nil {
+			return nil, err
+		}
+		tU, paradigms, err := run(nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig17Row{
+			Scale: tc.scale, PureECMs: tEC * 1e3, PureDCMs: tDC * 1e3, UnifiedMs: tU * 1e3,
+			SpeedupEC: tEC / tU, PaperSpeedup: tc.paper, Paradigms: paradigms,
+		})
+	}
+	return res, nil
+}
+
+func (r *Fig17Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 17 — PR-MoE-Transformer-XL: pure paradigms vs unified Janus\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %9s %7s  %s\n",
+		"scale", "pure EC(ms)", "pure DC(ms)", "unified(ms)", "speedup", "paper", "MoE-block paradigms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %12.1f %8.2fx %6.2fx  %s\n",
+			row.Scale, row.PureECMs, row.PureDCMs, row.UnifiedMs,
+			row.SpeedupEC, row.PaperSpeedup, row.Paradigms)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+// Package experiments contains one runner per table and figure of the
+// Janus paper's evaluation (§3, §7). Each runner builds the paper's
+// workload on the simulated cluster, executes the relevant engines, and
+// returns a typed result that renders as the same rows/series the paper
+// reports. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"janus/internal/config"
+	"janus/internal/core"
+	"janus/internal/engine"
+	"janus/internal/gate"
+	"janus/internal/topology"
+)
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// Render returns the human-readable table/series.
+	Render() string
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	ID    string // "table1", "fig14", ...
+	Title string
+	Run   func() (Result, error)
+}
+
+// Registry lists every reproducible table and figure, in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: model configs and per-machine inter-node traffic (E.C. vs D.C.)", func() (Result, error) { return Table1() }},
+		{"fig3", "Figure 3: iteration latency and All-to-All share under the expert-centric paradigm", func() (Result, error) { return Fig3() }},
+		{"goodput", "§3.1: All-to-All goodput, intra-machine vs inter-machine", func() (Result, error) { return Goodput() }},
+		{"fig7", "Figure 7: same-order vs staggered internal expert pulls", func() (Result, error) { return Fig7() }},
+		{"fig9", "Figure 9: PCIe-switch-aware scheduling of cached-expert copies", func() (Result, error) { return Fig9() }},
+		{"fig12", "Figure 12: ablation of data-centric, topology-aware and prefetch", func() (Result, error) { return Fig12() }},
+		{"fig13", "Figure 13: computation/communication overlap on MoE-GPT with prefetch", func() (Result, error) { return Fig13() }},
+		{"fig14", "Figure 14: end-to-end Janus vs Tutel", func() (Result, error) { return Fig14() }},
+		{"fig15", "Figure 15: batch-size sensitivity", func() (Result, error) { return Fig15() }},
+		{"fig16", "Figure 16: sequence-length sensitivity (incl. OOM)", func() (Result, error) { return Fig16() }},
+		{"fig17", "Figure 17: unified paradigm on PR-MoE", func() (Result, error) { return Fig17() }},
+		{"straggler", "Extension: straggler sensitivity under both paradigms (§3.2 claim)", func() (Result, error) { return Straggler() }},
+	}
+}
+
+// ByID returns the registered experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids, sorted as registered.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// --- shared workload helpers ---------------------------------------------
+
+// StdSkew is the Zipf exponent used for "profiled" gates throughout the
+// experiments: mild skew matching the imbalance the paper observes
+// without degenerating into one hot expert.
+const StdSkew = 0.3
+
+// skewedAssignment builds the standard per-block routing for a model on
+// a cluster: Zipf(StdSkew), deterministic per block.
+func skewedAssignment(model config.Model, numWorkers int) func(block int) gate.Assignment {
+	return func(block int) gate.Assignment {
+		return gate.Zipf(numWorkers, model.Blocks[block].NumExperts,
+			int(model.TokensPerWorker()), StdSkew, int64(block)+1)
+	}
+}
+
+// table1Spec returns the testbed shape for a Table-1 scenario: 8-GPU
+// machines (the paper uses 2 machines for 16 GPUs, 4 for 32).
+func table1Spec(numGPUs int) topology.Spec {
+	return topology.DefaultSpec(numGPUs / 8)
+}
+
+// coreConfig condenses the core.Config knobs the experiments vary.
+type coreConfig struct {
+	model          config.Model
+	spec           topology.Spec
+	topo           bool
+	prefetch       bool
+	skipMem        bool
+	trace          bool
+	credit         int
+	force          *config.Paradigm
+	policy         config.Policy
+	assignment     func(block int) gate.Assignment
+	computeFactors []float64
+}
+
+func coreRun(cc coreConfig) (engine.Report, error) {
+	return core.Run(core.Config{
+		Model: cc.model, Spec: cc.spec,
+		Policy: cc.policy, ForceParadigm: cc.force,
+		Assignment: cc.assignment, CreditSize: cc.credit,
+		TopoAware: cc.topo, Prefetch: cc.prefetch,
+		SkipMemoryCheck: cc.skipMem, Trace: cc.trace,
+		ComputeFactors: cc.computeFactors,
+	})
+}
+
+// allReduceCrossBytes returns the cross-machine bytes of the dense
+// gradient ring AllReduce for a model on a spec: 2(N−1) steps, each
+// crossing the n machine boundaries with a chunk of bytes/N.
+func allReduceCrossBytes(model config.Model, spec topology.Spec) float64 {
+	n := spec.TotalGPUs()
+	if n < 2 {
+		return 0
+	}
+	dgb := engine.NewCosts(spec, model).DenseGradBytes(n)
+	return float64(2*(n-1)) * float64(spec.NumMachines) * dgb / float64(n)
+}

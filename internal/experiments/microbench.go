@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"janus/internal/costmodel"
+	"janus/internal/engine"
+	"janus/internal/fabric"
+	"janus/internal/topology"
+)
+
+// --- Figure 7: same-order vs staggered internal pulls -----------------------
+
+// Fig7Result compares the two internal-pull schedules of Figure 7 on
+// one machine: every worker pulls every other worker's expert over
+// NVLink, either all in the same ascending order (7a) or in the
+// Algorithm-1 staggered order (7b), with a credit window of C.
+type Fig7Result struct {
+	Workers     int
+	ExpertMiB   float64
+	Credits     int
+	SameOrderMs float64
+	StaggeredMs float64
+	Speedup     float64
+	// MaxEgressShare is the peak number of simultaneous pullers a single
+	// source GPU served in each schedule — the contention Figure 7a shows.
+	SameOrderMaxPullers int
+	StaggeredMaxPullers int
+}
+
+// Fig7 runs both schedules and reports completion times.
+func Fig7() (*Fig7Result, error) {
+	const h = 768
+	const credits = 2
+	run := func(staggered bool) (float64, int, error) {
+		c, err := topology.New(topology.DefaultSpec(1))
+		if err != nil {
+			return 0, 0, err
+		}
+		m := c.NumGPUs()
+		bytes := costmodel.ExpertBytes(h)
+		active := make([]int, m) // concurrent pullers per source
+		maxActive := 0
+		var pending int
+		for w := 0; w < m; w++ {
+			var order []int
+			if staggered {
+				for i := w + 1; i < m; i++ {
+					order = append(order, i)
+				}
+				for i := 0; i < w; i++ {
+					order = append(order, i)
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					if i != w {
+						order = append(order, i)
+					}
+				}
+			}
+			// Credit-windowed in-order issue per worker.
+			w := w
+			next := 0
+			inFlight := 0
+			var issue func()
+			issue = func() {
+				for inFlight < credits && next < len(order) {
+					src := order[next]
+					next++
+					inFlight++
+					pending++
+					active[src]++
+					if active[src] > maxActive {
+						maxActive = active[src]
+					}
+					c.Net.StartFlowEff(fmt.Sprintf("pull.%d<-%d", w, src), bytes,
+						c.Spec.PullEfficiency,
+						c.PathGPUToGPU(c.GPU(src), c.GPU(w)), func(f *fabric.Flow) {
+							active[src]--
+							inFlight--
+							pending--
+							issue()
+						})
+				}
+			}
+			issue()
+		}
+		c.Engine.Run()
+		return c.Engine.Now(), maxActive, nil
+	}
+	same, sameMax, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	stag, stagMax, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{
+		Workers: 8, ExpertMiB: costmodel.ExpertBytes(h) / (1 << 20), Credits: credits,
+		SameOrderMs: same * 1e3, StaggeredMs: stag * 1e3, Speedup: same / stag,
+		SameOrderMaxPullers: sameMax, StaggeredMaxPullers: stagMax,
+	}, nil
+}
+
+func (r *Fig7Result) Render() string {
+	return fmt.Sprintf(`Figure 7 — internal expert pull schedules (1 machine, %d workers, %.1f MiB experts, C=%d)
+same order (7a):  %8.2f ms   peak pullers per source: %d
+staggered  (7b):  %8.2f ms   peak pullers per source: %d
+staggered speedup: %.2fx
+`, r.Workers, r.ExpertMiB, r.Credits,
+		r.SameOrderMs, r.SameOrderMaxPullers,
+		r.StaggeredMs, r.StaggeredMaxPullers, r.Speedup)
+}
+
+// --- Figure 9: PCIe-switch-aware stage-2 copies ------------------------------
+
+// Fig9Result compares stage-2 schedules for copying K cached external
+// experts from host memory to both GPUs of one PCIe switch: the naive
+// schedule copies every expert to each GPU over the shared PCIe lanes;
+// the switch-aware schedule has each GPU copy half over PCIe and relay
+// the other half from its peer over NVLink (Figure 8/9).
+type Fig9Result struct {
+	Experts   int
+	ExpertMiB float64
+	NaiveMs   float64
+	PairedMs  float64
+	Speedup   float64
+}
+
+// Fig9 measures both schedules on one PCIe-switch GPU pair.
+func Fig9() (*Fig9Result, error) {
+	const h = 768
+	const k = 16 // cached external experts
+	bytes := costmodel.ExpertBytes(h)
+
+	naive, err := fig9Run(h, k, false)
+	if err != nil {
+		return nil, err
+	}
+	paired, err := fig9Run(h, k, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{
+		Experts: k, ExpertMiB: bytes / (1 << 20),
+		NaiveMs: naive * 1e3, PairedMs: paired * 1e3, Speedup: naive / paired,
+	}, nil
+}
+
+func fig9Run(h, k int, paired bool) (float64, error) {
+	c, err := topology.New(topology.DefaultSpec(1))
+	if err != nil {
+		return 0, err
+	}
+	bytes := costmodel.ExpertBytes(h)
+	g0, g1 := c.GPU(0), c.GPU(1) // the pair on PCIe switch 0
+	gpus := []*topology.GPU{g0, g1}
+
+	if !paired {
+		done := engine.NewBarrier(2*k, nil)
+		for _, g := range gpus {
+			for e := 0; e < k; e++ {
+				c.Net.StartFlowEff(fmt.Sprintf("copy.e%d.%v", e, g), bytes,
+					c.Spec.MemcpyEfficiency, c.PathLocalCPUToGPU(g),
+					func(*fabric.Flow) { done.Arrive() })
+			}
+		}
+		c.Engine.Run()
+		return c.Engine.Now(), nil
+	}
+
+	// Paired: GPU i owns the experts with e%2==i; it copies those over
+	// PCIe and relays the others from its peer once the peer has them.
+	arrived := make([]map[int]*chanSignal, 2)
+	for i := range arrived {
+		arrived[i] = make(map[int]*chanSignal)
+		for e := 0; e < k; e++ {
+			arrived[i][e] = &chanSignal{}
+		}
+	}
+	for gi, g := range gpus {
+		gi, g := gi, g
+		for e := 0; e < k; e++ {
+			e := e
+			if e%2 == gi {
+				c.Net.StartFlowEff(fmt.Sprintf("pcie.e%d.%v", e, g), bytes,
+					c.Spec.MemcpyEfficiency, c.PathLocalCPUToGPU(g),
+					func(*fabric.Flow) { arrived[gi][e].fire() })
+			} else {
+				peer := 1 - gi
+				arrived[peer][e].wait(func() {
+					c.Net.StartFlowEff(fmt.Sprintf("peer.e%d.%v", e, g), bytes,
+						c.Spec.MemcpyEfficiency, c.PathGPUToGPU(gpus[peer], g),
+						func(*fabric.Flow) { arrived[gi][e].fire() })
+				})
+			}
+		}
+	}
+	c.Engine.Run()
+	return c.Engine.Now(), nil
+}
+
+// chanSignal is a tiny one-shot signal (the core package has its own,
+// unexported one; experiments only needs this microbench-local copy).
+type chanSignal struct {
+	fired   bool
+	waiters []func()
+}
+
+func (s *chanSignal) fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, f := range s.waiters {
+		f()
+	}
+	s.waiters = nil
+}
+
+func (s *chanSignal) wait(f func()) {
+	if s.fired {
+		f()
+		return
+	}
+	s.waiters = append(s.waiters, f)
+}
+
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — stage-2 copies of %d cached experts (%.1f MiB each) to a PCIe-switch pair\n",
+		r.Experts, r.ExpertMiB)
+	fmt.Fprintf(&b, "naive (PCIe only):      %8.2f ms\n", r.NaiveMs)
+	fmt.Fprintf(&b, "switch-aware (Fig. 8):  %8.2f ms\n", r.PairedMs)
+	fmt.Fprintf(&b, "speedup:                %8.2fx\n", r.Speedup)
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"janus/internal/collective"
+	"janus/internal/config"
+	"janus/internal/costmodel"
+	"janus/internal/expertcentric"
+	"janus/internal/metrics"
+	"janus/internal/topology"
+)
+
+// --- Table 1 ---------------------------------------------------------------
+
+// Table1Row is one column of the paper's Table 1.
+type Table1Row struct {
+	Model      string
+	NumExperts int
+	NumGPUs    int
+	R          float64
+	// Per-machine inter-node traffic across one iteration (fwd+bwd, all
+	// MoE blocks), GiB.
+	ECAnalyticGiB float64
+	DCAnalyticGiB float64
+	// The same quantities measured from simulated runs (MoE traffic
+	// only; the dense AllReduce share is subtracted analytically).
+	ECMeasuredGiB float64
+	DCMeasuredGiB float64
+	PaperECGiB    float64
+	PaperDCGiB    float64
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 computes analytic and measured per-machine traffic for the six
+// Table-1 scenarios.
+func Table1() (*Table1Result, error) {
+	paper := map[string][2]float64{ // model/num -> {EC, DC} GiB from Table 1
+		"MoE-BERT/16":          {6, 0.56},
+		"MoE-BERT/32":          {9, 1.69},
+		"MoE-GPT/16":           {1.5, 0.14},
+		"MoE-GPT/32":           {2.25, 0.42},
+		"MoE-TransformerXL/16": {6, 0.19},
+		"MoE-TransformerXL/32": {9, 0.56},
+	}
+	res := &Table1Result{}
+	for _, sc := range config.Table1Scenarios() {
+		model := sc.Model
+		spec := table1Spec(sc.NumGPUs)
+		n := spec.NumMachines
+		m := spec.GPUsPerNode
+		e := model.Blocks[model.MoEBlockIndices()[0]].NumExperts / sc.NumGPUs
+		blocks := float64(model.NumMoEBlocks())
+
+		ecA := 2 * costmodel.CommECForwardPerMachine(model.B, model.S, model.K, model.H, m, n) * blocks
+		dcA := 2 * costmodel.CommDCForwardPerMachine(model.H, e, m, n) * blocks
+
+		ecMeasured, dcMeasured, err := measuredMoETraffic(model, spec)
+		if err != nil {
+			return nil, err
+		}
+
+		key := fmt.Sprintf("%s/%d", model.Name, sc.NumGPUs)
+		row := Table1Row{
+			Model: model.Name, NumExperts: sc.NumGPUs, NumGPUs: sc.NumGPUs,
+			R:             model.GainR(model.MoEBlockIndices()[0], n, sc.NumGPUs),
+			ECAnalyticGiB: metrics.GiB(ecA), DCAnalyticGiB: metrics.GiB(dcA),
+			ECMeasuredGiB: metrics.GiB(ecMeasured), DCMeasuredGiB: metrics.GiB(dcMeasured),
+			PaperECGiB: paper[key][0], PaperDCGiB: paper[key][1],
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// measuredMoETraffic runs both engines with balanced gates and returns
+// per-machine MoE inter-node bytes (AllReduce subtracted analytically).
+func measuredMoETraffic(model config.Model, spec topology.Spec) (ec, dc float64, err error) {
+	arCross := allReduceCrossBytes(model, spec)
+	base, err := expertcentric.Run(expertcentric.Config{Model: model, Spec: spec, SkipMemoryCheck: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	ec = (base.InterNodeEgressBytes - arCross) / float64(spec.NumMachines)
+
+	janus, err := coreRun(coreConfig{model: model, spec: spec, topo: true, prefetch: true, skipMem: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	dc = (janus.InterNodeEgressBytes - arCross) / float64(spec.NumMachines)
+	return ec, dc, nil
+}
+
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — per-machine inter-node traffic per iteration (GiB)\n")
+	fmt.Fprintf(&b, "%-24s %5s %6s  %9s %9s  %9s %9s  %9s %9s\n",
+		"model/gpus", "R", "", "EC paper", "DC paper", "EC model", "DC model", "EC meas.", "DC meas.")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %5.2f %6s  %9.2f %9.2f  %9.2f %9.2f  %9.2f %9.2f\n",
+			fmt.Sprintf("%s/%d", row.Model, row.NumGPUs), row.R, "",
+			row.PaperECGiB, row.PaperDCGiB,
+			row.ECAnalyticGiB, row.DCAnalyticGiB,
+			row.ECMeasuredGiB, row.DCMeasuredGiB)
+	}
+	return b.String()
+}
+
+// --- Figure 3 ---------------------------------------------------------------
+
+// Fig3Row is one bar pair of Figure 3.
+type Fig3Row struct {
+	Model    string
+	NumGPUs  int
+	IterMs   float64
+	A2AMs    float64
+	A2AShare float64
+}
+
+// Fig3Result reproduces Figure 3.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3 profiles the six Table-1 configs under the expert-centric
+// paradigm with mildly skewed gates and reports the A2A share.
+func Fig3() (*Fig3Result, error) {
+	res := &Fig3Result{}
+	for _, sc := range config.Table1Scenarios() {
+		model := sc.Model
+		spec := table1Spec(sc.NumGPUs)
+		rep, err := expertcentric.Run(expertcentric.Config{
+			Model: model, Spec: spec, SkipMemoryCheck: true,
+			Assignment: skewedAssignment(model, sc.NumGPUs),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig3Row{
+			Model: model.Name, NumGPUs: sc.NumGPUs,
+			IterMs: rep.IterationTime * 1e3, A2AMs: rep.CommBlockedTime * 1e3,
+			A2AShare: rep.CommShare(),
+		})
+	}
+	return res, nil
+}
+
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3 — iteration latency and All-to-All share (expert-centric)\n")
+	fmt.Fprintf(&b, "%-24s %10s %10s %8s\n", "model/gpus", "iter(ms)", "a2a(ms)", "share")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %10.1f %10.1f %7.1f%%\n",
+			fmt.Sprintf("%s/%d", row.Model, row.NumGPUs), row.IterMs, row.A2AMs, row.A2AShare*100)
+	}
+	b.WriteString("(paper band: 38.5% - 68.4%)\n")
+	return b.String()
+}
+
+// --- §3.1 goodput -------------------------------------------------------------
+
+// GoodputResult reproduces the §3.1 stress test.
+type GoodputResult struct {
+	IntraGbps      float64 // single machine, NVLink A2A
+	InterGbps      float64 // four machines, per-machine cross-node goodput
+	Ratio          float64
+	PaperIntraGbps float64
+	PaperInterGbps float64
+}
+
+// Goodput stress-tests the All-to-All primitive like §3.1: first inside
+// one 8-GPU machine, then across four machines, reporting algorithm
+// goodput (bytes moved / wall time).
+func Goodput() (*GoodputResult, error) {
+	const perPair = 64 << 20 // 64 MiB per (src,dst) pair
+
+	// Intra-machine.
+	c1, err := topology.New(topology.DefaultSpec(1))
+	if err != nil {
+		return nil, err
+	}
+	sizes := uniform(c1.NumGPUs(), perPair)
+	collective.AllToAll(c1, c1.GPUs(), sizes, "stress.intra", nil)
+	c1.Engine.Run()
+	intraBytes := float64(c1.NumGPUs()*(c1.NumGPUs()-1)) * perPair
+	intra := metrics.Gbps(intraBytes, c1.Engine.Now())
+
+	// Inter-machine: only cross-node bytes count, per machine.
+	c4, err := topology.New(topology.DefaultSpec(4))
+	if err != nil {
+		return nil, err
+	}
+	sizes4 := uniform(c4.NumGPUs(), perPair)
+	collective.AllToAll(c4, c4.GPUs(), sizes4, "stress.inter", nil)
+	c4.Engine.Run()
+	crossPerMachine := c4.InterNodeEgressBytes() / float64(len(c4.Machines))
+	inter := metrics.Gbps(crossPerMachine, c4.Engine.Now())
+
+	return &GoodputResult{
+		IntraGbps: intra, InterGbps: inter, Ratio: intra / inter,
+		PaperIntraGbps: 1846.58, PaperInterGbps: 101.9,
+	}, nil
+}
+
+func uniform(n int, bytes float64) [][]float64 {
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			if i != j {
+				s[i][j] = bytes
+			}
+		}
+	}
+	return s
+}
+
+func (r *GoodputResult) Render() string {
+	return fmt.Sprintf(`§3.1 — All-to-All goodput stress test
+                     measured      paper
+intra-machine   %9.1f Gbps  %8.1f Gbps
+inter-machine   %9.1f Gbps  %8.1f Gbps   (per machine)
+intra/inter ratio   %6.1fx  %8.1fx
+`, r.IntraGbps, r.PaperIntraGbps, r.InterGbps, r.PaperInterGbps,
+		r.Ratio, r.PaperIntraGbps/r.PaperInterGbps)
+}

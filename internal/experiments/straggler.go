@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"janus/internal/config"
+	"janus/internal/core"
+	"janus/internal/expertcentric"
+)
+
+// StragglerRow is one noise-amplitude point of the jitter sweep.
+type StragglerRow struct {
+	Jitter       float64 // per-op slowdown drawn uniformly from [1, 1+Jitter]
+	TutelMs      float64
+	JanusMs      float64
+	TutelAddedMs float64 // wall time added over the noise-free run
+	JanusAddedMs float64
+}
+
+// StragglerResult quantifies §3.2's "less synchronization between
+// workers" claim, which the paper argues but never measures. Every
+// compute op is stretched by an independent uniform draw from
+// [1, 1+J]. Under the synchronous All-to-All, each MoE block waits for
+// the *slowest* worker, so the iteration accumulates a sum of per-block
+// maxima (≈1+J each). Data-centric workers never meet inside the model,
+// so each pays only its own average (≈1+J/2), and the iteration pays
+// one max at the final gradient sync.
+type StragglerResult struct {
+	Rows []StragglerRow
+}
+
+// Straggler sweeps the jitter amplitude on MoE-GPT/32. The metric is
+// *added wall time*: the same noise distribution costs the synchronous
+// baseline more milliseconds than Janus, because every barrier turns
+// the noise into its maximum while asynchronous workers average it.
+func Straggler() (*StragglerResult, error) {
+	model := config.MoEGPT(32)
+	spec := table1Spec(32)
+	assign := skewedAssignment(model, 32)
+
+	run := func(jitter float64) (tutel, janus float64, err error) {
+		base, err := expertcentric.Run(expertcentric.Config{
+			Model: model, Spec: spec, Assignment: assign,
+			SkipMemoryCheck: true, Jitter: jitter, JitterSeed: 7,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		rep, err := core.Run(core.Config{
+			Model: model, Spec: spec, Assignment: assign,
+			TopoAware: true, Prefetch: true, SkipMemoryCheck: true,
+			Jitter: jitter, JitterSeed: 7,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return base.IterationTime, rep.IterationTime, nil
+	}
+
+	t0, j0, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	res := &StragglerResult{}
+	for _, jit := range []float64{0, 0.25, 0.5, 1.0} {
+		t, j, err := run(jit)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, StragglerRow{
+			Jitter: jit, TutelMs: t * 1e3, JanusMs: j * 1e3,
+			TutelAddedMs: (t - t0) * 1e3, JanusAddedMs: (j - j0) * 1e3,
+		})
+	}
+	return res, nil
+}
+
+func (r *StragglerResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension — per-op compute jitter sensitivity (MoE-GPT, 32 GPUs)\n")
+	fmt.Fprintf(&b, "%8s %11s %11s %13s %13s\n",
+		"jitter", "tutel(ms)", "janus(ms)", "tutel +ms", "janus +ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7.0f%% %11.1f %11.1f %13.1f %13.1f\n",
+			row.Jitter*100, row.TutelMs, row.JanusMs, row.TutelAddedMs, row.JanusAddedMs)
+	}
+	b.WriteString("(§3.2 claim: the synchronous baseline pays the per-block maximum of the noise;\n data-centric workers only pay their own draw — less synchronization, smaller penalty)\n")
+	return b.String()
+}

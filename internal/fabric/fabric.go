@@ -1,0 +1,379 @@
+// Package fabric implements a flow-level network simulator with max-min
+// fair bandwidth sharing.
+//
+// The model is the classic fluid approximation used in flow-level
+// simulators: a Flow carries a fixed number of bytes across an ordered
+// path of directed Links; at every instant, the set of active flows is
+// assigned rates by progressive filling (max-min fairness); rates only
+// change when a flow starts or finishes, so the simulation advances in
+// O(flow events) rather than O(packets).
+//
+// Max-min fairness is the right abstraction for this repository: both
+// NVLink/NVSwitch traffic and RDMA traffic on a congestion-controlled
+// fabric converge to approximately fair shares per flow, and every
+// contention effect the Janus paper reports (egress hot-spots when all
+// workers pull from the same GPU, PCIe-switch bottlenecks, NIC sharing
+// between GPU pairs) is reproduced by fair sharing on the real link
+// graph.
+//
+// Determinism: flows and links are kept in insertion-ordered slices and
+// all iteration is over those slices, never over maps, so a given
+// sequence of StartFlow calls always produces the identical timeline.
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"janus/internal/sim"
+)
+
+// completionEps is the residual byte count below which a flow is
+// considered finished. Rates are up to ~1e12 B/s and event times carry
+// ~15 significant digits, so residuals from float cancellation are far
+// below one byte; 1e-3 bytes is a safe threshold.
+const completionEps = 1e-3
+
+// Link is a directed, fixed-capacity network resource.
+type Link struct {
+	name     string
+	capacity float64 // bytes per second
+	latency  float64 // seconds, charged once per flow traversing the link
+	class    string  // free-form label used for traffic accounting
+
+	index   int
+	carried float64 // total bytes carried (integrated)
+	busyInt float64 // ∫ allocated-rate dt, for utilization accounting
+
+	// scratch fields used during rate computation
+	nActive  int
+	residual float64
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Class returns the traffic-accounting class assigned at creation.
+func (l *Link) Class() string { return l.class }
+
+// Capacity returns the link capacity in bytes per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Latency returns the per-flow latency in seconds.
+func (l *Link) Latency() float64 { return l.latency }
+
+// CarriedBytes returns the total bytes the link has carried, integrated
+// up to the last Sync or network event.
+func (l *Link) CarriedBytes() float64 { return l.carried }
+
+// BusySeconds returns the capacity-normalised busy time: the integral of
+// allocated rate over time divided by capacity. A link saturated for 2s
+// reports 2.0 regardless of how many flows shared it.
+func (l *Link) BusySeconds() float64 {
+	if l.capacity == 0 {
+		return 0
+	}
+	return l.busyInt / l.capacity
+}
+
+// Flow is a transfer of a fixed number of bytes across a path of links.
+type Flow struct {
+	name       string
+	size       float64
+	remaining  float64
+	path       []*Link
+	rate       float64
+	eff        float64  // goodput fraction of the allocated rate
+	started    sim.Time // when StartFlow was called
+	activated  sim.Time // when the latency elapsed and bandwidth use began
+	finished   sim.Time
+	active     bool
+	done       bool
+	onComplete func(*Flow)
+	net        *Network
+}
+
+// Name returns the flow's name.
+func (f *Flow) Name() string { return f.name }
+
+// Size returns the total size in bytes.
+func (f *Flow) Size() float64 { return f.size }
+
+// Remaining returns the bytes not yet delivered (as of the last network
+// event or Sync).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the currently allocated rate in bytes per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Goodput returns the current delivery rate: allocated rate times the
+// flow's protocol efficiency.
+func (f *Flow) Goodput() float64 { return f.rate * f.eff }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// StartedAt returns the virtual time StartFlow was called.
+func (f *Flow) StartedAt() sim.Time { return f.started }
+
+// FinishedAt returns the completion time; valid only once Done.
+func (f *Flow) FinishedAt() sim.Time { return f.finished }
+
+// Network owns links and active flows and drives the fluid model.
+type Network struct {
+	eng    *sim.Engine
+	links  []*Link
+	active []*Flow // insertion-ordered; holds only activated, unfinished flows
+
+	lastAdvance sim.Time
+	nextEv      *sim.Event
+
+	// OnFlowDone, if set, is invoked for every completed flow after its
+	// own onComplete callback. Used by the metrics recorder.
+	OnFlowDone func(*Flow)
+}
+
+// NewNetwork returns an empty network bound to eng.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng}
+}
+
+// Engine returns the simulation engine the network is bound to.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Links returns all links in creation order. The slice is shared; do not
+// modify it.
+func (n *Network) Links() []*Link { return n.links }
+
+// ActiveFlows returns the number of flows currently consuming bandwidth.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
+// NewLink creates a directed link. class is a free-form label ("nvlink",
+// "nic", "pcie", ...) used by traffic accounting.
+func (n *Network) NewLink(name, class string, capacityBps, latency float64) *Link {
+	if capacityBps <= 0 {
+		panic(fmt.Sprintf("fabric: link %q capacity must be positive, got %v", name, capacityBps))
+	}
+	l := &Link{name: name, class: class, capacity: capacityBps, latency: latency, index: len(n.links)}
+	n.links = append(n.links, l)
+	return l
+}
+
+// StartFlow begins a transfer of size bytes along path. The flow first
+// waits the sum of the path's latencies, then competes for bandwidth.
+// onComplete (may be nil) fires when the last byte is delivered. A flow
+// with an empty path or zero size completes after the latency alone.
+// The returned Flow can be inspected but not cancelled (the training
+// workloads in this repository never abort transfers).
+func (n *Network) StartFlow(name string, size float64, path []*Link, onComplete func(*Flow)) *Flow {
+	return n.StartFlowEff(name, size, 1, path, onComplete)
+}
+
+// StartFlowEff is StartFlow with an explicit protocol efficiency in
+// (0, 1]: the flow's goodput is eff times its allocated max-min share,
+// while the full share stays reserved on every link it crosses. This is
+// how the model expresses transport inefficiency — a collective that
+// reaches only a fraction of line rate (e.g. NCCL All-to-All, §3.1 of
+// the Janus paper) keeps the links busy but delivers fewer bytes per
+// second. Link CarriedBytes accounts goodput (delivered bytes);
+// BusySeconds accounts the reservation.
+func (n *Network) StartFlowEff(name string, size, eff float64, path []*Link, onComplete func(*Flow)) *Flow {
+	if size < 0 || math.IsNaN(size) || math.IsInf(size, 0) {
+		panic(fmt.Sprintf("fabric: flow %q has invalid size %v", name, size))
+	}
+	if eff <= 0 || eff > 1 || math.IsNaN(eff) {
+		panic(fmt.Sprintf("fabric: flow %q has invalid efficiency %v", name, eff))
+	}
+	f := &Flow{
+		name:       name,
+		size:       size,
+		remaining:  size,
+		eff:        eff,
+		path:       path,
+		started:    n.eng.Now(),
+		onComplete: onComplete,
+		net:        n,
+	}
+	var lat float64
+	for _, l := range path {
+		lat += l.latency
+	}
+	if size <= 0 || len(path) == 0 {
+		// Pure-latency flow (control message, local no-op copy).
+		n.eng.After(lat, func() { n.finish(f) })
+		return f
+	}
+	n.eng.After(lat, func() {
+		f.active = true
+		f.activated = n.eng.Now()
+		n.advance()
+		n.active = append(n.active, f)
+		n.reallocate()
+	})
+	return f
+}
+
+// Sync integrates byte and utilization accounting up to the current
+// virtual time. Call before reading CarriedBytes/BusySeconds mid-run.
+func (n *Network) Sync() { n.advance() }
+
+// advance integrates flow progress and link accounting from lastAdvance
+// to now at the currently allocated rates.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastAdvance
+	if dt <= 0 {
+		n.lastAdvance = now
+		return
+	}
+	for _, f := range n.active {
+		moved := f.rate * f.eff * dt
+		f.remaining -= moved
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		for _, l := range f.path {
+			l.carried += moved
+			l.busyInt += f.rate * dt
+		}
+	}
+	n.lastAdvance = now
+}
+
+// reallocate recomputes max-min fair rates for all active flows by
+// progressive filling and reschedules the next completion event.
+func (n *Network) reallocate() {
+	// Reset per-link scratch state for links touched by active flows.
+	for _, f := range n.active {
+		for _, l := range f.path {
+			l.nActive = 0
+			l.residual = l.capacity
+		}
+	}
+	for _, f := range n.active {
+		f.rate = 0
+		for _, l := range f.path {
+			l.nActive++
+		}
+	}
+	unfrozen := len(n.active)
+	frozen := make([]bool, len(n.active))
+	for unfrozen > 0 {
+		// Find the bottleneck: the link with the smallest fair share
+		// among links carrying unfrozen flows. Iterating active flows'
+		// paths in order keeps the choice deterministic.
+		share := math.Inf(1)
+		var bottleneck *Link
+		for _, f := range n.active {
+			for _, l := range f.path {
+				if l.nActive == 0 {
+					continue
+				}
+				s := l.residual / float64(l.nActive)
+				if s < share {
+					share = s
+					bottleneck = l
+				}
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the
+		// bottleneck's fair share.
+		for i, f := range n.active {
+			if frozen[i] {
+				continue
+			}
+			crosses := false
+			for _, l := range f.path {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			frozen[i] = true
+			unfrozen--
+			f.rate = share
+			for _, l := range f.path {
+				l.residual -= share
+				if l.residual < 0 {
+					l.residual = 0
+				}
+				l.nActive--
+			}
+		}
+	}
+	n.scheduleNextCompletion()
+}
+
+func (n *Network) scheduleNextCompletion() {
+	if n.nextEv != nil {
+		n.eng.Cancel(n.nextEv)
+		n.nextEv = nil
+	}
+	next := math.Inf(1)
+	for _, f := range n.active {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / (f.rate * f.eff)
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		if len(n.active) > 0 {
+			// Active flows with zero rate can only happen if a link has
+			// zero residual with no sharers, which progressive filling
+			// never produces. Guard against silent deadlock anyway.
+			panic("fabric: active flows but no completion schedulable")
+		}
+		return
+	}
+	if next < 0 {
+		next = 0
+	}
+	n.nextEv = n.eng.After(next, n.onCompletionEvent)
+}
+
+func (n *Network) onCompletionEvent() {
+	n.nextEv = nil
+	n.advance()
+	// Collect finished flows in insertion order, then compact the
+	// active list.
+	var finished []*Flow
+	keep := n.active[:0]
+	for _, f := range n.active {
+		if f.remaining <= completionEps {
+			f.remaining = 0
+			finished = append(finished, f)
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	n.active = keep
+	n.reallocate()
+	for _, f := range finished {
+		n.finish(f)
+	}
+}
+
+func (n *Network) finish(f *Flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.active = false
+	f.rate = 0
+	f.finished = n.eng.Now()
+	if f.onComplete != nil {
+		f.onComplete(f)
+	}
+	if n.OnFlowDone != nil {
+		n.OnFlowDone(f)
+	}
+}

@@ -1,0 +1,192 @@
+// Package gate generates token→expert assignments.
+//
+// Both training paradigms see the gate only through its assignment
+// histogram: how many of each worker's T tokens go to each expert. The
+// actual token values never matter for communication or compute volume,
+// so synthetic assignments reproduce the workload exactly. Assignments
+// are deterministic functions of a seed, keeping every simulation
+// replayable.
+package gate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Assignment holds per-worker token counts for each expert of one MoE
+// block: Counts[w][e] tokens of worker w are routed to expert e. The
+// total per worker is T = B·S·k (each token is replicated k times, once
+// per selected expert, matching the paper's T definition).
+type Assignment struct {
+	NumWorkers int
+	NumExperts int
+	Counts     [][]int
+}
+
+// New allocates a zero assignment.
+func New(numWorkers, numExperts int) Assignment {
+	counts := make([][]int, numWorkers)
+	for w := range counts {
+		counts[w] = make([]int, numExperts)
+	}
+	return Assignment{NumWorkers: numWorkers, NumExperts: numExperts, Counts: counts}
+}
+
+// Validate checks the shape invariants.
+func (a Assignment) Validate() error {
+	if len(a.Counts) != a.NumWorkers {
+		return fmt.Errorf("gate: %d count rows, want %d", len(a.Counts), a.NumWorkers)
+	}
+	for w, row := range a.Counts {
+		if len(row) != a.NumExperts {
+			return fmt.Errorf("gate: worker %d has %d expert counts, want %d", w, len(row), a.NumExperts)
+		}
+		for e, c := range row {
+			if c < 0 {
+				return fmt.Errorf("gate: negative count at [%d][%d]", w, e)
+			}
+		}
+	}
+	return nil
+}
+
+// WorkerTokens returns the total tokens worker w emits.
+func (a Assignment) WorkerTokens(w int) int {
+	var sum int
+	for _, c := range a.Counts[w] {
+		sum += c
+	}
+	return sum
+}
+
+// ExpertLoad returns the total tokens routed to expert e across all
+// workers.
+func (a Assignment) ExpertLoad(e int) int {
+	var sum int
+	for w := range a.Counts {
+		sum += a.Counts[w][e]
+	}
+	return sum
+}
+
+// TotalTokens returns the global token count.
+func (a Assignment) TotalTokens() int {
+	var sum int
+	for w := range a.Counts {
+		sum += a.WorkerTokens(w)
+	}
+	return sum
+}
+
+// ImbalanceFactor returns max expert load over mean expert load; 1.0 is
+// perfectly balanced. The All-to-All completion time under the
+// expert-centric paradigm scales with this factor (§3.1).
+func (a Assignment) ImbalanceFactor() float64 {
+	total := a.TotalTokens()
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(a.NumExperts)
+	var max int
+	for e := 0; e < a.NumExperts; e++ {
+		if l := a.ExpertLoad(e); l > max {
+			max = l
+		}
+	}
+	return float64(max) / mean
+}
+
+// Balanced returns the uniform assignment: each worker spreads its
+// tokensPerWorker evenly over all experts (remainders round-robin from
+// a worker-dependent offset so no expert is systematically favoured).
+func Balanced(numWorkers, numExperts, tokensPerWorker int) Assignment {
+	a := New(numWorkers, numExperts)
+	base := tokensPerWorker / numExperts
+	rem := tokensPerWorker % numExperts
+	for w := 0; w < numWorkers; w++ {
+		for e := 0; e < numExperts; e++ {
+			a.Counts[w][e] = base
+		}
+		for i := 0; i < rem; i++ {
+			a.Counts[w][(w+i)%numExperts]++
+		}
+	}
+	return a
+}
+
+// Zipf returns a skewed assignment: expert popularity follows a Zipf
+// distribution with exponent s (s=0 is uniform; the paper's imbalance
+// observation [24] corresponds to s around 1), identical popularity
+// ranking across workers — which is the hard case for expert-centric
+// training, since hot experts hot-spot their host GPU. Token counts are
+// drawn per worker from the popularity weights using a deterministic
+// largest-remainder apportionment perturbed by the seeded RNG.
+func Zipf(numWorkers, numExperts, tokensPerWorker int, s float64, seed int64) Assignment {
+	if s < 0 {
+		panic("gate: negative Zipf exponent")
+	}
+	a := New(numWorkers, numExperts)
+	weights := make([]float64, numExperts)
+	var wsum float64
+	for e := range weights {
+		weights[e] = 1 / math.Pow(float64(e+1), s)
+		wsum += weights[e]
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for w := 0; w < numWorkers; w++ {
+		// Perturb weights a little per worker so workers are not clones.
+		pw := make([]float64, numExperts)
+		var psum float64
+		for e := range pw {
+			pw[e] = weights[e] * (0.9 + 0.2*rng.Float64())
+			psum += pw[e]
+		}
+		assigned := 0
+		type frac struct {
+			e int
+			f float64
+		}
+		fracs := make([]frac, numExperts)
+		for e := range pw {
+			exact := float64(tokensPerWorker) * pw[e] / psum
+			n := int(exact)
+			a.Counts[w][e] = n
+			assigned += n
+			fracs[e] = frac{e, exact - float64(n)}
+		}
+		// Largest remainders get the leftover tokens (stable order).
+		for assigned < tokensPerWorker {
+			best := 0
+			for i := 1; i < numExperts; i++ {
+				if fracs[i].f > fracs[best].f {
+					best = i
+				}
+			}
+			a.Counts[w][fracs[best].e]++
+			fracs[best].f = -1
+			assigned++
+		}
+	}
+	return a
+}
+
+// Series produces per-iteration assignments whose skew drifts over
+// time, modelling the dynamic gate behaviour FasterMoE and Tutel react
+// to. Iteration i uses a Zipf exponent interpolated between s0 and s1.
+type Series struct {
+	NumWorkers, NumExperts, TokensPerWorker int
+	S0, S1                                  float64
+	Iterations                              int
+	Seed                                    int64
+}
+
+// At returns the assignment for iteration i.
+func (sr Series) At(i int) Assignment {
+	if sr.Iterations <= 1 {
+		return Zipf(sr.NumWorkers, sr.NumExperts, sr.TokensPerWorker, sr.S0, sr.Seed)
+	}
+	frac := float64(i) / float64(sr.Iterations-1)
+	s := sr.S0 + (sr.S1-sr.S0)*frac
+	return Zipf(sr.NumWorkers, sr.NumExperts, sr.TokensPerWorker, s, sr.Seed+int64(i))
+}

@@ -1,0 +1,145 @@
+package gate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBalancedExact(t *testing.T) {
+	a := Balanced(4, 8, 64)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		if got := a.WorkerTokens(w); got != 64 {
+			t.Fatalf("worker %d tokens = %d, want 64", w, got)
+		}
+		for e := 0; e < 8; e++ {
+			if a.Counts[w][e] != 8 {
+				t.Fatalf("count[%d][%d] = %d, want 8", w, e, a.Counts[w][e])
+			}
+		}
+	}
+	if f := a.ImbalanceFactor(); f != 1 {
+		t.Fatalf("imbalance = %v, want 1", f)
+	}
+}
+
+func TestBalancedWithRemainder(t *testing.T) {
+	a := Balanced(3, 7, 100)
+	for w := 0; w < 3; w++ {
+		if got := a.WorkerTokens(w); got != 100 {
+			t.Fatalf("worker %d tokens = %d, want 100", w, got)
+		}
+	}
+	// Remainders rotate by worker, so the global load spread stays tight.
+	if f := a.ImbalanceFactor(); f > 1.05 {
+		t.Fatalf("remainder imbalance = %v, want near 1", f)
+	}
+}
+
+func TestZipfConservesTokens(t *testing.T) {
+	a := Zipf(8, 32, 1000, 1.2, 42)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 8; w++ {
+		if got := a.WorkerTokens(w); got != 1000 {
+			t.Fatalf("worker %d tokens = %d, want 1000", w, got)
+		}
+	}
+}
+
+func TestZipfSkewIncreasesImbalance(t *testing.T) {
+	flat := Zipf(8, 32, 4096, 0, 1)
+	skew := Zipf(8, 32, 4096, 1.0, 1)
+	steep := Zipf(8, 32, 4096, 2.0, 1)
+	if !(flat.ImbalanceFactor() < skew.ImbalanceFactor()) {
+		t.Fatalf("imbalance flat=%v skew=%v", flat.ImbalanceFactor(), skew.ImbalanceFactor())
+	}
+	if !(skew.ImbalanceFactor() < steep.ImbalanceFactor()) {
+		t.Fatalf("imbalance skew=%v steep=%v", skew.ImbalanceFactor(), steep.ImbalanceFactor())
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := Zipf(4, 16, 500, 1.1, 7)
+	b := Zipf(4, 16, 500, 1.1, 7)
+	for w := range a.Counts {
+		for e := range a.Counts[w] {
+			if a.Counts[w][e] != b.Counts[w][e] {
+				t.Fatal("same seed produced different assignments")
+			}
+		}
+	}
+	c := Zipf(4, 16, 500, 1.1, 8)
+	same := true
+	for w := range a.Counts {
+		for e := range a.Counts[w] {
+			if a.Counts[w][e] != c.Counts[w][e] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical assignments")
+	}
+}
+
+// Property: token conservation and non-negativity hold for arbitrary
+// shapes and skews.
+func TestZipfConservationProperty(t *testing.T) {
+	prop := func(w, e, tk uint8, s10 uint8, seed int64) bool {
+		nw := int(w%8) + 1
+		ne := int(e%32) + 1
+		tokens := int(tk)*8 + 1
+		s := float64(s10%30) / 10
+		a := Zipf(nw, ne, tokens, s, seed)
+		if a.Validate() != nil {
+			return false
+		}
+		for i := 0; i < nw; i++ {
+			if a.WorkerTokens(i) != tokens {
+				return false
+			}
+		}
+		return a.TotalTokens() == nw*tokens
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpertLoadSums(t *testing.T) {
+	a := Zipf(4, 8, 100, 1.0, 3)
+	var byExpert int
+	for e := 0; e < 8; e++ {
+		byExpert += a.ExpertLoad(e)
+	}
+	if byExpert != a.TotalTokens() {
+		t.Fatalf("expert loads sum %d != total %d", byExpert, a.TotalTokens())
+	}
+}
+
+func TestSeriesDrift(t *testing.T) {
+	sr := Series{NumWorkers: 4, NumExperts: 16, TokensPerWorker: 2048,
+		S0: 0, S1: 2, Iterations: 5, Seed: 9}
+	first := sr.At(0).ImbalanceFactor()
+	last := sr.At(4).ImbalanceFactor()
+	if !(last > first) {
+		t.Fatalf("drift did not increase imbalance: %v -> %v", first, last)
+	}
+	// Single-iteration series degenerates to S0.
+	one := Series{NumWorkers: 2, NumExperts: 4, TokensPerWorker: 64,
+		S0: 1, S1: 2, Iterations: 1, Seed: 9}
+	if one.At(0).Validate() != nil {
+		t.Fatal("degenerate series invalid")
+	}
+}
+
+func TestEmptyAssignmentImbalance(t *testing.T) {
+	a := New(2, 4)
+	if f := a.ImbalanceFactor(); f != 1 {
+		t.Fatalf("empty imbalance = %v, want 1", f)
+	}
+}

@@ -1,0 +1,212 @@
+package livecluster
+
+import (
+	"testing"
+
+	"janus/internal/moe"
+	"janus/internal/tensor"
+)
+
+func defaultCfg() Config {
+	return Config{
+		Machines: 2, WorkersPerNode: 2,
+		NumExperts: 8, TopK: 2, Hidden: 16,
+		TokensPerWorker: 12, Seed: 42, Credits: 4,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := defaultCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := defaultCfg()
+	bad.NumExperts = 7
+	if bad.Validate() == nil {
+		t.Fatal("indivisible experts accepted")
+	}
+	bad = defaultCfg()
+	bad.TopK = 99
+	if bad.Validate() == nil {
+		t.Fatal("topK out of range accepted")
+	}
+	bad = defaultCfg()
+	bad.Machines = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero machines accepted")
+	}
+	bad = defaultCfg()
+	bad.Hidden = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero hidden accepted")
+	}
+}
+
+// The headline live test: the data-centric forward over real TCP equals
+// the in-process expert-centric reference bit for bit.
+func TestLiveEquivalence(t *testing.T) {
+	cl, err := Start(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	res, err := cl.RunDataCentric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cl.RunExpertCentricReference()
+	if len(res.Outputs) != len(ref) {
+		t.Fatalf("output counts differ: %d vs %d", len(res.Outputs), len(ref))
+	}
+	for w := range ref {
+		if res.Outputs[w] == nil {
+			t.Fatalf("worker %d produced no output", w)
+		}
+		if !tensor.Equal(res.Outputs[w], ref[w]) {
+			t.Fatalf("worker %d output differs: max diff %v", w,
+				tensor.MaxAbsDiff(res.Outputs[w], ref[w]))
+		}
+	}
+}
+
+// Hierarchical fetch: each machine pulls each external expert exactly
+// once, no matter how many local workers need it.
+func TestLiveSingleFetchPerMachine(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.WorkersPerNode = 4 // more workers sharing the cache
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.RunDataCentric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 experts, 2 machines -> 4 external per machine -> 8 pulls total,
+	// assuming every expert is needed by someone on each machine (with
+	// 4 workers x 12 tokens x top-2 over 8 experts this is essentially
+	// certain; assert <= as the invariant and > 0 as liveness).
+	if res.PullsServed > 8 {
+		t.Fatalf("pulls served = %d, want <= 8 (single flight per machine)", res.PullsServed)
+	}
+	if res.PullsServed == 0 {
+		t.Fatal("no pulls at all")
+	}
+}
+
+// The live traffic comparison: expert exchange moves fewer bytes than
+// token exchange whenever R > 1 for the live shape.
+func TestLiveTrafficReduction(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.TokensPerWorker = 256 // R = T/(4nHE) = 256*2/(4*2*16*2) = 2
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.RunDataCentric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokenBytes := cl.TokenExchangeBytes()
+	if res.CrossMachineBytes >= tokenBytes {
+		t.Fatalf("expert fetch moved %d bytes, token exchange %d — no reduction",
+			res.CrossMachineBytes, tokenBytes)
+	}
+	t.Logf("live traffic: data-centric %d bytes vs expert-centric %d bytes (%.1fx reduction)",
+		res.CrossMachineBytes, tokenBytes, float64(tokenBytes)/float64(res.CrossMachineBytes))
+}
+
+// Each machine pushes exactly one (pre-reduced) gradient per external
+// expert to the owner.
+func TestLiveGradientPreReduce(t *testing.T) {
+	cl, err := Start(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.RunDataCentric(); err != nil {
+		t.Fatal(err)
+	}
+	grads := cl.GradsAccepted()
+	// 8 experts on 2 machines: machine 0 owns 0-3, machine 1 owns 4-7;
+	// each receives one gradient per owned expert from the other machine.
+	for mi, g := range grads {
+		if g != 4 {
+			t.Fatalf("machine %d accepted %d grads, want 4", mi, g)
+		}
+	}
+}
+
+func TestExpertCodecRoundTrip(t *testing.T) {
+	e := moe.NewExpert(8, 99)
+	buf := encodeExpert(e)
+	got, err := decodeExpert(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(e.W1, got.W1) || !tensor.Equal(e.W2, got.W2) {
+		t.Fatal("codec round trip mismatch")
+	}
+}
+
+func TestExpertCodecRejectsGarbage(t *testing.T) {
+	if _, err := decodeExpert(nil); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+	if _, err := decodeExpert([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	e := moe.NewExpert(4, 1)
+	buf := encodeExpert(e)
+	if _, err := decodeExpert(buf[:len(buf)-4]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestLiveDeterministicOutputs(t *testing.T) {
+	run := func() []*tensor.Matrix {
+		cl, err := Start(defaultCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		res, err := cl.RunDataCentric()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outputs
+	}
+	a, b := run(), run()
+	for w := range a {
+		if !tensor.Equal(a[w], b[w]) {
+			t.Fatal("live runs nondeterministic")
+		}
+	}
+}
+
+func TestSingleMachineNoNetwork(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.Machines = 1
+	cfg.WorkersPerNode = 4
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.RunDataCentric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossMachineBytes != 0 || res.PullsServed != 0 {
+		t.Fatalf("single machine used the network: %d bytes, %d pulls",
+			res.CrossMachineBytes, res.PullsServed)
+	}
+	ref := cl.RunExpertCentricReference()
+	for w := range ref {
+		if !tensor.Equal(res.Outputs[w], ref[w]) {
+			t.Fatal("single-machine outputs differ from reference")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package metrics aggregates simulation measurements: traffic by link
+// class, distribution summaries, and the speedup tables the paper's
+// figures report.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"janus/internal/fabric"
+)
+
+// TrafficByClass sums carried bytes over links grouped by their class
+// label ("nvlink", "nic", "pcie-gpu", "pcie-host").
+func TrafficByClass(links []*fabric.Link) map[string]float64 {
+	out := make(map[string]float64)
+	for _, l := range links {
+		out[l.Class()] += l.CarriedBytes()
+	}
+	return out
+}
+
+// Summary describes a sample distribution.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+	Sum            float64
+}
+
+// Summarize computes a Summary; an empty input returns the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(s)-1))
+		return s[idx]
+	}
+	return Summary{
+		N: len(s), Mean: sum / float64(len(s)),
+		Min: s[0], Max: s[len(s)-1],
+		P50: q(0.50), P90: q(0.90), P99: q(0.99),
+		Sum: sum,
+	}
+}
+
+// SpeedupRow is one line of a figure-style comparison.
+type SpeedupRow struct {
+	Name     string
+	Baseline float64 // e.g. Tutel iteration seconds
+	Value    float64 // e.g. Janus iteration seconds
+}
+
+// Speedup returns Baseline/Value (higher is better for the new system).
+func (r SpeedupRow) Speedup() float64 {
+	if r.Value == 0 {
+		return 0
+	}
+	return r.Baseline / r.Value
+}
+
+// FormatSpeedupTable renders rows as an aligned ASCII table.
+func FormatSpeedupTable(title string, rows []SpeedupRow, baselineLabel, valueLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	w := len("config")
+	for _, r := range rows {
+		if len(r.Name) > w {
+			w = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %8s\n", w, "config", baselineLabel, valueLabel, "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %10.1fms  %10.1fms  %7.2fx\n",
+			w, r.Name, r.Baseline*1e3, r.Value*1e3, r.Speedup())
+	}
+	return b.String()
+}
+
+// GiB converts bytes to binary gigabytes (the unit of Table 1).
+func GiB(bytes float64) float64 { return bytes / (1024 * 1024 * 1024) }
+
+// Gbps converts a bytes-and-seconds pair to gigabits per second.
+func Gbps(bytes, seconds float64) float64 {
+	if seconds == 0 {
+		return 0
+	}
+	return bytes * 8 / seconds / 1e9
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"janus/internal/fabric"
+	"janus/internal/sim"
+)
+
+func TestTrafficByClass(t *testing.T) {
+	eng := sim.NewEngine()
+	net := fabric.NewNetwork(eng)
+	nv := net.NewLink("nv", "nvlink", 100, 0)
+	nic := net.NewLink("nic", "nic", 100, 0)
+	net.StartFlow("a", 300, []*fabric.Link{nv}, nil)
+	net.StartFlow("b", 200, []*fabric.Link{nv, nic}, nil)
+	eng.Run()
+	got := TrafficByClass(net.Links())
+	if got["nvlink"] != 500 || got["nic"] != 200 {
+		t.Fatalf("traffic = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 || s.Sum != 15 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+// Property: Min <= P50 <= Max, Mean within [Min, Max], Sum consistent.
+func TestSummaryInvariantsProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			// Keep magnitudes where the sum cannot overflow; the model's
+			// samples are seconds and bytes, nowhere near float limits.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e300 {
+				clean = append(clean, math.Mod(x, 1e12))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupRow(t *testing.T) {
+	r := SpeedupRow{Name: "x", Baseline: 2, Value: 1}
+	if r.Speedup() != 2 {
+		t.Fatalf("speedup = %v", r.Speedup())
+	}
+	if (SpeedupRow{Baseline: 2}).Speedup() != 0 {
+		t.Fatal("zero value speedup should be 0")
+	}
+}
+
+func TestFormatSpeedupTable(t *testing.T) {
+	out := FormatSpeedupTable("Figure X", []SpeedupRow{
+		{Name: "MoE-BERT", Baseline: 0.5, Value: 0.25},
+	}, "tutel", "janus")
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "2.00x") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if GiB(1024*1024*1024) != 1 {
+		t.Fatal("GiB conversion wrong")
+	}
+	if g := Gbps(125e6, 1); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("Gbps = %v, want 1", g)
+	}
+	if Gbps(100, 0) != 0 {
+		t.Fatal("zero-time Gbps should be 0")
+	}
+}

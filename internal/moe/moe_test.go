@@ -1,0 +1,279 @@
+package moe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"janus/internal/tensor"
+)
+
+func workers(numWorkers, tokens, h int, seed int64) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, numWorkers)
+	for w := range out {
+		out[w] = tensor.NewRandom(tokens, h, 1, seed+int64(w))
+	}
+	return out
+}
+
+func TestExpertForwardBackwardShapes(t *testing.T) {
+	e := NewExpert(8, 1)
+	x := tensor.NewRandom(5, 8, 1, 2)
+	y, cache := e.Forward(x)
+	if y.Rows != 5 || y.Cols != 8 {
+		t.Fatalf("y shape %dx%d", y.Rows, y.Cols)
+	}
+	dy := tensor.NewRandom(5, 8, 1, 3)
+	dx, grad := e.Backward(cache, dy)
+	if dx.Rows != 5 || dx.Cols != 8 {
+		t.Fatalf("dx shape %dx%d", dx.Rows, dx.Cols)
+	}
+	if grad.DW1.Rows != 8 || grad.DW1.Cols != 32 || grad.DW2.Rows != 32 || grad.DW2.Cols != 8 {
+		t.Fatal("grad shapes wrong")
+	}
+}
+
+// Numeric gradient check of the expert FFN: perturb one weight, compare
+// loss delta against the analytic gradient. Loss = sum(Y).
+func TestExpertGradNumeric(t *testing.T) {
+	const h = 4
+	e := NewExpert(h, 7)
+	x := tensor.NewRandom(3, h, 1, 8)
+	ones := tensor.New(3, h)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	_, cache := e.Forward(x)
+	_, grad := e.Backward(cache, ones)
+
+	sumY := func(ex *Expert) float64 {
+		y, _ := ex.Forward(x)
+		var s float64
+		for _, v := range y.Data {
+			s += float64(v)
+		}
+		return s
+	}
+	const eps = 1e-3
+	for _, probe := range []struct {
+		w  *tensor.Matrix
+		dw *tensor.Matrix
+		i  int
+	}{
+		{e.W1, grad.DW1, 5},
+		{e.W2, grad.DW2, 9},
+	} {
+		orig := probe.w.Data[probe.i]
+		probe.w.Data[probe.i] = orig + eps
+		plus := sumY(e)
+		probe.w.Data[probe.i] = orig - eps
+		minus := sumY(e)
+		probe.w.Data[probe.i] = orig
+		numeric := (plus - minus) / (2 * eps)
+		analytic := float64(probe.dw.Data[probe.i])
+		if diff := numeric - analytic; diff > 1e-2 || diff < -1e-2 {
+			t.Fatalf("grad mismatch: numeric %v analytic %v", numeric, analytic)
+		}
+	}
+}
+
+func TestGateAssign(t *testing.T) {
+	g := NewGate(8, 4, 2, 1)
+	x := tensor.NewRandom(10, 8, 1, 2)
+	r := g.Assign(x)
+	if len(r.Experts) != 10 {
+		t.Fatalf("routing rows = %d", len(r.Experts))
+	}
+	for tk := range r.Experts {
+		if len(r.Experts[tk]) != 2 || len(r.Weights[tk]) != 2 {
+			t.Fatal("topK selection wrong size")
+		}
+		if r.Experts[tk][0] == r.Experts[tk][1] {
+			t.Fatal("duplicate expert selected")
+		}
+		wsum := r.Weights[tk][0] + r.Weights[tk][1]
+		if wsum < 0.999 || wsum > 1.001 {
+			t.Fatalf("combine weights sum %v", wsum)
+		}
+	}
+	counts := r.CountsPerExpert(4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20 {
+		t.Fatalf("counts total = %d, want 20", total)
+	}
+}
+
+func TestGateTopKValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("topK > numExperts did not panic")
+		}
+	}()
+	NewGate(8, 4, 5, 1)
+}
+
+// The headline equivalence test: both paradigms produce bit-identical
+// outputs and input gradients, and weight gradients equal to float32
+// reassociation tolerance (§3.2's "strictly equivalent" claim).
+func TestParadigmEquivalence(t *testing.T) {
+	const h, numExperts, topK, numWorkers, tokens = 16, 8, 2, 4, 12
+	layer := NewLayer(h, numExperts, topK, 42)
+	xs := workers(numWorkers, tokens, h, 100)
+	douts := workers(numWorkers, tokens, h, 200)
+
+	ec := layer.ForwardBackwardExpertCentric(xs, douts)
+	dc := layer.ForwardBackwardDataCentric(xs, douts, nil)
+
+	for w := range xs {
+		if !tensor.Equal(ec.Outputs[w], dc.Outputs[w]) {
+			t.Fatalf("worker %d outputs differ: max diff %v", w,
+				tensor.MaxAbsDiff(ec.Outputs[w], dc.Outputs[w]))
+		}
+		if !tensor.Equal(ec.InputGrads[w], dc.InputGrads[w]) {
+			t.Fatalf("worker %d input grads differ: max diff %v", w,
+				tensor.MaxAbsDiff(ec.InputGrads[w], dc.InputGrads[w]))
+		}
+	}
+	for e := range layer.Experts {
+		if d := tensor.MaxAbsDiff(ec.Grads[e].DW1, dc.Grads[e].DW1); d > 1e-4 {
+			t.Fatalf("expert %d dW1 diff %v", e, d)
+		}
+		if d := tensor.MaxAbsDiff(ec.Grads[e].DW2, dc.Grads[e].DW2); d > 1e-4 {
+			t.Fatalf("expert %d dW2 diff %v", e, d)
+		}
+	}
+}
+
+// Property: data-centric results are independent of the fetch order —
+// the topology-aware scheduler cannot change the math.
+func TestFetchOrderInvarianceProperty(t *testing.T) {
+	const h, numExperts, topK, numWorkers, tokens = 8, 6, 2, 3, 6
+	layer := NewLayer(h, numExperts, topK, 5)
+	xs := workers(numWorkers, tokens, h, 50)
+	douts := workers(numWorkers, tokens, h, 60)
+	base := layer.ForwardBackwardDataCentric(xs, douts, nil)
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := make([][]int, numWorkers)
+		for w := range order {
+			order[w] = rng.Perm(numExperts)
+		}
+		got := layer.ForwardBackwardDataCentric(xs, douts, order)
+		for w := range xs {
+			if !tensor.Equal(base.Outputs[w], got.Outputs[w]) {
+				return false
+			}
+			if !tensor.Equal(base.InputGrads[w], got.InputGrads[w]) {
+				return false
+			}
+		}
+		for e := range layer.Experts {
+			if !tensor.Equal(base.Grads[e].DW1, got.Grads[e].DW1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equivalence holds across random layer shapes.
+func TestParadigmEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64, h8, e8, w8, t8 uint8) bool {
+		h := (int(h8%4) + 1) * 4
+		numExperts := int(e8%6) + 2
+		topK := 1 + int(seed)&1
+		if topK > numExperts {
+			topK = numExperts
+		}
+		numWorkers := int(w8%4) + 1
+		tokens := int(t8%8) + 1
+		layer := NewLayer(h, numExperts, topK, seed)
+		xs := workers(numWorkers, tokens, h, seed+1000)
+		douts := workers(numWorkers, tokens, h, seed+2000)
+		ec := layer.ForwardBackwardExpertCentric(xs, douts)
+		dc := layer.ForwardBackwardDataCentric(xs, douts, nil)
+		for w := range xs {
+			if !tensor.Equal(ec.Outputs[w], dc.Outputs[w]) {
+				return false
+			}
+			if !tensor.Equal(ec.InputGrads[w], dc.InputGrads[w]) {
+				return false
+			}
+		}
+		for e := range layer.Experts {
+			if tensor.MaxAbsDiff(ec.Grads[e].DW1, dc.Grads[e].DW1) > 1e-3 {
+				return false
+			}
+			if tensor.MaxAbsDiff(ec.Grads[e].DW2, dc.Grads[e].DW2) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A full training step under each paradigm keeps weights in lockstep:
+// apply SGD with each paradigm's gradients and verify the updated
+// experts agree within float tolerance — the "does not affect
+// convergence" claim, one step at a time.
+func TestTrainingStepEquivalence(t *testing.T) {
+	const h, numExperts, topK, numWorkers, tokens = 8, 4, 2, 2, 8
+	mkLayer := func() *Layer { return NewLayer(h, numExperts, topK, 77) }
+	xs := workers(numWorkers, tokens, h, 300)
+	douts := workers(numWorkers, tokens, h, 400)
+
+	lec := mkLayer()
+	ec := lec.ForwardBackwardExpertCentric(xs, douts)
+	for e, ex := range lec.Experts {
+		ex.ApplySGD(ec.Grads[e], 0.01)
+	}
+
+	ldc := mkLayer()
+	dc := ldc.ForwardBackwardDataCentric(xs, douts, nil)
+	for e, ex := range ldc.Experts {
+		ex.ApplySGD(dc.Grads[e], 0.01)
+	}
+
+	for e := range lec.Experts {
+		if d := tensor.MaxAbsDiff(lec.Experts[e].W1, ldc.Experts[e].W1); d > 1e-5 {
+			t.Fatalf("expert %d W1 diverged after one step: %v", e, d)
+		}
+		if d := tensor.MaxAbsDiff(lec.Experts[e].W2, ldc.Experts[e].W2); d > 1e-5 {
+			t.Fatalf("expert %d W2 diverged after one step: %v", e, d)
+		}
+	}
+}
+
+func TestForwardOnlyMode(t *testing.T) {
+	layer := NewLayer(8, 4, 2, 9)
+	xs := workers(2, 4, 8, 10)
+	ec := layer.ForwardBackwardExpertCentric(xs, nil)
+	dc := layer.ForwardBackwardDataCentric(xs, nil, nil)
+	if ec.InputGrads != nil || dc.InputGrads != nil {
+		t.Fatal("forward-only produced grads")
+	}
+	for w := range xs {
+		if !tensor.Equal(ec.Outputs[w], dc.Outputs[w]) {
+			t.Fatal("forward-only outputs differ")
+		}
+	}
+}
+
+func TestExpertCloneIsDeep(t *testing.T) {
+	e := NewExpert(4, 1)
+	c := e.Clone()
+	c.W1.Data[0] += 1
+	if e.W1.Data[0] == c.W1.Data[0] {
+		t.Fatal("clone shares weight storage")
+	}
+}

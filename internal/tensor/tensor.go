@@ -1,0 +1,285 @@
+// Package tensor is a minimal dense float32 matrix library: just enough
+// real linear algebra to execute an MoE block's forward and backward
+// passes numerically, so the repository can *prove* (rather than assert)
+// that the expert-centric and data-centric paradigms compute identical
+// results (§3.2 and §5.1.1 of the Janus paper).
+//
+// Performance is a non-goal — correctness, determinism and zero
+// dependencies are. All operations are straightforward loops; the
+// summation order of every reduction is fixed, so results are exactly
+// reproducible.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewRandom returns a matrix filled with deterministic pseudo-random
+// values in [-scale, scale) from the given seed.
+func NewRandom(rows, cols int, scale float64, seed int64) *Matrix {
+	m := New(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = float32((rng.Float64()*2 - 1) * scale)
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyRow copies row src of from into row dst of m.
+func (m *Matrix) CopyRow(dst int, from *Matrix, src int) {
+	if m.Cols != from.Cols {
+		panic("tensor: CopyRow column mismatch")
+	}
+	copy(m.Row(dst), from.Row(src))
+}
+
+// AddInPlace accumulates other into m element-wise.
+func (m *Matrix) AddInPlace(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("tensor: AddInPlace shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+}
+
+// AddScaledRow adds scale*src (a row vector) into row dst of m.
+func (m *Matrix) AddScaledRow(dst int, src []float32, scale float32) {
+	row := m.Row(dst)
+	if len(row) != len(src) {
+		panic("tensor: AddScaledRow length mismatch")
+	}
+	for i := range row {
+		row[i] += scale * src[i]
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// MatMul returns a·b with shapes (r×k)·(k×c) → (r×c).
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b with shapes (k×r)ᵀ·(k×c) → (r×c). Used for
+// weight gradients (dW = Xᵀ·dY).
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ with shapes (r×k)·(c×k)ᵀ → (r×c). Used for
+// input gradients (dX = dY·Wᵀ).
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float32
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+	return out
+}
+
+// GeLU applies the tanh-approximation GeLU element-wise, returning a new
+// matrix.
+func GeLU(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = gelu(x)
+	}
+	return out
+}
+
+// GeLUGrad returns dx given pre-activation x and upstream gradient dy:
+// dx = dy ⊙ gelu'(x).
+func GeLUGrad(x, dy *Matrix) *Matrix {
+	if x.Rows != dy.Rows || x.Cols != dy.Cols {
+		panic("tensor: GeLUGrad shape mismatch")
+	}
+	out := New(x.Rows, x.Cols)
+	for i := range x.Data {
+		out.Data[i] = dy.Data[i] * geluPrime(x.Data[i])
+	}
+	return out
+}
+
+const (
+	sqrt2OverPi = 0.7978845608028654
+	geluC       = 0.044715
+)
+
+func gelu(x float32) float32 {
+	xf := float64(x)
+	inner := sqrt2OverPi * (xf + geluC*xf*xf*xf)
+	return float32(0.5 * xf * (1 + math.Tanh(inner)))
+}
+
+func geluPrime(x float32) float32 {
+	xf := float64(x)
+	inner := sqrt2OverPi * (xf + geluC*xf*xf*xf)
+	t := math.Tanh(inner)
+	dInner := sqrt2OverPi * (1 + 3*geluC*xf*xf)
+	return float32(0.5*(1+t) + 0.5*xf*(1-t*t)*dInner)
+}
+
+// SoftmaxRows applies a numerically-stable softmax to each row,
+// returning a new matrix.
+func SoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		orow := out.Row(r)
+		for i, v := range row {
+			e := math.Exp(float64(v - max))
+			orow[i] = float32(e)
+			sum += e
+		}
+		for i := range orow {
+			orow[i] = float32(float64(orow[i]) / sum)
+		}
+	}
+	return out
+}
+
+// TopKRow returns the indices of the k largest values of row r, in
+// descending value order with index order breaking ties (deterministic).
+func TopKRow(m *Matrix, r, k int) []int {
+	if k > m.Cols {
+		panic("tensor: TopKRow k exceeds columns")
+	}
+	row := m.Row(r)
+	idx := make([]int, 0, k)
+	taken := make([]bool, m.Cols)
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range row {
+			if taken[i] {
+				continue
+			}
+			if best < 0 || v > row[best] {
+				best = i
+			}
+		}
+		taken[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+// Equal reports whether two matrices have identical shape and
+// bit-identical contents.
+func Equal(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest element-wise absolute difference.
+// Panics on shape mismatch.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var max float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

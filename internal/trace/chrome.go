@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Durations are "X" complete events;
+// marks are "i" instant events.
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`            // microseconds
+	Dur   float64 `json:"dur,omitempty"` // microseconds
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	Scope string  `json:"s,omitempty"`
+}
+
+// ChromeJSON renders the timeline in the Chrome trace-event format so
+// it can be opened in chrome://tracing or ui.perfetto.dev. Each
+// resource becomes a thread; marks become global instant events.
+func (t *Timeline) ChromeJSON() ([]byte, error) {
+	// Stable thread ids by sorted resource name.
+	resSet := map[string]bool{}
+	for _, s := range t.Spans {
+		resSet[s.Resource] = true
+	}
+	resources := make([]string, 0, len(resSet))
+	for r := range resSet {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+	tid := make(map[string]int, len(resources))
+	for i, r := range resources {
+		tid[r] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(t.Spans)+len(t.Marks)+len(resources))
+	for i := range resources {
+		// Thread name metadata events render resource labels.
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: i + 1,
+		})
+	}
+	for _, s := range t.Spans {
+		events = append(events, chromeEvent{
+			Name: s.Name, Phase: "X",
+			TS: s.Start * 1e6, Dur: s.Duration() * 1e6,
+			PID: 1, TID: tid[s.Resource],
+		})
+	}
+	for _, m := range t.Marks {
+		events = append(events, chromeEvent{
+			Name: m.Name, Phase: "i", TS: m.At * 1e6, PID: 1, TID: 0, Scope: "g",
+		})
+	}
+	out, err := json.Marshal(events)
+	if err != nil {
+		return nil, fmt.Errorf("trace: chrome json: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpansAndMarks(t *testing.T) {
+	var tl Timeline
+	tl.AddSpan("gpu0", "attn", 0, 1)
+	tl.AddSpan("gpu0", "ffn", 1, 3)
+	tl.AddSpan("gpu1", "attn", 0, 2)
+	tl.AddMark("block0.done", 3)
+	tl.AddMark("block1.done", 5)
+
+	spans := tl.SpansOn("gpu0")
+	if len(spans) != 2 || spans[0].Name != "attn" || spans[1].Name != "ffn" {
+		t.Fatalf("gpu0 spans = %v", spans)
+	}
+	if got := tl.BusyOn("gpu0"); got != 3 {
+		t.Fatalf("busy = %v, want 3", got)
+	}
+	if got := tl.End(); got != 5 {
+		t.Fatalf("end = %v, want 5", got)
+	}
+	marks := tl.MarksNamed("block")
+	if len(marks) != 2 || marks[0].At != 3 {
+		t.Fatalf("marks = %v", marks)
+	}
+	at, ok := tl.MarkAt("block1.done")
+	if !ok || at != 5 {
+		t.Fatalf("MarkAt = %v %v", at, ok)
+	}
+	if _, ok := tl.MarkAt("nope"); ok {
+		t.Fatal("missing mark found")
+	}
+}
+
+func TestMarkAtReturnsEarliest(t *testing.T) {
+	var tl Timeline
+	tl.AddMark("x", 7)
+	tl.AddMark("x", 3)
+	at, ok := tl.MarkAt("x")
+	if !ok || at != 3 {
+		t.Fatalf("MarkAt = %v, want 3", at)
+	}
+}
+
+func TestInvalidSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reversed span did not panic")
+		}
+	}()
+	var tl Timeline
+	tl.AddSpan("gpu0", "bad", 2, 1)
+}
+
+func TestGanttRendering(t *testing.T) {
+	var tl Timeline
+	tl.AddSpan("gpu0", "attn", 0, 0.5)
+	tl.AddSpan("gpu0", "ffn", 0.5, 1.0)
+	out := tl.Gantt([]string{"gpu0"}, 20)
+	if !strings.Contains(out, "gpu0") {
+		t.Fatalf("gantt missing resource row:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "f") {
+		t.Fatalf("gantt missing span glyphs:\n%s", out)
+	}
+	if tl.Gantt(nil, 0) != "" {
+		t.Fatal("degenerate gantt not empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var tl Timeline
+	tl.AddSpan("gpu0", "op", 0, 1)
+	tl.AddMark("done", 1)
+	csv := tl.CSV()
+	if !strings.HasPrefix(csv, "resource,name,start,end\n") {
+		t.Fatalf("csv header missing:\n%s", csv)
+	}
+	if !strings.Contains(csv, "gpu0,op,") || !strings.Contains(csv, "mark,done,") {
+		t.Fatalf("csv rows missing:\n%s", csv)
+	}
+}
+
+func TestChromeJSON(t *testing.T) {
+	var tl Timeline
+	tl.AddSpan("gpu0", "attn", 0, 0.001)
+	tl.AddSpan("gpu1", "ffn", 0.001, 0.003)
+	tl.AddMark("done", 0.003)
+	out, err := tl.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(out, &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var spans, marks int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["dur"].(float64) <= 0 {
+				t.Fatal("span with no duration")
+			}
+		case "i":
+			marks++
+		}
+	}
+	if spans != 2 || marks != 1 {
+		t.Fatalf("spans=%d marks=%d", spans, marks)
+	}
+}

@@ -1,0 +1,164 @@
+// Package trainrun drives multi-iteration training simulations: the
+// paper's methodology ("we train a large number of iterations and
+// report the average statistics", §3.1) applied to either engine, with
+// a gate whose routing drifts across iterations the way real MoE gates
+// do during training.
+//
+// Each iteration is an independent deterministic simulation (expert
+// weights do not influence timing, only the gate's histogram does), so
+// a run is simply a seeded sequence of per-iteration reports plus
+// their aggregation.
+package trainrun
+
+import (
+	"fmt"
+
+	"janus/internal/config"
+	"janus/internal/core"
+	"janus/internal/engine"
+	"janus/internal/expertcentric"
+	"janus/internal/gate"
+	"janus/internal/metrics"
+	"janus/internal/topology"
+)
+
+// Engine selects which system trains.
+type Engine int
+
+const (
+	// Tutel is the expert-centric baseline.
+	Tutel Engine = iota
+	// Janus is the unified data-centric engine with all optimizations.
+	Janus
+)
+
+func (e Engine) String() string {
+	if e == Tutel {
+		return "tutel"
+	}
+	return "janus"
+}
+
+// Config describes a training run.
+type Config struct {
+	Engine     Engine
+	Model      config.Model
+	Spec       topology.Spec
+	Iterations int
+
+	// Gate drift: iteration i routes with Zipf skew interpolated from
+	// SkewStart to SkewEnd (real gates start near-uniform and
+	// specialise over training).
+	SkewStart, SkewEnd float64
+	Seed               int64
+
+	// Janus-only knobs.
+	Policy     config.Policy
+	CreditSize int
+	TopoAware  bool
+	Prefetch   bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Iterations < 1 {
+		return fmt.Errorf("trainrun: Iterations %d < 1", c.Iterations)
+	}
+	if c.SkewStart < 0 || c.SkewEnd < 0 {
+		return fmt.Errorf("trainrun: negative skew")
+	}
+	return c.Model.Validate(c.Spec.TotalGPUs())
+}
+
+// Result aggregates a run.
+type Result struct {
+	Engine     Engine
+	Iterations int
+
+	// Per-iteration series.
+	IterationTimes []float64
+	CommBlocked    []float64
+	Imbalance      []float64 // gate imbalance factor per iteration
+
+	// Aggregates.
+	Time        metrics.Summary
+	Comm        metrics.Summary
+	TotalBytes  float64 // inter-node bytes across the run
+	TokensTotal float64 // tokens processed across the run (all workers)
+}
+
+// Throughput returns tokens per second over the whole run.
+func (r Result) Throughput() float64 {
+	if r.Time.Sum == 0 {
+		return 0
+	}
+	return r.TokensTotal / r.Time.Sum
+}
+
+// Run executes the configured number of iterations and aggregates.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	workers := cfg.Spec.TotalGPUs()
+	res := Result{Engine: cfg.Engine, Iterations: cfg.Iterations}
+
+	for i := 0; i < cfg.Iterations; i++ {
+		frac := 0.0
+		if cfg.Iterations > 1 {
+			frac = float64(i) / float64(cfg.Iterations-1)
+		}
+		skew := cfg.SkewStart + (cfg.SkewEnd-cfg.SkewStart)*frac
+		seed := cfg.Seed + int64(i)*1000
+		assign := func(block int) gate.Assignment {
+			return gate.Zipf(workers, cfg.Model.Blocks[block].NumExperts,
+				int(cfg.Model.TokensPerWorker()), skew, seed+int64(block))
+		}
+		// Record the imbalance of the first MoE block as the iteration's
+		// representative gate state.
+		first := cfg.Model.MoEBlockIndices()[0]
+		res.Imbalance = append(res.Imbalance, assign(first).ImbalanceFactor())
+
+		var rep engine.Report
+		var err error
+		switch cfg.Engine {
+		case Tutel:
+			rep, err = expertcentric.Run(expertcentric.Config{
+				Model: cfg.Model, Spec: cfg.Spec, Assignment: assign,
+				SkipMemoryCheck: true,
+			})
+		case Janus:
+			rep, err = core.Run(core.Config{
+				Model: cfg.Model, Spec: cfg.Spec, Assignment: assign,
+				Policy: cfg.Policy, CreditSize: cfg.CreditSize,
+				TopoAware: cfg.TopoAware, Prefetch: cfg.Prefetch,
+				SkipMemoryCheck: true,
+			})
+		default:
+			return Result{}, fmt.Errorf("trainrun: unknown engine %d", cfg.Engine)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("trainrun: iteration %d: %w", i, err)
+		}
+		res.IterationTimes = append(res.IterationTimes, rep.IterationTime)
+		res.CommBlocked = append(res.CommBlocked, rep.CommBlockedTime)
+		res.TotalBytes += rep.InterNodeEgressBytes
+		res.TokensTotal += float64(cfg.Model.B) * float64(cfg.Model.S) * float64(workers)
+	}
+	res.Time = metrics.Summarize(res.IterationTimes)
+	res.Comm = metrics.Summarize(res.CommBlocked)
+	return res, nil
+}
+
+// Render summarises the run like the paper's averaged profiles.
+func (r Result) Render() string {
+	return fmt.Sprintf(`%s: %d iterations
+iteration time  mean %.1f ms  p50 %.1f ms  p99 %.1f ms  (min %.1f, max %.1f)
+comm-blocked    mean %.1f ms  (%.0f%% of mean iteration)
+throughput      %.2f Mtokens/s
+inter-node      %.2f GiB total
+`, r.Engine, r.Iterations,
+		r.Time.Mean*1e3, r.Time.P50*1e3, r.Time.P99*1e3, r.Time.Min*1e3, r.Time.Max*1e3,
+		r.Comm.Mean*1e3, 100*r.Comm.Mean/r.Time.Mean,
+		r.Throughput()/1e6, metrics.GiB(r.TotalBytes))
+}

@@ -1,0 +1,99 @@
+package trainrun
+
+import (
+	"strings"
+	"testing"
+
+	"janus/internal/config"
+	"janus/internal/topology"
+)
+
+func cfg(e Engine) Config {
+	return Config{
+		Engine: e, Model: config.MoEGPT(16), Spec: topology.DefaultSpec(2),
+		Iterations: 4, SkewStart: 0.1, SkewEnd: 0.8, Seed: 11,
+		TopoAware: true, Prefetch: true,
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	res, err := Run(cfg(Janus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterationTimes) != 4 || len(res.Imbalance) != 4 {
+		t.Fatalf("series lengths: %d, %d", len(res.IterationTimes), len(res.Imbalance))
+	}
+	if res.Time.Mean <= 0 || res.Throughput() <= 0 || res.TotalBytes <= 0 {
+		t.Fatalf("degenerate aggregates: %+v", res.Time)
+	}
+	if !strings.Contains(res.Render(), "janus: 4 iterations") {
+		t.Fatalf("render:\n%s", res.Render())
+	}
+}
+
+// The gate drift makes routing more imbalanced over the run; the
+// synchronous baseline's iteration times drift up with it while Janus
+// stays nearly flat (the paper's balance claim over a whole run).
+func TestDriftHurtsBaselineMore(t *testing.T) {
+	tutel, err := Run(cfg(Tutel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	janus, err := Run(cfg(Janus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tutel.Imbalance[3] > tutel.Imbalance[0]) {
+		t.Fatal("gate drift did not increase imbalance")
+	}
+	tGrow := tutel.IterationTimes[3] / tutel.IterationTimes[0]
+	jGrow := janus.IterationTimes[3] / janus.IterationTimes[0]
+	if !(tGrow > jGrow) {
+		t.Fatalf("baseline growth %.3f not above janus growth %.3f", tGrow, jGrow)
+	}
+	if !(janus.Time.Mean < tutel.Time.Mean) {
+		t.Fatal("janus not faster on average")
+	}
+	t.Logf("tutel mean %.1fms (grew %.2fx), janus mean %.1fms (grew %.2fx)",
+		tutel.Time.Mean*1e3, tGrow, janus.Time.Mean*1e3, jGrow)
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(cfg(Janus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg(Janus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IterationTimes {
+		if a.IterationTimes[i] != b.IterationTimes[i] {
+			t.Fatal("runs nondeterministic")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := cfg(Janus)
+	bad.Iterations = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	bad = cfg(Janus)
+	bad.SkewStart = -1
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+	bad = cfg(Janus)
+	bad.Model = config.MoEBERT(16)
+	bad.Spec = topology.DefaultSpec(4)
+	if _, err := Run(bad); err == nil {
+		t.Fatal("invalid partition accepted")
+	}
+	bad = cfg(Engine(99))
+	if _, err := Run(bad); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

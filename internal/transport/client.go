@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client issues pulls and gradient pushes to remote Servers. It keeps
+// one connection per peer address, pipelines requests over it, merges
+// concurrent pulls for the same expert into a single wire request
+// (the Cache-Manager single flight of §5.1.2), and bounds concurrent
+// in-flight pulls with a credit window (§5.1.1's credit-based buffer).
+type Client struct {
+	credits chan struct{}
+
+	mu       sync.Mutex
+	peers    map[string]*peerConn
+	inflight map[pullKey]*pullCall
+	closed   bool
+
+	Counters Counters
+}
+
+type pullKey struct {
+	addr string
+	id   ExpertID
+}
+
+type pullCall struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// NewClient returns a client whose pulls are bounded by the given
+// credit count (<=0 means DefaultCredits).
+func NewClient(credits int) *Client {
+	if credits <= 0 {
+		credits = DefaultCredits
+	}
+	ch := make(chan struct{}, credits)
+	for i := 0; i < credits; i++ {
+		ch <- struct{}{}
+	}
+	return &Client{
+		credits:  ch,
+		peers:    make(map[string]*peerConn),
+		inflight: make(map[pullKey]*pullCall),
+	}
+}
+
+// DefaultCredits is the default in-flight pull window.
+const DefaultCredits = 4
+
+// peerConn is one pipelined connection: a writer lock for request
+// frames and a reader goroutine dispatching responses by request id.
+type peerConn struct {
+	conn net.Conn
+	w    *bufio.Writer
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiting map[uint64]chan frame
+	err     error
+	closed  chan struct{}
+}
+
+func (c *Client) peer(addr string) (*peerConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("transport: client closed")
+	}
+	if p, ok := c.peers[addr]; ok {
+		return p, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	p := &peerConn{
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 1<<16),
+		waiting: make(map[uint64]chan frame),
+		closed:  make(chan struct{}),
+	}
+	c.peers[addr] = p
+	go p.readLoop(&c.Counters)
+	return p, nil
+}
+
+func (p *peerConn) readLoop(counters *Counters) {
+	r := bufio.NewReaderSize(p.conn, 1<<16)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			p.fail(fmt.Errorf("transport: connection lost: %w", err))
+			return
+		}
+		counters.addReceived(4 + frameHeaderBytes + len(f.payload))
+		p.mu.Lock()
+		ch, ok := p.waiting[f.reqID]
+		delete(p.waiting, f.reqID)
+		p.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+func (p *peerConn) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+		close(p.closed)
+	}
+	waiting := p.waiting
+	p.waiting = make(map[uint64]chan frame)
+	p.mu.Unlock()
+	for _, ch := range waiting {
+		close(ch)
+	}
+	p.conn.Close()
+}
+
+// roundTrip sends a request frame and waits for its response.
+func (p *peerConn) roundTrip(f frame, counters *Counters) (frame, error) {
+	ch := make(chan frame, 1)
+	p.mu.Lock()
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return frame{}, err
+	}
+	p.nextID++
+	f.reqID = p.nextID
+	p.waiting[f.reqID] = ch
+	p.mu.Unlock()
+
+	p.wmu.Lock()
+	err := writeFrame(p.w, f)
+	p.wmu.Unlock()
+	if err != nil {
+		p.fail(err)
+		return frame{}, err
+	}
+	counters.addSent(4 + frameHeaderBytes + len(f.payload))
+
+	resp, ok := <-ch
+	if !ok {
+		p.mu.Lock()
+		err := p.err
+		p.mu.Unlock()
+		if err == nil {
+			err = errors.New("transport: connection closed")
+		}
+		return frame{}, err
+	}
+	if resp.typ == msgError {
+		return frame{}, fmt.Errorf("transport: remote error: %s", resp.payload)
+	}
+	return resp, nil
+}
+
+// Pull fetches an expert's bytes from addr. Concurrent pulls of the
+// same (addr, expert) share a single wire request; every pull consumes
+// one credit while its wire request is outstanding.
+func (c *Client) Pull(addr string, id ExpertID) ([]byte, error) {
+	key := pullKey{addr, id}
+	c.mu.Lock()
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.payload, call.err
+	}
+	call := &pullCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	<-c.credits
+	call.payload, call.err = c.pullWire(addr, id)
+	c.credits <- struct{}{}
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(call.done)
+	return call.payload, call.err
+}
+
+func (c *Client) pullWire(addr string, id ExpertID) ([]byte, error) {
+	p, err := c.peer(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.roundTrip(frame{typ: msgPull, id: id}, &c.Counters)
+	if err != nil {
+		return nil, err
+	}
+	if resp.typ != msgExpert {
+		return nil, fmt.Errorf("transport: unexpected response type %#x", resp.typ)
+	}
+	return resp.payload, nil
+}
+
+// PushGradient delivers one gradient contribution to the expert's
+// owner and waits for the ack.
+func (c *Client) PushGradient(addr string, id ExpertID, payload []byte) error {
+	p, err := c.peer(addr)
+	if err != nil {
+		return err
+	}
+	resp, err := p.roundTrip(frame{typ: msgGrad, id: id, payload: payload}, &c.Counters)
+	if err != nil {
+		return err
+	}
+	if resp.typ != msgGradAck {
+		return fmt.Errorf("transport: unexpected response type %#x", resp.typ)
+	}
+	return nil
+}
+
+// Close tears down all peer connections. In-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	peers := c.peers
+	c.peers = make(map[string]*peerConn)
+	c.mu.Unlock()
+	for _, p := range peers {
+		p.fail(errors.New("transport: client closed"))
+	}
+	return nil
+}

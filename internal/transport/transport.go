@@ -1,0 +1,282 @@
+// Package transport implements the Janus pull protocol over real TCP
+// sockets: the §6 implementation split of a socket control plane and a
+// streamed data plane, reduced to one connection per peer pair (TCP
+// carries both planes here, where the paper used a socket plus an RDMA
+// queue pair — the protocol structure is identical, only the constants
+// change).
+//
+// A Server owns experts and serves two request types: PULL (return the
+// current bytes of an expert) and GRAD (accept a gradient contribution
+// for an expert). A Client maintains one connection per remote peer,
+// pipelines requests over it, merges concurrent pulls of the same
+// expert (single flight, the Cache Manager behaviour of §5.1.2), and
+// bounds its in-flight pulls with a credit window (§5.1.1).
+//
+// All exported types are safe for concurrent use.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Message types on the wire.
+const (
+	msgPull    = 0x01 // client -> server: request expert bytes
+	msgExpert  = 0x02 // server -> client: expert payload
+	msgGrad    = 0x03 // client -> server: gradient payload
+	msgGradAck = 0x04 // server -> client: gradient accepted
+	msgError   = 0x7F // server -> client: request failed
+)
+
+// maxFrameBytes bounds a frame so a corrupt length prefix cannot make
+// a reader allocate unbounded memory. Experts in this repository are at
+// most 8·1024²·4 bytes; 64 MiB leaves ample headroom.
+const maxFrameBytes = 64 << 20
+
+// ExpertID names one expert instance of one block.
+type ExpertID struct {
+	Block  uint32
+	Expert uint32
+}
+
+func (id ExpertID) String() string { return fmt.Sprintf("b%d/e%d", id.Block, id.Expert) }
+
+// frame is the unit of the wire protocol:
+//
+//	uint32 length (of everything after this field)
+//	uint8  type
+//	uint64 request id
+//	uint32 block, uint32 expert
+//	payload bytes
+type frame struct {
+	typ     byte
+	reqID   uint64
+	id      ExpertID
+	payload []byte
+}
+
+const frameHeaderBytes = 1 + 8 + 4 + 4
+
+func writeFrame(w *bufio.Writer, f frame) error {
+	if len(f.payload) > maxFrameBytes-frameHeaderBytes {
+		return fmt.Errorf("transport: frame payload %d exceeds limit", len(f.payload))
+	}
+	var hdr [4 + frameHeaderBytes]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameHeaderBytes+len(f.payload)))
+	hdr[4] = f.typ
+	binary.BigEndian.PutUint64(hdr[5:13], f.reqID)
+	binary.BigEndian.PutUint32(hdr[13:17], f.id.Block)
+	binary.BigEndian.PutUint32(hdr[17:21], f.id.Expert)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.payload) > 0 {
+		if _, err := w.Write(f.payload); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < frameHeaderBytes || n > maxFrameBytes {
+		return frame{}, fmt.Errorf("transport: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		typ:   buf[0],
+		reqID: binary.BigEndian.Uint64(buf[1:9]),
+		id: ExpertID{
+			Block:  binary.BigEndian.Uint32(buf[9:13]),
+			Expert: binary.BigEndian.Uint32(buf[13:17]),
+		},
+	}
+	if n > frameHeaderBytes {
+		f.payload = buf[frameHeaderBytes:]
+	}
+	return f, nil
+}
+
+// Store is the server-side source of truth the transport serves.
+type Store interface {
+	// ExpertBytes returns the current serialized weights of an expert,
+	// or an error if the expert is not hosted here.
+	ExpertBytes(id ExpertID) ([]byte, error)
+	// AddGradient accepts one gradient contribution for a hosted expert.
+	AddGradient(id ExpertID, payload []byte) error
+}
+
+// Counters tracks wire traffic in bytes, usable concurrently.
+type Counters struct {
+	sent, received atomic.Int64
+}
+
+// Sent returns total payload+header bytes written.
+func (c *Counters) Sent() int64 { return c.sent.Load() }
+
+// Received returns total payload+header bytes read.
+func (c *Counters) Received() int64 { return c.received.Load() }
+
+func (c *Counters) addSent(n int)     { c.sent.Add(int64(n)) }
+func (c *Counters) addReceived(n int) { c.received.Add(int64(n)) }
+
+// Server answers pull and gradient requests for the experts in a Store.
+type Server struct {
+	store Store
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	pulls    atomic.Int64
+	grads    atomic.Int64
+	Counters Counters
+}
+
+// NewServer returns a server that will answer from store once started.
+func NewServer(store Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Start begins listening on addr ("127.0.0.1:0" for an ephemeral port)
+// and serving in background goroutines. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("transport: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// PullsServed returns how many pull requests this server answered.
+func (s *Server) PullsServed() int64 { return s.pulls.Load() }
+
+// GradsAccepted returns how many gradient pushes this server accepted.
+func (s *Server) GradsAccepted() int64 { return s.grads.Load() }
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	var wmu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+
+	// Each request is handled in its own goroutine so a slow store
+	// lookup cannot head-of-line block the pipelined connection; the
+	// client matches responses by request id, so ordering is free to
+	// vary. The write path is serialised by wmu.
+	respond := func(resp frame) {
+		wmu.Lock()
+		err := writeFrame(w, resp)
+		wmu.Unlock()
+		if err != nil {
+			conn.Close() // unblocks the read loop
+			return
+		}
+		s.Counters.addSent(4 + frameHeaderBytes + len(resp.payload))
+	}
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		s.Counters.addReceived(4 + frameHeaderBytes + len(f.payload))
+		switch f.typ {
+		case msgPull:
+			s.pulls.Add(1)
+			handlers.Add(1)
+			go func(f frame) {
+				defer handlers.Done()
+				payload, err := s.store.ExpertBytes(f.id)
+				resp := frame{typ: msgExpert, reqID: f.reqID, id: f.id, payload: payload}
+				if err != nil {
+					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}
+				}
+				respond(resp)
+			}(f)
+		case msgGrad:
+			handlers.Add(1)
+			go func(f frame) {
+				defer handlers.Done()
+				err := s.store.AddGradient(f.id, f.payload)
+				resp := frame{typ: msgGradAck, reqID: f.reqID, id: f.id}
+				if err != nil {
+					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}
+				} else {
+					s.grads.Add(1)
+				}
+				respond(resp)
+			}(f)
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+// Close stops the listener and all connections, waiting for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
