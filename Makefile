@@ -1,0 +1,12 @@
+# Verify tiers. Tier 1 is the seed contract (ROADMAP.md); the race
+# tier vets and race-checks the concurrent retry/reconnect/degradation
+# code at reduced test sizes (-short skips the long experiment sweeps).
+.PHONY: verify tier1 race
+
+verify: tier1 race
+
+tier1:
+	go build ./... && go test ./...
+
+race:
+	go vet ./... && go test -race -short ./...

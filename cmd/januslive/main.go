@@ -4,12 +4,23 @@
 // pulling expert weights through the §6 protocol, and the tool verifies
 // the result against the in-process expert-centric reference and
 // reports the measured wire traffic against the token-exchange volume.
+//
+// Fault injection: -kill-machine with -kill-from/-kill-to kills one
+// machine's server for a window of steps, and -drop/-delay inject
+// probabilistic write loss and latency on every machine. With faults
+// enabled the cluster runs in stale-weights degradation mode (§5.1.2)
+// and the per-step robustness counters (retries, timeouts, reconnects,
+// stale serves, degraded steps) are printed so a fault run is
+// observable without a debugger:
+//
+//	januslive -steps 6 -kill-machine 1 -kill-from 3 -kill-to 5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"janus"
 	"janus/internal/tensor"
@@ -22,14 +33,38 @@ func main() {
 	hidden := flag.Int("hidden", 32, "hidden dimension H")
 	tokens := flag.Int("tokens", 256, "tokens per worker")
 	topk := flag.Int("topk", 2, "gate topK")
-	seed := flag.Int64("seed", 42, "weight/token seed")
+	seed := flag.Int64("seed", 42, "weight/token/fault seed")
+	steps := flag.Int("steps", 1, "training iterations to run")
+	killMachine := flag.Int("kill-machine", -1, "machine whose server to kill (-1 = none)")
+	killFrom := flag.Int("kill-from", 0, "first step (1-based) the killed server is down")
+	killTo := flag.Int("kill-to", 0, "first step the killed server is back (0 = never)")
+	drop := flag.Float64("drop", 0, "per-write drop probability on every machine")
+	delay := flag.Duration("delay", 0, "added latency per network op on every machine")
+	pullTimeout := flag.Duration("pull-timeout", 500*time.Millisecond, "per-attempt pull/push deadline under faults")
+	retries := flag.Int("retries", 3, "attempts per pull/push under faults")
 	flag.Parse()
 
+	faulted := *killMachine >= 0 || *drop > 0 || *delay > 0
 	cfg := janus.LiveConfig{
 		Machines: *machines, WorkersPerNode: *workers,
 		NumExperts: *experts, TopK: *topk, Hidden: *hidden,
 		TokensPerWorker: *tokens, Seed: *seed, Credits: 4,
 	}
+	if faulted {
+		inj := janus.NewFaultInjector(*seed)
+		if *killMachine >= 0 {
+			inj.Kill(janus.MachineLabel(*killMachine), *killFrom, *killTo)
+		}
+		if *drop > 0 || *delay > 0 {
+			inj.AddRule(janus.FaultRule{Fault: janus.Fault{DropProb: *drop, Delay: *delay}})
+		}
+		cfg.Injector = inj
+		cfg.StaleFallback = true
+		cfg.PullTimeout = *pullTimeout
+		cfg.PullRetries = *retries
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+
 	cl, err := janus.StartLiveCluster(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "januslive:", err)
@@ -37,30 +72,55 @@ func main() {
 	}
 	defer cl.Close()
 
-	res, err := cl.RunDataCentric()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "januslive:", err)
-		os.Exit(1)
+	fmt.Printf("live cluster: %d machines x %d workers, %d experts (H=%d), %d tokens/worker, topK=%d\n",
+		*machines, *workers, *experts, *hidden, *tokens, *topk)
+	if faulted {
+		fmt.Printf("fault policy: kill-machine=%d window=[%d,%d) drop=%.2f delay=%v (stale-weights fallback on)\n",
+			*killMachine, *killFrom, *killTo, *drop, *delay)
 	}
+
 	ref := cl.RunExpertCentricReference()
-	maxDiff := 0.0
-	for w := range ref {
-		if d := tensor.MaxAbsDiff(res.Outputs[w], ref[w]); d > maxDiff {
-			maxDiff = d
+	var last janus.LiveResult
+	degradedTotal := 0
+	for s := 1; s <= *steps; s++ {
+		start := time.Now()
+		res, err := cl.RunDataCentric()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "januslive: step %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		last = res
+		degradedTotal += res.DegradedSteps
+		if *steps > 1 || faulted {
+			mode := "ok"
+			if res.Degraded() {
+				mode = fmt.Sprintf("DEGRADED (stale=%d max-staleness=%d dropped-grads=%d)",
+					res.StaleFetches, res.MaxStalenessSteps, res.DroppedGrads)
+			}
+			fmt.Printf("step %2d: %6.1fms  %s  [%v]\n",
+				s, float64(time.Since(start).Microseconds())/1e3, mode, res.Robust)
 		}
 	}
 
+	maxDiff := 0.0
+	for w := range ref {
+		if d := tensor.MaxAbsDiff(last.Outputs[w], ref[w]); d > maxDiff {
+			maxDiff = d
+		}
+	}
 	tokenBytes := cl.TokenExchangeBytes()
-	fmt.Printf("live cluster: %d machines x %d workers, %d experts (H=%d), %d tokens/worker, topK=%d\n",
-		*machines, *workers, *experts, *hidden, *tokens, *topk)
 	fmt.Printf("paradigm equivalence:   max |Δ| vs expert-centric reference = %g\n", maxDiff)
-	fmt.Printf("expert pulls served:    %d (single flight per machine)\n", res.PullsServed)
+	fmt.Printf("expert pulls served:    %d (single flight per machine)\n", last.PullsServed)
 	fmt.Printf("cross-machine traffic:  data-centric %d bytes, token exchange would be %d bytes",
-		res.CrossMachineBytes, tokenBytes)
-	if res.CrossMachineBytes > 0 {
-		fmt.Printf("  (%.1fx reduction)", float64(tokenBytes)/float64(res.CrossMachineBytes))
+		last.CrossMachineBytes, tokenBytes)
+	if last.CrossMachineBytes > 0 {
+		fmt.Printf("  (%.1fx reduction)", float64(tokenBytes)/float64(last.CrossMachineBytes))
 	}
 	fmt.Println()
+	if faulted || degradedTotal > 0 {
+		fmt.Printf("robustness:             %d/%d steps degraded; cumulative %v\n",
+			degradedTotal, *steps, cl.RobustnessTotals())
+	}
 	if maxDiff != 0 {
 		fmt.Fprintln(os.Stderr, "januslive: outputs differ from reference")
 		os.Exit(1)

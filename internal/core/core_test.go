@@ -69,6 +69,9 @@ func TestTrafficMatchesCommDC(t *testing.T) {
 // three Table-1 models at 32 GPUs, and the advantage is largest for
 // Transformer-XL (R=16) — matching the paper's 1.28/1.48/1.52 ordering.
 func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	spec := topology.DefaultSpec(4)
 	speedups := map[string]float64{}
 	for _, model := range []config.Model{config.MoEBERT(32), config.MoEGPT(32), config.MoETransformerXL(32)} {
@@ -186,6 +189,9 @@ func TestNoOOMWhereTutelOOMs(t *testing.T) {
 // Figure 17 shape: on PR-MoE, the unified engine (conservative policy)
 // is at least as fast as both pure paradigms at both cluster scales.
 func TestFig17UnifiedWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	cases := []struct {
 		name     string
 		model    config.Model

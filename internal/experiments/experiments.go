@@ -41,6 +41,7 @@ func Registry() []Experiment {
 		{"fig16", "Figure 16: sequence-length sensitivity (incl. OOM)", func() (Result, error) { return Fig16() }},
 		{"fig17", "Figure 17: unified paradigm on PR-MoE", func() (Result, error) { return Fig17() }},
 		{"straggler", "Extension: straggler sensitivity under both paradigms (§3.2 claim)", func() (Result, error) { return Straggler() }},
+		{"faultsweep", "Extension: injected machine failure — data-centric degradation vs synchronous stall (§5.1/§6)", func() (Result, error) { return FaultSweep() }},
 	}
 }
 

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler"}
+	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry ids = %v", got)
@@ -28,6 +28,9 @@ func TestRegistryComplete(t *testing.T) {
 // Table 1: analytic numbers must match the paper to its printed
 // precision, and measured numbers must match the analytic closed form.
 func TestTable1MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Table1()
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +65,9 @@ func rel(a, b float64) float64 {
 }
 
 func TestFig3SharesInBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Fig3()
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +135,9 @@ func TestFig9PairedWins(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Fig12()
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +159,9 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Overlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Fig13()
 	if err != nil {
 		t.Fatal(err)
@@ -171,6 +183,9 @@ func TestFig13Overlap(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Fig14()
 	if err != nil {
 		t.Fatal(err)
@@ -184,6 +199,9 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestFig15BatchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Fig15()
 	if err != nil {
 		t.Fatal(err)
@@ -210,6 +228,9 @@ func TestFig15BatchShape(t *testing.T) {
 }
 
 func TestFig16SeqShapeAndOOM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Fig16()
 	if err != nil {
 		t.Fatal(err)
@@ -235,6 +256,9 @@ func TestFig16SeqShapeAndOOM(t *testing.T) {
 }
 
 func TestFig17UnifiedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Fig17()
 	if err != nil {
 		t.Fatal(err)
@@ -256,6 +280,9 @@ func TestFig17UnifiedShape(t *testing.T) {
 // baseline strictly more than Janus (the §3.2 async claim), and the
 // penalty must grow with the amplitude.
 func TestStragglerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	res, err := Straggler()
 	if err != nil {
 		t.Fatal(err)
@@ -269,6 +296,41 @@ func TestStragglerShape(t *testing.T) {
 		if res.Rows[i].TutelAddedMs < res.Rows[i-1].TutelAddedMs-0.5 {
 			t.Fatal("tutel jitter cost not monotone")
 		}
+	}
+	t.Log("\n" + res.Render())
+}
+
+// The fault sweep degrades exactly inside the kill window and recovers
+// after it — never aborting a step.
+func TestFaultSweepDegradationWindow(t *testing.T) {
+	res, err := FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		inWindow := row.Step >= res.KillFrom && row.Step < res.KillTo
+		if row.Degraded != inWindow {
+			t.Errorf("step %d: degraded=%v, want %v", row.Step, row.Degraded, inWindow)
+		}
+		if inWindow {
+			if row.StaleFetches == 0 {
+				t.Errorf("step %d: no stale fetches during outage", row.Step)
+			}
+			if row.Retries == 0 {
+				t.Errorf("step %d: no retries during outage", row.Step)
+			}
+		} else if row.StaleFetches != 0 || row.DroppedGrads != 0 {
+			t.Errorf("step %d: degradation outside the kill window: %+v", row.Step, row)
+		}
+	}
+	if res.DegradedSteps != res.ECStalledSteps {
+		t.Errorf("degraded %d steps but EC would stall %d", res.DegradedSteps, res.ECStalledSteps)
+	}
+	if !strings.Contains(res.Render(), "STALLED") {
+		t.Error("render missing the expert-centric stall verdict")
 	}
 	t.Log("\n" + res.Render())
 }

@@ -32,6 +32,9 @@ func run(t *testing.T, cfg Config) (rep struct {
 }
 
 func TestRunCompletesBERT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	cfg := Config{Model: config.MoEBERT(32), Spec: topology.DefaultSpec(4)}
 	r := run(t, cfg)
 	if r.OOM {
@@ -68,6 +71,9 @@ func TestTrafficMatchesClosedForm(t *testing.T) {
 }
 
 func TestEgressBalancedAcrossMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	r := run(t, Config{Model: config.MoEBERT(32), Spec: topology.DefaultSpec(4)})
 	mean := 0.0
 	for _, e := range r.PerMachineEgress {
@@ -98,6 +104,9 @@ func TestImbalanceSlowsIteration(t *testing.T) {
 }
 
 func TestHierarchicalNotSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	spec := topology.DefaultSpec(4)
 	model := config.MoETransformerXL(32)
 	flat := run(t, Config{Model: model, Spec: spec})
@@ -131,6 +140,9 @@ func TestFig16OOM(t *testing.T) {
 }
 
 func TestSkipMemoryCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	model := config.MoEBERT(32)
 	model.S = 512
 	model.K = 4
@@ -185,6 +197,9 @@ func TestInvalidModelRejected(t *testing.T) {
 // The Figure 3 shape: across the Table 1 configs, the A2A share of
 // iteration time lands in the paper's reported 35-70% band.
 func TestFig3ShareBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size simulation sweep; skipped under -short")
+	}
 	for _, sc := range config.Table1Scenarios() {
 		spec := topology.DefaultSpec(sc.NumGPUs / 8)
 		model := sc.Model

@@ -1,0 +1,281 @@
+// Package faultinject provides deterministic, policy-driven network
+// fault injection for the live transport stack. An Injector wraps
+// net.Conn and net.Listener values with a label (e.g. "m1" for machine
+// 1's server); rules match labels and an iteration-step window and
+// inject delays, silent drops, corruption, mid-frame resets, or a full
+// kill of the endpoint. All randomness comes from one seeded generator,
+// so a failure scenario ("kill machine 2's server between step 3 and
+// 5, drop the first ack of machine 0") replays identically run after
+// run — which is what lets the fault-tolerance tests assert exact
+// degradation behaviour instead of flakily observing it.
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault describes what an active rule does to matched operations.
+type Fault struct {
+	// Delay is added before every matched Read and Write.
+	Delay time.Duration
+	// DropProb silently discards a Write: the caller sees success but
+	// no bytes reach the peer (the response then times out upstream).
+	DropProb float64
+	// CorruptProb XORs the first byte of a Write with 0xFF. On a frame
+	// boundary this lands in the length prefix, which the transport's
+	// bounded reader rejects — exercising the corrupt-frame path.
+	CorruptProb float64
+	// ResetProb writes half the buffer and then closes the connection:
+	// the peer observes a mid-frame connection reset.
+	ResetProb float64
+	// Kill refuses all traffic for the labelled endpoint while active:
+	// reads and writes fail immediately and freshly accepted
+	// connections are closed before serving, as if the process died.
+	Kill bool
+}
+
+// Rule activates a Fault for one labelled endpoint over a step window.
+type Rule struct {
+	// Label selects which wrapped endpoint the rule applies to; ""
+	// matches every endpoint.
+	Label string
+	// FromStep is the first step (inclusive) the rule is active.
+	// Steps are advanced by the harness via SetStep; step 0 (the
+	// default before any SetStep call) matches FromStep 0.
+	FromStep int
+	// ToStep is the first step the rule is inactive again; <=0 means
+	// the rule never expires.
+	ToStep int
+	// Times bounds how many faults the rule may inject (drops,
+	// corruptions, resets, kill refusals); <=0 means unlimited.
+	// Delays do not consume the budget.
+	Times int
+	Fault Fault
+}
+
+// Injector owns the rule set, the deterministic RNG, and the current
+// step. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*ruleState
+	step  int
+}
+
+type ruleState struct {
+	Rule
+	remaining int // Times budget left; -1 = unlimited
+}
+
+// New returns an injector whose probabilistic decisions derive from
+// seed alone.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// AddRule installs a rule. Rules are evaluated in insertion order and
+// all matching active rules apply (delays accumulate; the first rule
+// that triggers a drop/corrupt/reset/kill decides the fate of the op).
+func (in *Injector) AddRule(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	rs := &ruleState{Rule: r, remaining: -1}
+	if r.Times > 0 {
+		rs.remaining = r.Times
+	}
+	in.rules = append(in.rules, rs)
+}
+
+// Kill is sugar for the headline scenario: the endpoint labelled label
+// is dead from step from (inclusive) until step to (exclusive; <=0 =
+// forever).
+func (in *Injector) Kill(label string, from, to int) {
+	in.AddRule(Rule{Label: label, FromStep: from, ToStep: to, Fault: Fault{Kill: true}})
+}
+
+// SetStep advances the harness's iteration counter; rules gate on it.
+func (in *Injector) SetStep(step int) {
+	in.mu.Lock()
+	in.step = step
+	in.mu.Unlock()
+}
+
+// Step returns the current iteration counter.
+func (in *Injector) Step() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.step
+}
+
+func (rs *ruleState) active(label string, step int) bool {
+	if rs.Label != "" && rs.Label != label {
+		return false
+	}
+	if step < rs.FromStep {
+		return false
+	}
+	if rs.ToStep > 0 && step >= rs.ToStep {
+		return false
+	}
+	return true
+}
+
+// decision is the merged outcome of all active rules for one operation.
+type decision struct {
+	delay   time.Duration
+	kill    bool
+	drop    bool
+	corrupt bool
+	reset   bool
+}
+
+// decide rolls the dice for one Read (write=false) or Write
+// (write=true) on the labelled endpoint.
+func (in *Injector) decide(label string, write bool) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var d decision
+	for _, rs := range in.rules {
+		if !rs.active(label, in.step) {
+			continue
+		}
+		d.delay += rs.Fault.Delay
+		if d.kill || d.drop || d.corrupt || d.reset {
+			continue // fate already decided by an earlier rule
+		}
+		if rs.Fault.Kill {
+			if rs.consume() {
+				d.kill = true
+			}
+			continue
+		}
+		if !write {
+			continue // drop/corrupt/reset are write-side faults
+		}
+		switch {
+		case rs.Fault.DropProb > 0 && in.rng.Float64() < rs.Fault.DropProb:
+			if rs.consume() {
+				d.drop = true
+			}
+		case rs.Fault.CorruptProb > 0 && in.rng.Float64() < rs.Fault.CorruptProb:
+			if rs.consume() {
+				d.corrupt = true
+			}
+		case rs.Fault.ResetProb > 0 && in.rng.Float64() < rs.Fault.ResetProb:
+			if rs.consume() {
+				d.reset = true
+			}
+		}
+	}
+	return d
+}
+
+func (rs *ruleState) consume() bool {
+	if rs.remaining == 0 {
+		return false
+	}
+	if rs.remaining > 0 {
+		rs.remaining--
+	}
+	return true
+}
+
+// killActive reports whether a kill rule currently covers label,
+// without consuming any budget (used by the listener wrapper).
+func (in *Injector) killActive(label string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		if rs.active(label, in.step) && rs.Fault.Kill && rs.remaining != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WrapConn returns conn with this injector's faults applied under the
+// given endpoint label.
+func (in *Injector) WrapConn(conn net.Conn, label string) net.Conn {
+	return &faultConn{Conn: conn, in: in, label: label}
+}
+
+// WrapListener returns ln with accepted connections wrapped under
+// label. While a kill rule covers the label, accepted connections are
+// closed immediately (the TCP handshake may still succeed — exactly
+// like a process that died after the kernel accepted the connection).
+func (in *Injector) WrapListener(ln net.Listener, label string) net.Listener {
+	return &faultListener{Listener: ln, in: in, label: label}
+}
+
+type faultListener struct {
+	net.Listener
+	in    *Injector
+	label string
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.in.killActive(l.label) {
+			conn.Close()
+			continue
+		}
+		return l.in.WrapConn(conn, l.label), nil
+	}
+}
+
+type faultConn struct {
+	net.Conn
+	in    *Injector
+	label string
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	d := c.in.decide(c.label, false)
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.kill {
+		c.Conn.Close()
+		return 0, errors.Join(ErrInjected, errors.New("endpoint killed"))
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	d := c.in.decide(c.label, true)
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	switch {
+	case d.kill:
+		c.Conn.Close()
+		return 0, errors.Join(ErrInjected, errors.New("endpoint killed"))
+	case d.drop:
+		return len(b), nil // silently lost
+	case d.corrupt:
+		buf := make([]byte, len(b))
+		copy(buf, b)
+		if len(buf) > 0 {
+			buf[0] ^= 0xFF
+		}
+		return c.Conn.Write(buf)
+	case d.reset:
+		if half := len(b) / 2; half > 0 {
+			c.Conn.Write(b[:half])
+		}
+		c.Conn.Close()
+		return 0, errors.Join(ErrInjected, errors.New("connection reset mid-frame"))
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,192 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a loopback TCP connection, the first one
+// wrapped by the injector under label.
+func tcpPair(t *testing.T, in *Injector, label string) (wrapped, peer net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { dialed.Close(); r.c.Close() })
+	return in.WrapConn(dialed, label), r.c
+}
+
+// readN reads exactly n bytes from c with a deadline.
+func readN(t *testing.T, c net.Conn, n int) []byte {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return buf
+}
+
+func TestDropBudgetIsConsumed(t *testing.T) {
+	in := New(1)
+	in.AddRule(Rule{Label: "a", Times: 2, Fault: Fault{DropProb: 1}})
+	w, r := tcpPair(t, in, "a")
+	for i := 0; i < 3; i++ {
+		if _, err := w.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// Only the third write survives the two-drop budget.
+	got := readN(t, r, 1)
+	if got[0] != 2 {
+		t.Fatalf("peer saw byte %d, want 2 (first two writes dropped)", got[0])
+	}
+}
+
+func TestCorruptFlipsFirstByte(t *testing.T) {
+	in := New(1)
+	in.AddRule(Rule{Times: 1, Fault: Fault{CorruptProb: 1}})
+	w, r := tcpPair(t, in, "x")
+	if _, err := w.Write([]byte{0x00, 0x42}); err != nil {
+		t.Fatal(err)
+	}
+	got := readN(t, r, 2)
+	if !bytes.Equal(got, []byte{0xFF, 0x42}) {
+		t.Fatalf("peer saw % x, want ff 42", got)
+	}
+	// Budget consumed: the next write passes clean.
+	if _, err := w.Write([]byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readN(t, r, 1); got[0] != 0x01 {
+		t.Fatalf("second write corrupted: %x", got[0])
+	}
+}
+
+func TestResetClosesMidWrite(t *testing.T) {
+	in := New(1)
+	in.AddRule(Rule{Times: 1, Fault: Fault{ResetProb: 1}})
+	w, r := tcpPair(t, in, "x")
+	payload := bytes.Repeat([]byte{7}, 64)
+	if _, err := w.Write(payload); err == nil {
+		t.Fatal("reset write reported success")
+	}
+	// The peer sees exactly half the bytes, then EOF.
+	got := readN(t, r, len(payload)/2)
+	if len(got) != len(payload)/2 {
+		t.Fatalf("peer saw %d bytes", len(got))
+	}
+	r.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := r.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after reset")
+	}
+}
+
+func TestKillWindowGatesOnStep(t *testing.T) {
+	in := New(1)
+	in.Kill("srv", 2, 4)
+	w, _ := tcpPair(t, in, "srv")
+
+	// Step 1: healthy.
+	if _, err := w.Write([]byte{1}); err != nil {
+		t.Fatalf("write before window: %v", err)
+	}
+	// Steps 2 and 3: dead.
+	in.SetStep(2)
+	if _, err := w.Write([]byte{2}); err == nil {
+		t.Fatal("write inside kill window succeeded")
+	}
+	// Step 4: alive again, but the old conn was closed by the kill — a
+	// fresh pair works.
+	in.SetStep(4)
+	w2, r2 := tcpPair(t, in, "srv")
+	if _, err := w2.Write([]byte{4}); err != nil {
+		t.Fatalf("write after window: %v", err)
+	}
+	if got := readN(t, r2, 1); got[0] != 4 {
+		t.Fatalf("peer saw %d", got[0])
+	}
+}
+
+func TestKilledListenerRefusesAccepts(t *testing.T) {
+	in := New(1)
+	in.Kill("srv", 0, 0) // forever
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.WrapListener(base, "srv")
+	defer ln.Close()
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Skip("kernel refused the handshake outright — also a kill")
+	}
+	defer conn.Close()
+	// The accepted conn must be closed by the wrapper: reads end fast.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("killed server answered")
+	}
+}
+
+func TestDelayIsApplied(t *testing.T) {
+	in := New(1)
+	in.AddRule(Rule{Fault: Fault{Delay: 30 * time.Millisecond}})
+	w, r := tcpPair(t, in, "x")
+	go io.Copy(io.Discard, r)
+	start := time.Now()
+	if _, err := w.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write took %v, want >= 30ms", d)
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	run := func() []bool {
+		in := New(99)
+		in.AddRule(Rule{Fault: Fault{DropProb: 0.5}})
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			d := in.decide("x", true)
+			outcomes = append(outcomes, d.drop)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identically seeded runs", i)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package livecluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"janus/internal/faultinject"
+	"janus/internal/tensor"
+)
+
+// faultCfg tunes the retry budget for test speed: failures against a
+// killed server surface as fast connection errors, so the timeout only
+// bounds the rare hung-write case.
+func faultCfg(inj *faultinject.Injector) Config {
+	cfg := defaultCfg()
+	cfg.Injector = inj
+	cfg.StaleFallback = true
+	cfg.PullTimeout = 300 * time.Millisecond
+	cfg.PullRetries = 2
+	cfg.RetryBackoff = 2 * time.Millisecond
+	return cfg
+}
+
+func finite(m *tensor.Matrix) bool {
+	for _, v := range m.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// The acceptance scenario: machine 1's server is killed for steps 2-3.
+// The cluster must complete those iterations in stale-weights mode
+// (degraded, finite outputs) and recover to clean iterations when the
+// server returns at step 4.
+func TestKillServerStaleFallbackAndRecovery(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.Kill(MachineLabel(1), 2, 4)
+	cl, err := Start(faultCfg(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ref := cl.RunExpertCentricReference()
+
+	check := func(step int, wantDegraded bool) Result {
+		t.Helper()
+		res, err := cl.RunDataCentric()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if got := res.DegradedSteps > 0; got != wantDegraded {
+			t.Fatalf("step %d: degraded=%v, want %v (robust: %v)", step, got, wantDegraded, res.Robust)
+		}
+		for w, out := range res.Outputs {
+			if out == nil {
+				t.Fatalf("step %d: worker %d produced no output", step, w)
+			}
+			if !finite(out) {
+				t.Fatalf("step %d: worker %d output not finite", step, w)
+			}
+			// Weights never change in this harness, so even stale-mode
+			// outputs must match the reference exactly.
+			if !tensor.Equal(out, ref[w]) {
+				t.Fatalf("step %d: worker %d output differs from reference", step, w)
+			}
+		}
+		return res
+	}
+
+	// Step 1: healthy — warms every machine's durable expert cache.
+	res := check(1, false)
+	if res.StaleFetches != 0 || res.Robust.Retries != 0 {
+		t.Fatalf("healthy step reported faults: %+v", res.Robust)
+	}
+
+	// Steps 2-3: machine 1 dead. Machine 0 serves its externals stale.
+	res = check(2, true)
+	if res.StaleFetches == 0 {
+		t.Fatal("no stale fetches during outage")
+	}
+	if res.Robust.Retries == 0 {
+		t.Fatal("no retries during outage")
+	}
+	res = check(3, true)
+	if res.MaxStalenessSteps < 2 {
+		t.Fatalf("staleness = %d at step 3, want >= 2 (cache from step 1)", res.MaxStalenessSteps)
+	}
+
+	// Step 4: server back. Fresh pulls, zero degraded steps.
+	res = check(4, false)
+	if res.StaleFetches != 0 || res.DroppedGrads != 0 {
+		t.Fatalf("post-recovery step still degraded: %+v", res)
+	}
+	if res.Robust.Reconnects == 0 {
+		t.Fatal("recovery did not reconnect to the restored server")
+	}
+}
+
+// Without StaleFallback the same outage is a hard error — the previous
+// fail-fast contract is preserved for callers that want it.
+func TestKillWithoutFallbackFails(t *testing.T) {
+	inj := faultinject.New(2)
+	inj.Kill(MachineLabel(1), 1, 0)
+	cfg := faultCfg(inj)
+	cfg.StaleFallback = false
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.RunDataCentric(); err == nil {
+		t.Fatal("iteration against a dead owner succeeded without fallback")
+	}
+}
+
+// A cold outage (no warmed cache) cannot degrade gracefully: the error
+// must surface rather than fabricating weights.
+func TestColdOutageStillErrors(t *testing.T) {
+	inj := faultinject.New(3)
+	inj.Kill(MachineLabel(1), 1, 0) // dead from the very first step
+	cl, err := Start(faultCfg(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.RunDataCentric(); err == nil {
+		t.Fatal("iteration succeeded with no cached copy of a dead owner's experts")
+	}
+}
+
+// Dropped-write faults (lost acks) must not double-apply gradients:
+// each machine still registers exactly one gradient per external
+// expert thanks to the retransmission tokens.
+func TestLostAcksDoNotDoubleApplyGrads(t *testing.T) {
+	inj := faultinject.New(4)
+	// Drop a handful of server writes across the run; retries recover.
+	inj.AddRule(faultinject.Rule{Label: MachineLabel(0), Times: 2, Fault: faultinject.Fault{DropProb: 0.2}})
+	inj.AddRule(faultinject.Rule{Label: MachineLabel(1), Times: 2, Fault: faultinject.Fault{DropProb: 0.2}})
+	cfg := faultCfg(inj)
+	cfg.PullTimeout = 150 * time.Millisecond
+	cfg.PullRetries = 4
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.RunDataCentric(); err != nil {
+		t.Fatal(err)
+	}
+	for m, s := range cl.stores {
+		s.mu.Lock()
+		for id, n := range s.grads {
+			if n != 1 {
+				t.Errorf("machine %d: expert %v gradient applied %d times, want 1", m, id, n)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Fault runs are reproducible: the same seed and policy produce the
+// same degradation profile.
+func TestFaultRunDeterministicDegradation(t *testing.T) {
+	run := func() (int, int64) {
+		inj := faultinject.New(7)
+		inj.Kill(MachineLabel(1), 2, 3)
+		cl, err := Start(faultCfg(inj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		degraded, stale := 0, int64(0)
+		for s := 0; s < 3; s++ {
+			res, err := cl.RunDataCentric()
+			if err != nil {
+				t.Fatal(err)
+			}
+			degraded += res.DegradedSteps
+			stale += res.StaleFetches
+		}
+		return degraded, stale
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("degradation profile not reproducible: (%d,%d) vs (%d,%d)", d1, s1, d2, s2)
+	}
+	if d1 != 1 {
+		t.Fatalf("degraded steps = %d, want exactly 1 (the kill window)", d1)
+	}
+}

@@ -17,11 +17,16 @@
 package livecluster
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"net"
 	"sync"
+	"time"
 
+	"janus/internal/faultinject"
+	"janus/internal/metrics"
 	"janus/internal/moe"
 	"janus/internal/tensor"
 	"janus/internal/transport"
@@ -37,7 +42,32 @@ type Config struct {
 	TokensPerWorker int
 	Seed            int64
 	Credits         int // client in-flight pull window
+
+	// Robustness knobs (all optional; zero values give the previous
+	// fail-fast behaviour with the transport's default retry budget).
+
+	// Injector, when set, wraps every machine's listener and every
+	// client dial so failure scenarios can be injected; machine m's
+	// endpoints carry the label MachineLabel(m).
+	Injector *faultinject.Injector
+	// PullTimeout bounds each pull/push attempt (0 = transport default).
+	PullTimeout time.Duration
+	// PullRetries is the attempt budget per pull/push (0 = transport
+	// default).
+	PullRetries int
+	// RetryBackoff is the base retry delay (0 = transport default).
+	RetryBackoff time.Duration
+	// StaleFallback enables §5.1.2-style graceful degradation: when an
+	// expert's owner stays unreachable past the retry budget, serve the
+	// last locally cached version of that expert instead of aborting
+	// the iteration, and drop (rather than fail on) unreachable
+	// gradient pushes. Recovery is automatic: the next iteration
+	// re-pulls from the owner and refreshes the cache.
+	StaleFallback bool
 }
+
+// MachineLabel is the fault-injection label of machine m's endpoints.
+func MachineLabel(m int) string { return fmt.Sprintf("m%d", m) }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
@@ -69,6 +99,33 @@ type Result struct {
 	CrossMachineBytes int64
 	// PullsServed is the total pull requests served by all machines.
 	PullsServed int64
+
+	// DegradedSteps is 1 if this iteration completed in degraded mode
+	// (at least one expert served stale or gradient push dropped),
+	// 0 otherwise.
+	DegradedSteps int
+	// StaleFetches counts experts served from a machine's last-known
+	// local copy because the owner stayed unreachable.
+	StaleFetches int64
+	// MaxStalenessSteps is the largest age, in iterations, of a stale
+	// expert served this iteration (0 when nothing was stale).
+	MaxStalenessSteps int
+	// DroppedGrads counts gradient pushes abandoned because the owner
+	// stayed unreachable past the retry budget.
+	DroppedGrads int64
+	// Robust aggregates the client-side retry/timeout/reconnect events
+	// of this iteration (deltas, summed over all machines' clients).
+	Robust metrics.RobustnessSnapshot
+}
+
+// Degraded reports whether the iteration used any fallback path.
+func (r Result) Degraded() bool { return r.DegradedSteps > 0 }
+
+// staleEntry is one machine's last successfully fetched copy of an
+// external expert, with the step of that fetch.
+type staleEntry struct {
+	ex   *moe.Expert
+	step int
 }
 
 // Cluster is a running live deployment.
@@ -79,6 +136,12 @@ type Cluster struct {
 	stores  []*machineStore
 	addrs   []string
 	clients []*transport.Client // one per machine (the Inter-Node Scheduler's)
+
+	step          int // iterations started (advances the injector's clock)
+	degradedTotal int // iterations completed in degraded mode
+
+	staleMu sync.Mutex
+	stale   []map[int]*staleEntry // per machine: expert -> last good copy
 }
 
 // machineStore hosts the experts owned by one machine's workers and
@@ -178,7 +241,7 @@ func Start(cfg Config) (*Cluster, error) {
 			store.experts[transport.ExpertID{Expert: uint32(e)}] = layer.Experts[e]
 		}
 		srv := transport.NewServer(store)
-		addr, err := srv.Start("127.0.0.1:0")
+		addr, err := cl.startServer(srv, m)
 		if err != nil {
 			cl.Close()
 			return nil, err
@@ -186,9 +249,52 @@ func Start(cfg Config) (*Cluster, error) {
 		cl.stores = append(cl.stores, store)
 		cl.servers = append(cl.servers, srv)
 		cl.addrs = append(cl.addrs, addr)
-		cl.clients = append(cl.clients, transport.NewClient(cfg.Credits))
+		cl.clients = append(cl.clients, cl.newClient(m))
+		cl.stale = append(cl.stale, make(map[int]*staleEntry))
 	}
 	return cl, nil
+}
+
+// startServer brings up machine m's pull server, routing through the
+// fault injector when one is configured.
+func (cl *Cluster) startServer(srv *transport.Server, m int) (string, error) {
+	if cl.cfg.Injector == nil {
+		return srv.Start("127.0.0.1:0")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("livecluster: listen: %w", err)
+	}
+	return srv.StartListener(cl.cfg.Injector.WrapListener(ln, MachineLabel(m)))
+}
+
+// newClient builds machine m's transport client with the configured
+// robustness knobs; dials are wrapped by the injector under the
+// machine's own label so client-side faults can also be targeted.
+func (cl *Cluster) newClient(m int) *transport.Client {
+	cfg := cl.cfg
+	opts := transport.Options{
+		Credits:        cfg.Credits,
+		RequestTimeout: cfg.PullTimeout,
+		MaxAttempts:    cfg.PullRetries,
+		BackoffBase:    cfg.RetryBackoff,
+		Seed:           cfg.Seed + int64(m),
+	}
+	if inj := cfg.Injector; inj != nil {
+		label := MachineLabel(m) + ".client"
+		timeout := cfg.PullTimeout
+		if timeout <= 0 {
+			timeout = transport.DefaultRequestTimeout
+		}
+		opts.Dial = func(addr string) (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			return inj.WrapConn(conn, label), nil
+		}
+	}
+	return transport.NewClientOptions(opts)
 }
 
 // Close shuts down all servers and clients.
@@ -223,6 +329,12 @@ func (cl *Cluster) workerTokens() []*tensor.Matrix {
 // (the numeric backward equivalence is covered by internal/moe).
 func (cl *Cluster) RunDataCentric() (Result, error) {
 	cfg := cl.cfg
+	cl.step++
+	step := cl.step
+	if cfg.Injector != nil {
+		cfg.Injector.SetStep(step)
+	}
+	robustBefore := cl.robustSnapshot()
 	xs := cl.workerTokens()
 	outputs := make([]*tensor.Matrix, cfg.numWorkers())
 
@@ -234,6 +346,19 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 			firstErr = err
 		}
 		errMu.Unlock()
+	}
+
+	// Degradation bookkeeping for this iteration.
+	var degMu sync.Mutex
+	var staleFetches, droppedGrads int64
+	maxStaleness := 0
+	noteStale := func(age int) {
+		degMu.Lock()
+		staleFetches++
+		if age > maxStaleness {
+			maxStaleness = age
+		}
+		degMu.Unlock()
 	}
 
 	var wg sync.WaitGroup
@@ -269,11 +394,30 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 				cache[e] = ent
 				cacheMu.Unlock()
 
-				payload, err := cl.clients[m].Pull(cl.addrs[owner], transport.ExpertID{Expert: uint32(e)})
+				payload, err := cl.clients[m].Pull(context.Background(),
+					cl.addrs[owner], transport.ExpertID{Expert: uint32(e)})
 				if err == nil {
 					ent.ex, ent.err = decodeExpert(payload)
 				} else {
 					ent.err = err
+				}
+				if ent.err == nil {
+					// Refresh the machine's last-known copy (the §5.1.2
+					// Cache Manager's durable layer).
+					cl.staleMu.Lock()
+					cl.stale[m][e] = &staleEntry{ex: ent.ex, step: step}
+					cl.staleMu.Unlock()
+				} else if cfg.StaleFallback {
+					// Owner unreachable past the retry budget: degrade to
+					// the last-known copy instead of aborting the step.
+					cl.staleMu.Lock()
+					old, ok := cl.stale[m][e]
+					cl.staleMu.Unlock()
+					if ok {
+						cl.clients[m].Robust.AddStaleServe()
+						noteStale(step - old.step)
+						ent.ex, ent.err = old.ex, nil
+					}
 				}
 				close(ent.done)
 				return ent.ex, ent.err
@@ -305,9 +449,18 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 				}
 				grad := make([]byte, 8)
 				binary.LittleEndian.PutUint64(grad, uint64(e))
-				if err := cl.clients[m].PushGradient(cl.addrs[owner],
+				if err := cl.clients[m].PushGradient(context.Background(), cl.addrs[owner],
 					transport.ExpertID{Expert: uint32(e)}, grad); err != nil {
-					setErr(err)
+					if cfg.StaleFallback {
+						// Owner unreachable: the contribution is dropped
+						// this step (it would be retried from fresh
+						// activations next step in a real trainer).
+						degMu.Lock()
+						droppedGrads++
+						degMu.Unlock()
+					} else {
+						setErr(err)
+					}
 				}
 			}
 		}()
@@ -316,11 +469,45 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 	if firstErr != nil {
 		return Result{}, firstErr
 	}
-	return Result{
+	res := Result{
 		Outputs:           outputs,
 		CrossMachineBytes: cl.wireBytes(),
 		PullsServed:       cl.pullsServed(),
-	}, nil
+		StaleFetches:      staleFetches,
+		MaxStalenessSteps: maxStaleness,
+		DroppedGrads:      droppedGrads,
+		Robust:            cl.robustSnapshot().Sub(robustBefore),
+	}
+	if staleFetches > 0 || droppedGrads > 0 {
+		res.DegradedSteps = 1
+		res.Robust.DegradedSteps = 1
+		cl.degradedTotal++
+	}
+	return res, nil
+}
+
+// robustSnapshot sums all machine clients' robustness counters.
+func (cl *Cluster) robustSnapshot() metrics.RobustnessSnapshot {
+	var sum metrics.RobustnessSnapshot
+	for _, c := range cl.clients {
+		sum = sum.Add(c.Robust.Snapshot())
+	}
+	return sum
+}
+
+// Step returns how many iterations the cluster has started.
+func (cl *Cluster) Step() int { return cl.step }
+
+// RobustnessTotals returns the cumulative client-side robustness
+// counters since the cluster started (plus server-side gradient
+// dedups folded into GradDups).
+func (cl *Cluster) RobustnessTotals() metrics.RobustnessSnapshot {
+	sum := cl.robustSnapshot()
+	for _, s := range cl.servers {
+		sum.GradDups += s.GradsDeduped()
+	}
+	sum.DegradedSteps = int64(cl.degradedTotal)
+	return sum
 }
 
 // forwardWorker computes one worker's tokens against every routed

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"janus/internal/fabric"
 )
@@ -84,6 +85,93 @@ func FormatSpeedupTable(title string, rows []SpeedupRow, baselineLabel, valueLab
 			w, r.Name, r.Baseline*1e3, r.Value*1e3, r.Speedup())
 	}
 	return b.String()
+}
+
+// Robustness counts fault-tolerance events on a live transport path:
+// retried requests, per-attempt deadline expiries, re-established peer
+// connections, deduplicated gradient retransmits, experts served from a
+// stale local cache, and iterations that completed in degraded mode.
+// The zero value is ready to use; all methods are safe for concurrent
+// use.
+type Robustness struct {
+	retries       atomic.Int64
+	timeouts      atomic.Int64
+	reconnects    atomic.Int64
+	gradDups      atomic.Int64
+	staleServes   atomic.Int64
+	degradedSteps atomic.Int64
+}
+
+// AddRetry records one retried request attempt.
+func (r *Robustness) AddRetry() { r.retries.Add(1) }
+
+// AddTimeout records one per-attempt deadline expiry.
+func (r *Robustness) AddTimeout() { r.timeouts.Add(1) }
+
+// AddReconnect records one re-dial of a previously connected peer.
+func (r *Robustness) AddReconnect() { r.reconnects.Add(1) }
+
+// AddGradDup records one deduplicated gradient retransmit.
+func (r *Robustness) AddGradDup() { r.gradDups.Add(1) }
+
+// AddStaleServe records one expert served from a stale local cache.
+func (r *Robustness) AddStaleServe() { r.staleServes.Add(1) }
+
+// AddDegradedStep records one iteration completed in degraded mode.
+func (r *Robustness) AddDegradedStep() { r.degradedSteps.Add(1) }
+
+// Snapshot returns a point-in-time copy of the counters.
+func (r *Robustness) Snapshot() RobustnessSnapshot {
+	return RobustnessSnapshot{
+		Retries:       r.retries.Load(),
+		Timeouts:      r.timeouts.Load(),
+		Reconnects:    r.reconnects.Load(),
+		GradDups:      r.gradDups.Load(),
+		StaleServes:   r.staleServes.Load(),
+		DegradedSteps: r.degradedSteps.Load(),
+	}
+}
+
+// RobustnessSnapshot is an immutable view of a Robustness counter set.
+type RobustnessSnapshot struct {
+	Retries       int64
+	Timeouts      int64
+	Reconnects    int64
+	GradDups      int64
+	StaleServes   int64
+	DegradedSteps int64
+}
+
+// Sub returns the event counts accumulated since an earlier snapshot.
+func (s RobustnessSnapshot) Sub(earlier RobustnessSnapshot) RobustnessSnapshot {
+	return RobustnessSnapshot{
+		Retries:       s.Retries - earlier.Retries,
+		Timeouts:      s.Timeouts - earlier.Timeouts,
+		Reconnects:    s.Reconnects - earlier.Reconnects,
+		GradDups:      s.GradDups - earlier.GradDups,
+		StaleServes:   s.StaleServes - earlier.StaleServes,
+		DegradedSteps: s.DegradedSteps - earlier.DegradedSteps,
+	}
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s RobustnessSnapshot) Add(o RobustnessSnapshot) RobustnessSnapshot {
+	return RobustnessSnapshot{
+		Retries:       s.Retries + o.Retries,
+		Timeouts:      s.Timeouts + o.Timeouts,
+		Reconnects:    s.Reconnects + o.Reconnects,
+		GradDups:      s.GradDups + o.GradDups,
+		StaleServes:   s.StaleServes + o.StaleServes,
+		DegradedSteps: s.DegradedSteps + o.DegradedSteps,
+	}
+}
+
+// IsZero reports whether no robustness events were recorded.
+func (s RobustnessSnapshot) IsZero() bool { return s == RobustnessSnapshot{} }
+
+func (s RobustnessSnapshot) String() string {
+	return fmt.Sprintf("retries=%d timeouts=%d reconnects=%d grad-dups=%d stale-serves=%d degraded-steps=%d",
+		s.Retries, s.Timeouts, s.Reconnects, s.GradDups, s.StaleServes, s.DegradedSteps)
 }
 
 // GiB converts bytes to binary gigabytes (the unit of Table 1).

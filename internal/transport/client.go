@@ -2,10 +2,17 @@ package transport
 
 import (
 	"bufio"
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"janus/internal/metrics"
 )
 
 // Client issues pulls and gradient pushes to remote Servers. It keeps
@@ -13,15 +20,138 @@ import (
 // concurrent pulls for the same expert into a single wire request
 // (the Cache-Manager single flight of §5.1.2), and bounds concurrent
 // in-flight pulls with a credit window (§5.1.1's credit-based buffer).
+//
+// Failure handling: every request attempt runs under a deadline, a
+// peer connection whose read loop failed is evicted and re-dialed on
+// next use, and failed attempts are retried with capped exponential
+// backoff plus deterministic jitter. PULL is idempotent and retried
+// as-is; GRAD retries carry a stable 16-byte token so the server
+// applies a retransmitted gradient exactly once. Remote application
+// errors (the server answered, the store said no) are never retried.
 type Client struct {
-	credits chan struct{}
+	credits  chan struct{}
+	closedCh chan struct{}
+
+	dial        DialFunc
+	reqTimeout  time.Duration
+	maxAttempts int
+	backoffBase time.Duration
+	backoffMax  time.Duration
 
 	mu       sync.Mutex
 	peers    map[string]*peerConn
+	known    map[string]bool // addrs successfully dialed at least once
 	inflight map[pullKey]*pullCall
 	closed   bool
 
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	clientID uint64
+	gradSeq  atomic.Uint64
+
 	Counters Counters
+	// Robust counts retries, per-attempt timeouts and reconnects.
+	Robust metrics.Robustness
+}
+
+// DialFunc opens a connection to a peer address. Wrapping it is the
+// client-side fault-injection hook.
+type DialFunc func(addr string) (net.Conn, error)
+
+// ErrClosed is returned by calls on a closed client. Callers blocked
+// on credits or backoff when Close runs fail fast with it.
+var ErrClosed = errors.New("transport: client closed")
+
+// RemoteError is an application-level failure reported by the server
+// (e.g. "expert not hosted"). It is terminal: the request reached the
+// server and was answered, so retrying cannot help.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Options configures a Client beyond the credit window.
+type Options struct {
+	// Credits bounds in-flight pulls (<=0 means DefaultCredits).
+	Credits int
+	// Dial opens peer connections; nil means TCP with the request
+	// timeout as dial timeout.
+	Dial DialFunc
+	// RequestTimeout bounds each attempt (dial + round trip);
+	// <=0 means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxAttempts bounds tries per logical request (first try plus
+	// retries); <=0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// BackoffBase is the first retry delay, doubled each retry up to
+	// BackoffMax, then multiplied by a jitter draw from [0.5, 1.5).
+	// <=0 means DefaultBackoffBase / DefaultBackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed makes backoff jitter deterministic; 0 uses a fixed seed
+	// (determinism is the default here — pass distinct seeds to
+	// decorrelate many clients).
+	Seed int64
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultCredits        = 4
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxAttempts    = 3
+	DefaultBackoffBase    = 50 * time.Millisecond
+	DefaultBackoffMax     = 2 * time.Second
+)
+
+// clientSeq disambiguates gradient tokens between clients in-process.
+var clientSeq atomic.Uint64
+
+// NewClient returns a client with the given credit count (<=0 means
+// DefaultCredits) and default failure handling.
+func NewClient(credits int) *Client {
+	return NewClientOptions(Options{Credits: credits})
+}
+
+// NewClientOptions returns a client configured by opts.
+func NewClientOptions(opts Options) *Client {
+	if opts.Credits <= 0 {
+		opts.Credits = DefaultCredits
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = DefaultBackoffBase
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = DefaultBackoffMax
+	}
+	c := &Client{
+		credits:     make(chan struct{}, opts.Credits),
+		closedCh:    make(chan struct{}),
+		dial:        opts.Dial,
+		reqTimeout:  opts.RequestTimeout,
+		maxAttempts: opts.MaxAttempts,
+		backoffBase: opts.BackoffBase,
+		backoffMax:  opts.BackoffMax,
+		peers:       make(map[string]*peerConn),
+		known:       make(map[string]bool),
+		inflight:    make(map[pullKey]*pullCall),
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		clientID:    clientSeq.Add(1),
+	}
+	for i := 0; i < opts.Credits; i++ {
+		c.credits <- struct{}{}
+	}
+	if c.dial == nil {
+		c.dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, c.reqTimeout)
+		}
+	}
+	return c
 }
 
 type pullKey struct {
@@ -34,26 +164,6 @@ type pullCall struct {
 	payload []byte
 	err     error
 }
-
-// NewClient returns a client whose pulls are bounded by the given
-// credit count (<=0 means DefaultCredits).
-func NewClient(credits int) *Client {
-	if credits <= 0 {
-		credits = DefaultCredits
-	}
-	ch := make(chan struct{}, credits)
-	for i := 0; i < credits; i++ {
-		ch <- struct{}{}
-	}
-	return &Client{
-		credits:  ch,
-		peers:    make(map[string]*peerConn),
-		inflight: make(map[pullKey]*pullCall),
-	}
-}
-
-// DefaultCredits is the default in-flight pull window.
-const DefaultCredits = 4
 
 // peerConn is one pipelined connection: a writer lock for request
 // frames and a reader goroutine dispatching responses by request id.
@@ -69,16 +179,28 @@ type peerConn struct {
 	closed  chan struct{}
 }
 
+// peer returns a live connection to addr, evicting and re-dialing a
+// cached connection whose read loop has failed (a poisoned entry must
+// never be served again — satellite fix for the permanent-poisoning
+// bug). The dial happens outside the client lock so one slow peer
+// cannot stall requests to others.
 func (c *Client) peer(addr string) (*peerConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		return nil, errors.New("transport: client closed")
+		c.mu.Unlock()
+		return nil, ErrClosed
 	}
 	if p, ok := c.peers[addr]; ok {
-		return p, nil
+		if !p.failed() {
+			c.mu.Unlock()
+			return p, nil
+		}
+		delete(c.peers, addr)
 	}
-	conn, err := net.Dial("tcp", addr)
+	redial := c.known[addr]
+	c.mu.Unlock()
+
+	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -88,9 +210,43 @@ func (c *Client) peer(addr string) (*peerConn, error) {
 		waiting: make(map[uint64]chan frame),
 		closed:  make(chan struct{}),
 	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if cur, ok := c.peers[addr]; ok && !cur.failed() {
+		// Someone else re-dialed while we were; use theirs.
+		c.mu.Unlock()
+		conn.Close()
+		return cur, nil
+	}
 	c.peers[addr] = p
+	c.known[addr] = true
+	c.mu.Unlock()
+	if redial {
+		c.Robust.AddReconnect()
+	}
 	go p.readLoop(&c.Counters)
 	return p, nil
+}
+
+// evict drops p from the peer cache (if still cached) and fails it.
+func (c *Client) evict(addr string, p *peerConn, err error) {
+	c.mu.Lock()
+	if cur, ok := c.peers[addr]; ok && cur == p {
+		delete(c.peers, addr)
+	}
+	c.mu.Unlock()
+	p.fail(err)
+}
+
+func (p *peerConn) failed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err != nil
 }
 
 func (p *peerConn) readLoop(counters *Counters) {
@@ -127,8 +283,9 @@ func (p *peerConn) fail(err error) {
 	p.conn.Close()
 }
 
-// roundTrip sends a request frame and waits for its response.
-func (p *peerConn) roundTrip(f frame, counters *Counters) (frame, error) {
+// roundTrip sends a request frame and waits for its response or the
+// context deadline, whichever comes first.
+func (p *peerConn) roundTrip(ctx context.Context, f frame, counters *Counters) (frame, error) {
 	ch := make(chan frame, 1)
 	p.mu.Lock()
 	if p.err != nil {
@@ -142,6 +299,9 @@ func (p *peerConn) roundTrip(f frame, counters *Counters) (frame, error) {
 	p.mu.Unlock()
 
 	p.wmu.Lock()
+	if d, ok := ctx.Deadline(); ok {
+		p.conn.SetWriteDeadline(d)
+	}
 	err := writeFrame(p.w, f)
 	p.wmu.Unlock()
 	if err != nil {
@@ -150,40 +310,145 @@ func (p *peerConn) roundTrip(f frame, counters *Counters) (frame, error) {
 	}
 	counters.addSent(4 + frameHeaderBytes + len(f.payload))
 
-	resp, ok := <-ch
-	if !ok {
-		p.mu.Lock()
-		err := p.err
-		p.mu.Unlock()
-		if err == nil {
-			err = errors.New("transport: connection closed")
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			p.mu.Lock()
+			err := p.err
+			p.mu.Unlock()
+			if err == nil {
+				err = errors.New("transport: connection closed")
+			}
+			return frame{}, err
 		}
-		return frame{}, err
+		if resp.typ == msgError {
+			return frame{}, &RemoteError{Msg: string(resp.payload)}
+		}
+		return resp, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		delete(p.waiting, f.reqID)
+		p.mu.Unlock()
+		return frame{}, ctx.Err()
 	}
-	if resp.typ == msgError {
-		return frame{}, fmt.Errorf("transport: remote error: %s", resp.payload)
+}
+
+// do runs one logical request with per-attempt deadlines, eviction of
+// the failed connection, and capped jittered exponential backoff
+// between attempts.
+func (c *Client) do(ctx context.Context, addr string, req frame) (frame, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.Robust.AddRetry()
+			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				return frame{}, lastErr
+			}
+		}
+		select {
+		case <-c.closedCh:
+			return frame{}, ErrClosed
+		default:
+		}
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return frame{}, lastErr
+		}
+
+		actx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+		p, err := c.peer(addr)
+		if err == nil {
+			var resp frame
+			resp, err = p.roundTrip(actx, req, &c.Counters)
+			if err == nil {
+				cancel()
+				return resp, nil
+			}
+			var re *RemoteError
+			if errors.As(err, &re) {
+				cancel()
+				return frame{}, err
+			}
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				c.Robust.AddTimeout()
+			}
+			// The connection is suspect (lost, reset, or hung past its
+			// deadline): evict so the next attempt re-dials.
+			c.evict(addr, p, fmt.Errorf("transport: evicted after: %w", err))
+		}
+		cancel()
+		if errors.Is(err, ErrClosed) {
+			return frame{}, err
+		}
+		lastErr = err
 	}
-	return resp, nil
+	return frame{}, lastErr
+}
+
+// sleepBackoff waits before retry number attempt (1-based), honouring
+// cancellation and client close.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	d := c.backoffBase << (attempt - 1)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	c.rngMu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.rngMu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.closedCh:
+		return ErrClosed
+	}
 }
 
 // Pull fetches an expert's bytes from addr. Concurrent pulls of the
 // same (addr, expert) share a single wire request; every pull consumes
-// one credit while its wire request is outstanding.
-func (c *Client) Pull(addr string, id ExpertID) ([]byte, error) {
+// one credit while its wire request is outstanding. Transient failures
+// are retried up to the attempt budget; ctx bounds the whole call.
+func (c *Client) Pull(ctx context.Context, addr string, id ExpertID) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key := pullKey{addr, id}
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
-		<-call.done
-		return call.payload, call.err
+		select {
+		case <-call.done:
+			return call.payload, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	call := &pullCall{done: make(chan struct{})}
 	c.inflight[key] = call
 	c.mu.Unlock()
 
-	<-c.credits
-	call.payload, call.err = c.pullWire(addr, id)
-	c.credits <- struct{}{}
+	// Acquire a credit, failing fast if the client closes or the
+	// caller gives up while blocked (satellite fix: Close used to
+	// deadlock callers parked here with credits exhausted).
+	select {
+	case <-c.credits:
+		call.payload, call.err = c.pullWire(ctx, addr, id)
+		c.credits <- struct{}{}
+	case <-c.closedCh:
+		call.err = ErrClosed
+	case <-ctx.Done():
+		call.err = ctx.Err()
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -192,12 +457,8 @@ func (c *Client) Pull(addr string, id ExpertID) ([]byte, error) {
 	return call.payload, call.err
 }
 
-func (c *Client) pullWire(addr string, id ExpertID) ([]byte, error) {
-	p, err := c.peer(addr)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := p.roundTrip(frame{typ: msgPull, id: id}, &c.Counters)
+func (c *Client) pullWire(ctx context.Context, addr string, id ExpertID) ([]byte, error) {
+	resp, err := c.do(ctx, addr, frame{typ: msgPull, id: id})
 	if err != nil {
 		return nil, err
 	}
@@ -208,13 +469,18 @@ func (c *Client) pullWire(addr string, id ExpertID) ([]byte, error) {
 }
 
 // PushGradient delivers one gradient contribution to the expert's
-// owner and waits for the ack.
-func (c *Client) PushGradient(addr string, id ExpertID, payload []byte) error {
-	p, err := c.peer(addr)
-	if err != nil {
-		return err
+// owner and waits for the ack. Retries reuse one retransmission token,
+// so the server applies the gradient exactly once even if an ack was
+// lost and the push retried over a new connection.
+func (c *Client) PushGradient(ctx context.Context, addr string, id ExpertID, payload []byte) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	resp, err := p.roundTrip(frame{typ: msgGrad, id: id, payload: payload}, &c.Counters)
+	buf := make([]byte, gradTokenBytes+len(payload))
+	binary.BigEndian.PutUint64(buf[0:8], c.clientID)
+	binary.BigEndian.PutUint64(buf[8:16], c.gradSeq.Add(1))
+	copy(buf[gradTokenBytes:], payload)
+	resp, err := c.do(ctx, addr, frame{typ: msgGrad, id: id, payload: buf})
 	if err != nil {
 		return err
 	}
@@ -224,15 +490,21 @@ func (c *Client) PushGradient(addr string, id ExpertID, payload []byte) error {
 	return nil
 }
 
-// Close tears down all peer connections. In-flight calls fail.
+// Close tears down all peer connections. In-flight calls fail, and
+// callers blocked on credits or backoff fail fast.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
+	close(c.closedCh)
 	peers := c.peers
 	c.peers = make(map[string]*peerConn)
 	c.mu.Unlock()
 	for _, p := range peers {
-		p.fail(errors.New("transport: client closed"))
+		p.fail(ErrClosed)
 	}
 	return nil
 }

@@ -135,6 +135,26 @@ func (c *Counters) Received() int64 { return c.received.Load() }
 func (c *Counters) addSent(n int)     { c.sent.Add(int64(n)) }
 func (c *Counters) addReceived(n int) { c.received.Add(int64(n)) }
 
+// gradDedupWindow bounds the server's memory of recently seen gradient
+// request ids. A retransmit arriving after its id was evicted would be
+// re-applied, so the window is sized far beyond any plausible number of
+// in-flight-plus-retried gradients.
+const gradDedupWindow = 4096
+
+// gradTokenBytes prefixes every GRAD payload: 8 bytes of client id and
+// 8 bytes of per-client sequence number. The token survives
+// reconnection (unlike the per-connection request id), which is what
+// makes a retried gradient safe: the server remembers the token and
+// replays the original outcome instead of applying the payload twice.
+const gradTokenBytes = 16
+
+// gradEntry is the server's record of one gradient token: done closes
+// when the first application finishes, err is its outcome.
+type gradEntry struct {
+	done chan struct{}
+	err  error
+}
+
 // Server answers pull and gradient requests for the experts in a Store.
 type Server struct {
 	store Store
@@ -146,12 +166,21 @@ type Server struct {
 	wg       sync.WaitGroup
 	pulls    atomic.Int64
 	grads    atomic.Int64
+	gradDups atomic.Int64
 	Counters Counters
+
+	gradMu    sync.Mutex
+	gradSeen  map[[gradTokenBytes]byte]*gradEntry
+	gradOrder [][gradTokenBytes]byte
 }
 
 // NewServer returns a server that will answer from store once started.
 func NewServer(store Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		store:    store,
+		conns:    make(map[net.Conn]struct{}),
+		gradSeen: make(map[[gradTokenBytes]byte]*gradEntry),
+	}
 }
 
 // Start begins listening on addr ("127.0.0.1:0" for an ephemeral port)
@@ -161,6 +190,13 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("transport: listen: %w", err)
 	}
+	return s.StartListener(ln)
+}
+
+// StartListener serves on an already-bound listener — the hook that
+// lets a fault injector (or any other wrapper) sit between the server
+// and the network. The server takes ownership of ln.
+func (s *Server) StartListener(ln net.Listener) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -179,6 +215,10 @@ func (s *Server) PullsServed() int64 { return s.pulls.Load() }
 
 // GradsAccepted returns how many gradient pushes this server accepted.
 func (s *Server) GradsAccepted() int64 { return s.grads.Load() }
+
+// GradsDeduped returns how many gradient retransmits the server
+// recognised and answered without re-applying.
+func (s *Server) GradsDeduped() int64 { return s.gradDups.Load() }
 
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
@@ -251,12 +291,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			handlers.Add(1)
 			go func(f frame) {
 				defer handlers.Done()
-				err := s.store.AddGradient(f.id, f.payload)
+				err := s.applyGradient(f)
 				resp := frame{typ: msgGradAck, reqID: f.reqID, id: f.id}
 				if err != nil {
 					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}
-				} else {
-					s.grads.Add(1)
 				}
 				respond(resp)
 			}(f)
@@ -264,6 +302,41 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // protocol violation: drop the connection
 		}
 	}
+}
+
+// applyGradient applies one GRAD frame exactly once. The payload
+// starts with a 16-byte retransmission token; a token seen before is
+// answered with the original outcome (waiting for it if the first
+// application is still in flight) without touching the store.
+func (s *Server) applyGradient(f frame) error {
+	if len(f.payload) < gradTokenBytes {
+		return fmt.Errorf("transport: gradient frame missing %d-byte token", gradTokenBytes)
+	}
+	var key [gradTokenBytes]byte
+	copy(key[:], f.payload[:gradTokenBytes])
+
+	s.gradMu.Lock()
+	if e, ok := s.gradSeen[key]; ok {
+		s.gradMu.Unlock()
+		s.gradDups.Add(1)
+		<-e.done
+		return e.err
+	}
+	e := &gradEntry{done: make(chan struct{})}
+	s.gradSeen[key] = e
+	s.gradOrder = append(s.gradOrder, key)
+	if len(s.gradOrder) > gradDedupWindow {
+		delete(s.gradSeen, s.gradOrder[0])
+		s.gradOrder = s.gradOrder[1:]
+	}
+	s.gradMu.Unlock()
+
+	e.err = s.store.AddGradient(f.id, f.payload[gradTokenBytes:])
+	if e.err == nil {
+		s.grads.Add(1)
+	}
+	close(e.done)
+	return e.err
 }
 
 // Close stops the listener and all connections, waiting for handlers.

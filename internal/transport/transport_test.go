@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +12,22 @@ import (
 	"testing/quick"
 	"time"
 )
+
+// ctx is the background context shared by tests that don't exercise
+// cancellation.
+var ctx = context.Background()
+
+// newFastClient returns a client whose failure handling is tuned for
+// test speed: short per-attempt deadlines and millisecond backoff.
+func newFastClient(credits, attempts int) *Client {
+	return NewClientOptions(Options{
+		Credits:        credits,
+		RequestTimeout: 500 * time.Millisecond,
+		MaxAttempts:    attempts,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+	})
+}
 
 // memStore is a Store over an in-memory map with gradient accumulation
 // counting.
@@ -70,7 +87,7 @@ func TestPullRoundTrip(t *testing.T) {
 
 	c := NewClient(4)
 	defer c.Close()
-	got, err := c.Pull(addr, id)
+	got, err := c.Pull(ctx, addr, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +100,7 @@ func TestPullUnknownExpert(t *testing.T) {
 	_, addr := startServer(t, newMemStore())
 	c := NewClient(4)
 	defer c.Close()
-	if _, err := c.Pull(addr, ExpertID{Block: 1, Expert: 1}); err == nil {
+	if _, err := c.Pull(ctx, addr, ExpertID{Block: 1, Expert: 1}); err == nil {
 		t.Fatal("pull of unknown expert succeeded")
 	}
 }
@@ -96,7 +113,7 @@ func TestGradientPush(t *testing.T) {
 	c := NewClient(4)
 	defer c.Close()
 	for i := 0; i < 5; i++ {
-		if err := c.PushGradient(addr, id, []byte{byte(i)}); err != nil {
+		if err := c.PushGradient(ctx, addr, id, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -132,7 +149,7 @@ func TestPullSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = c.Pull(addr, id)
+			_, errs[i] = c.Pull(ctx, addr, id)
 		}()
 	}
 	// Wait for the wire request to reach the server, then release it.
@@ -170,7 +187,7 @@ func TestConcurrentDistinctPulls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			id := ExpertID{Block: 0, Expert: uint32(i)}
-			got, err := c.Pull(addr, id)
+			got, err := c.Pull(ctx, addr, id)
 			if err != nil {
 				fail <- err.Error()
 				return
@@ -220,7 +237,7 @@ func TestCreditWindowBound(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.Pull(addr, ExpertID{Expert: uint32(i)})
+			c.Pull(ctx, addr, ExpertID{Expert: uint32(i)})
 		}()
 	}
 	// Let pulls accumulate to the window, then drain.
@@ -241,10 +258,10 @@ func TestCountersBalance(t *testing.T) {
 	srv, addr := startServer(t, store)
 	c := NewClient(2)
 	defer c.Close()
-	if _, err := c.Pull(addr, id); err != nil {
+	if _, err := c.Pull(ctx, addr, id); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.PushGradient(addr, id, bytes.Repeat([]byte{6}, 500)); err != nil {
+	if err := c.PushGradient(ctx, addr, id, bytes.Repeat([]byte{6}, 500)); err != nil {
 		t.Fatal(err)
 	}
 	if c.Counters.Sent() != srv.Counters.Received() {
@@ -263,13 +280,13 @@ func TestServerCloseFailsPendingAndFuture(t *testing.T) {
 	id := ExpertID{Expert: 1}
 	store.experts[id] = []byte{1}
 	srv, addr := startServer(t, store)
-	c := NewClient(2)
+	c := newFastClient(2, 2)
 	defer c.Close()
-	if _, err := c.Pull(addr, id); err != nil {
+	if _, err := c.Pull(ctx, addr, id); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
-	if _, err := c.Pull(addr, id); err == nil {
+	if _, err := c.Pull(ctx, addr, id); err == nil {
 		t.Fatal("pull after server close succeeded")
 	}
 }
@@ -279,11 +296,11 @@ func TestClientCloseRejectsNewCalls(t *testing.T) {
 	store.experts[ExpertID{}] = []byte{1}
 	_, addr := startServer(t, store)
 	c := NewClient(2)
-	if _, err := c.Pull(addr, ExpertID{}); err != nil {
+	if _, err := c.Pull(ctx, addr, ExpertID{}); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
-	if _, err := c.Pull(addr, ExpertID{}); err == nil {
+	if _, err := c.Pull(ctx, addr, ExpertID{}); err == nil {
 		t.Fatal("pull on closed client succeeded")
 	}
 }
@@ -325,9 +342,9 @@ func TestReadFrameRejectsBadLength(t *testing.T) {
 }
 
 func TestDialFailure(t *testing.T) {
-	c := NewClient(2)
+	c := newFastClient(2, 2)
 	defer c.Close()
-	_, err := c.Pull("127.0.0.1:1", ExpertID{}) // port 1: nothing listening
+	_, err := c.Pull(ctx, "127.0.0.1:1", ExpertID{}) // port 1: nothing listening
 	if err == nil {
 		t.Fatal("dial to dead port succeeded")
 	}

@@ -29,8 +29,10 @@ import (
 	"janus/internal/engine"
 	"janus/internal/experiments"
 	"janus/internal/expertcentric"
+	"janus/internal/faultinject"
 	"janus/internal/gate"
 	"janus/internal/livecluster"
+	"janus/internal/metrics"
 	"janus/internal/topology"
 	"janus/internal/trainrun"
 )
@@ -224,6 +226,33 @@ type LiveResult = livecluster.Result
 func StartLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	return livecluster.Start(cfg)
 }
+
+// FaultInjector is a deterministic, policy-driven network fault
+// injector for live deployments: seeded rules delay, drop, corrupt,
+// reset, or kill traffic per labelled endpoint over step windows.
+type FaultInjector = faultinject.Injector
+
+// FaultRule activates a Fault for one labelled endpoint over a window
+// of training steps.
+type FaultRule = faultinject.Rule
+
+// Fault describes injected behaviour: delay, drop, corrupt, reset,
+// kill.
+type Fault = faultinject.Fault
+
+// NewFaultInjector returns an injector whose decisions derive from
+// seed alone, so failure scenarios replay identically.
+func NewFaultInjector(seed int64) *FaultInjector { return faultinject.New(seed) }
+
+// MachineLabel is the fault-injection label of live machine m's
+// endpoints (its server listener; dial-side wraps use
+// MachineLabel(m)+".client").
+func MachineLabel(m int) string { return livecluster.MachineLabel(m) }
+
+// RobustnessSnapshot is a point-in-time view of fault-tolerance
+// counters: retries, timeouts, reconnects, gradient dedups, stale
+// serves, degraded steps.
+type RobustnessSnapshot = metrics.RobustnessSnapshot
 
 // TrainRunConfig describes a multi-iteration training run with a gate
 // whose routing drifts over the run (§3.1's averaged-profile
