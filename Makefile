@@ -1,7 +1,7 @@
 # Verify tiers. Tier 1 is the seed contract (ROADMAP.md); the race
 # tier vets and race-checks the concurrent retry/reconnect/degradation
 # code at reduced test sizes (-short skips the long experiment sweeps).
-.PHONY: verify tier1 race
+.PHONY: verify tier1 race cover
 
 verify: tier1 race
 
@@ -10,3 +10,14 @@ tier1:
 
 race:
 	go vet ./... && go test -race -short ./...
+
+# Per-package coverage for the fault-tolerance path: the wire protocol,
+# the live cluster (membership/failover), the injector, the checkpoint
+# store, and the counters.
+cover:
+	go test -short -cover \
+		./internal/transport \
+		./internal/livecluster \
+		./internal/faultinject \
+		./internal/checkpoint \
+		./internal/metrics

@@ -14,6 +14,15 @@
 // observable without a debugger:
 //
 //	januslive -steps 6 -kill-machine 1 -kill-from 3 -kill-to 5
+//
+// Permanent loss: -fail-permanent makes the kill irreversible and turns
+// on heartbeat membership, checkpointing (-checkpoint-dir,
+// -checkpoint-every), and deterministic failover — the dead machine's
+// experts are re-homed onto survivors from the last committed
+// checkpoint and the run completes bit-identically on every survivor:
+//
+//	januslive -machines 3 -workers 1 -experts 9 -topk 3 -steps 8 \
+//	  -kill-machine 2 -kill-from 3 -fail-permanent -checkpoint-dir /tmp/janus-ckpt
 package main
 
 import (
@@ -42,8 +51,19 @@ func main() {
 	delay := flag.Duration("delay", 0, "added latency per network op on every machine")
 	pullTimeout := flag.Duration("pull-timeout", 500*time.Millisecond, "per-attempt pull/push deadline under faults")
 	retries := flag.Int("retries", 3, "attempts per pull/push under faults")
+	failPermanent := flag.Bool("fail-permanent", false, "treat the kill as a permanent machine loss: heartbeat membership, dead-man declaration, deterministic failover")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-consistent checkpoints (failover restores from here)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "checkpoint cadence in steps")
+	deadman := flag.Int("deadman", janus.DefaultDeadManSteps, "consecutive missed heartbeat rounds before a machine is declared dead")
 	flag.Parse()
 
+	if *failPermanent && *killMachine < 0 {
+		fmt.Fprintln(os.Stderr, "januslive: -fail-permanent needs -kill-machine")
+		os.Exit(2)
+	}
+	if *failPermanent {
+		*killTo = 0 // permanent means the server never comes back
+	}
 	faulted := *killMachine >= 0 || *drop > 0 || *delay > 0
 	cfg := janus.LiveConfig{
 		Machines: *machines, WorkersPerNode: *workers,
@@ -63,6 +83,14 @@ func main() {
 		cfg.PullTimeout = *pullTimeout
 		cfg.PullRetries = *retries
 		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	if *failPermanent {
+		cfg.FailoverEnabled = true
+		cfg.DeadManSteps = *deadman
+	}
+	if *checkpointDir != "" {
+		cfg.CheckpointDir = *checkpointDir
+		cfg.CheckpointEvery = *checkpointEvery
 	}
 
 	cl, err := janus.StartLiveCluster(cfg)
@@ -97,13 +125,23 @@ func main() {
 				mode = fmt.Sprintf("DEGRADED (stale=%d max-staleness=%d dropped-grads=%d)",
 					res.StaleFetches, res.MaxStalenessSteps, res.DroppedGrads)
 			}
-			fmt.Printf("step %2d: %6.1fms  %s  [%v]\n",
-				s, float64(time.Since(start).Microseconds())/1e3, mode, res.Robust)
+			alive := ""
+			if *failPermanent {
+				alive = fmt.Sprintf("  alive=%d/%d", res.AliveMachines, *machines)
+			}
+			fmt.Printf("step %2d: %6.1fms  %s%s  [%v]\n",
+				s, float64(time.Since(start).Microseconds())/1e3, mode, alive, res.Robust)
 		}
 	}
 
-	maxDiff := 0.0
+	// A permanently dead machine's workers compute nothing: their output
+	// slots are nil and only survivors are compared.
+	maxDiff, survivors := 0.0, 0
 	for w := range ref {
+		if last.Outputs[w] == nil {
+			continue
+		}
+		survivors++
 		if d := tensor.MaxAbsDiff(last.Outputs[w], ref[w]); d > maxDiff {
 			maxDiff = d
 		}
@@ -121,9 +159,17 @@ func main() {
 		fmt.Printf("robustness:             %d/%d steps degraded; cumulative %v\n",
 			degradedTotal, *steps, cl.RobustnessTotals())
 	}
+	if *failPermanent {
+		fmt.Printf("membership:             %d/%d machines alive after the run\n",
+			last.AliveMachines, *machines)
+	}
 	if maxDiff != 0 {
 		fmt.Fprintln(os.Stderr, "januslive: outputs differ from reference")
 		os.Exit(1)
+	}
+	if survivors < len(ref) {
+		fmt.Printf("OK: all %d surviving workers bit-identical to the reference (failed machine's workers excluded)\n", survivors)
+		return
 	}
 	fmt.Println("OK: data-centric execution over real sockets is bit-identical to the reference")
 }

@@ -1,0 +1,370 @@
+// Package checkpoint provides versioned, crash-consistent snapshots of
+// training state: expert weights (one opaque entry per expert), the
+// dense parameters, and the step counter. It is the durability layer
+// the livecluster failover leans on — when a machine is lost
+// permanently, survivors reload the dead owner's experts from the
+// freshest readable checkpoint.
+//
+// Crash consistency comes from the classic temp+fsync+rename recipe:
+// every entry is written into a hidden temp directory, fsynced, the
+// manifest (which carries a CRC per entry and its own CRC) is written
+// last, and the whole directory is atomically renamed to its version
+// name. A reader therefore either sees a complete committed version or
+// none at all; a crash mid-write leaves only an ignorable temp
+// directory. Restore verifies sizes and CRCs, so torn, truncated, or
+// bit-flipped files are rejected rather than loaded, and LoadLatest
+// falls back to the newest version that still verifies.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Snapshot is one checkpointable training state.
+type Snapshot struct {
+	// Step is the training iteration the snapshot was taken after; it
+	// doubles as the checkpoint version number.
+	Step int
+	// Experts maps expert id to its serialized weights. The encoding is
+	// the caller's (the checkpoint layer treats entries as opaque).
+	Experts map[uint32][]byte
+	// Dense holds the serialized dense (non-expert) parameters.
+	Dense []byte
+}
+
+// ErrNoCheckpoint is returned by LoadLatest when no committed,
+// verifiable checkpoint exists under the directory.
+var ErrNoCheckpoint = errors.New("checkpoint: no readable checkpoint")
+
+const (
+	manifestName  = "MANIFEST"
+	denseEntry    = "dense.bin"
+	formatVersion = 1
+	// maxManifestBytes bounds the manifest a reader will buffer, so a
+	// corrupt length field cannot force an unbounded allocation.
+	maxManifestBytes = 16 << 20
+)
+
+// magic starts every manifest file.
+var magic = []byte("JCKPT1\n")
+
+// manifest describes one committed checkpoint version.
+type manifest struct {
+	FormatVersion int     `json:"format_version"`
+	Step          int     `json:"step"`
+	Entries       []entry `json:"entries"`
+}
+
+// entry records the integrity data of one payload file.
+type entry struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc32"`
+}
+
+func versionDir(version int) string { return fmt.Sprintf("v%08d", version) }
+
+func expertEntry(id uint32) string { return fmt.Sprintf("expert-%08d.bin", id) }
+
+// parseVersion inverts versionDir; ok is false for foreign names
+// (including temp directories).
+func parseVersion(name string) (int, bool) {
+	if len(name) != 9 || name[0] != 'v' {
+		return 0, false
+	}
+	v := 0
+	for _, c := range name[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, true
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so the rename/creation of its children is
+// durable. Errors are ignored: some filesystems refuse to fsync
+// directories, and the commit point (the rename) is already ordered
+// after the file fsyncs.
+func syncDir(path string) {
+	if d, err := os.Open(path); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// encodeManifest wraps the manifest JSON in the integrity envelope:
+// magic, CRC32 of the body, body length, body.
+func encodeManifest(m manifest) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(magic)+8+len(body))
+	buf = append(buf, magic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, body...)
+	return buf, nil
+}
+
+// decodeManifest verifies the envelope and returns the manifest. Any
+// truncation or bit flip fails the magic, length, or CRC check.
+func decodeManifest(raw []byte) (manifest, error) {
+	var m manifest
+	if len(raw) < len(magic)+8 {
+		return m, fmt.Errorf("checkpoint: manifest truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(magic)]) != string(magic) {
+		return m, errors.New("checkpoint: bad manifest magic")
+	}
+	wantCRC := binary.LittleEndian.Uint32(raw[len(magic) : len(magic)+4])
+	bodyLen := binary.LittleEndian.Uint32(raw[len(magic)+4 : len(magic)+8])
+	body := raw[len(magic)+8:]
+	if bodyLen > maxManifestBytes || int(bodyLen) != len(body) {
+		return m, fmt.Errorf("checkpoint: manifest body %d bytes, header says %d", len(body), bodyLen)
+	}
+	if crc := crc32.ChecksumIEEE(body); crc != wantCRC {
+		return m, fmt.Errorf("checkpoint: manifest CRC mismatch (%08x != %08x)", crc, wantCRC)
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		return m, fmt.Errorf("checkpoint: manifest decode: %w", err)
+	}
+	if m.FormatVersion != formatVersion {
+		return m, fmt.Errorf("checkpoint: unsupported format version %d", m.FormatVersion)
+	}
+	return m, nil
+}
+
+// Save commits snap under dir as version snap.Step, atomically:
+// a reader never observes a partially written version. An existing
+// version with the same step is replaced. It returns the total payload
+// bytes written (entries plus manifest).
+func Save(dir string, snap *Snapshot) (int64, error) {
+	if snap == nil {
+		return 0, errors.New("checkpoint: nil snapshot")
+	}
+	if snap.Step < 0 {
+		return 0, fmt.Errorf("checkpoint: negative step %d", snap.Step)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf(".tmp-%s", versionDir(snap.Step)))
+	if err := os.RemoveAll(tmp); err != nil {
+		return 0, err
+	}
+	if err := os.Mkdir(tmp, 0o755); err != nil {
+		return 0, err
+	}
+	cleanup := true
+	defer func() {
+		if cleanup {
+			os.RemoveAll(tmp)
+		}
+	}()
+
+	m := manifest{FormatVersion: formatVersion, Step: snap.Step}
+	var written int64
+	put := func(name string, data []byte) error {
+		if err := writeFileSync(filepath.Join(tmp, name), data); err != nil {
+			return err
+		}
+		m.Entries = append(m.Entries, entry{Name: name, Size: int64(len(data)), CRC: crc32.ChecksumIEEE(data)})
+		written += int64(len(data))
+		return nil
+	}
+	ids := make([]uint32, 0, len(snap.Experts))
+	for id := range snap.Experts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := put(expertEntry(id), snap.Experts[id]); err != nil {
+			return 0, err
+		}
+	}
+	if snap.Dense != nil {
+		if err := put(denseEntry, snap.Dense); err != nil {
+			return 0, err
+		}
+	}
+
+	raw, err := encodeManifest(m)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeFileSync(filepath.Join(tmp, manifestName), raw); err != nil {
+		return 0, err
+	}
+	written += int64(len(raw))
+	syncDir(tmp)
+
+	final := filepath.Join(dir, versionDir(snap.Step))
+	if err := os.RemoveAll(final); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, err
+	}
+	cleanup = false
+	syncDir(dir)
+	return written, nil
+}
+
+// Load reads and fully verifies one committed version. Every entry's
+// size and CRC must match the manifest; any torn, truncated, or
+// bit-flipped file fails the load.
+func Load(dir string, version int) (*Snapshot, error) {
+	vdir := filepath.Join(dir, versionDir(version))
+	raw, err := os.ReadFile(filepath.Join(vdir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: v%d: %w", version, err)
+	}
+	m, err := decodeManifest(raw)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: v%d: %w", version, err)
+	}
+	if m.Step != version {
+		return nil, fmt.Errorf("checkpoint: v%d: manifest claims step %d", version, m.Step)
+	}
+	snap := &Snapshot{Step: m.Step, Experts: make(map[uint32][]byte, len(m.Entries))}
+	for _, e := range m.Entries {
+		if e.Name != filepath.Base(e.Name) || e.Name == manifestName {
+			return nil, fmt.Errorf("checkpoint: v%d: illegal entry name %q", version, e.Name)
+		}
+		data, err := os.ReadFile(filepath.Join(vdir, e.Name))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: v%d: %w", version, err)
+		}
+		if int64(len(data)) != e.Size {
+			return nil, fmt.Errorf("checkpoint: v%d: entry %s is %d bytes, manifest says %d",
+				version, e.Name, len(data), e.Size)
+		}
+		if crc := crc32.ChecksumIEEE(data); crc != e.CRC {
+			return nil, fmt.Errorf("checkpoint: v%d: entry %s CRC mismatch (%08x != %08x)",
+				version, e.Name, crc, e.CRC)
+		}
+		switch {
+		case e.Name == denseEntry:
+			snap.Dense = data
+		case strings.HasPrefix(e.Name, "expert-"):
+			var id uint32
+			if _, err := fmt.Sscanf(e.Name, "expert-%08d.bin", &id); err != nil {
+				return nil, fmt.Errorf("checkpoint: v%d: bad expert entry %q", version, e.Name)
+			}
+			snap.Experts[id] = data
+		default:
+			return nil, fmt.Errorf("checkpoint: v%d: unknown entry %q", version, e.Name)
+		}
+	}
+	return snap, nil
+}
+
+// Versions lists the committed version numbers under dir, ascending.
+// Temp directories and foreign files are ignored. Listing does not
+// verify integrity; Load does.
+func Versions(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []int
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if v, ok := parseVersion(e.Name()); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// LoadLatest returns the newest version that verifies completely,
+// skipping (but not deleting) versions that fail integrity checks.
+// It returns ErrNoCheckpoint when nothing under dir is loadable.
+func LoadLatest(dir string) (*Snapshot, int, error) {
+	versions, err := Versions(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(versions) - 1; i >= 0; i-- {
+		snap, err := Load(dir, versions[i])
+		if err == nil {
+			return snap, versions[i], nil
+		}
+	}
+	return nil, 0, ErrNoCheckpoint
+}
+
+// Prune removes committed versions older than the newest keep ones
+// (and any leftover temp directories). keep < 1 is treated as 1.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var versions []int
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := parseVersion(e.Name()); ok {
+			versions = append(versions, v)
+		}
+	}
+	sort.Ints(versions)
+	if len(versions) <= keep {
+		return nil
+	}
+	for _, v := range versions[:len(versions)-keep] {
+		if err := os.RemoveAll(filepath.Join(dir, versionDir(v))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

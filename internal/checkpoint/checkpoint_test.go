@@ -1,0 +1,247 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testSnap builds a deterministic snapshot with nExperts payloads.
+func testSnap(step, nExperts int, seed int64) *Snapshot {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Snapshot{Step: step, Experts: make(map[uint32][]byte)}
+	for e := 0; e < nExperts; e++ {
+		buf := make([]byte, 64+rng.Intn(256))
+		rng.Read(buf)
+		s.Experts[uint32(e)] = buf
+	}
+	s.Dense = make([]byte, 128)
+	rng.Read(s.Dense)
+	return s
+}
+
+func mustSave(t *testing.T, dir string, s *Snapshot) int64 {
+	t.Helper()
+	n, err := Save(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("save reported %d bytes", n)
+	}
+	return n
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testSnap(7, 5, 1)
+	mustSave(t, dir, want)
+
+	got, err := Load(dir, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != want.Step {
+		t.Fatalf("step = %d, want %d", got.Step, want.Step)
+	}
+	if len(got.Experts) != len(want.Experts) {
+		t.Fatalf("experts = %d, want %d", len(got.Experts), len(want.Experts))
+	}
+	for id, data := range want.Experts {
+		if !bytes.Equal(got.Experts[id], data) {
+			t.Fatalf("expert %d payload differs", id)
+		}
+	}
+	if !bytes.Equal(got.Dense, want.Dense) {
+		t.Fatal("dense payload differs")
+	}
+}
+
+func TestLoadLatestPicksNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, step := range []int{3, 1, 9, 5} {
+		mustSave(t, dir, testSnap(step, 2, int64(step)))
+	}
+	snap, v, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 9 || snap.Step != 9 {
+		t.Fatalf("latest = v%d step %d, want 9", v, snap.Step)
+	}
+	vs, err := Versions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 || vs[0] != 1 || vs[3] != 9 {
+		t.Fatalf("versions = %v", vs)
+	}
+}
+
+func TestLoadLatestEmptyAndMissingDir(t *testing.T) {
+	if _, _, err := LoadLatest(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v", err)
+	}
+	if _, _, err := LoadLatest(filepath.Join(t.TempDir(), "absent")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v", err)
+	}
+}
+
+// corruptFile flips one seeded-random byte of the file — the
+// faultinject idiom applied to storage: the damage site is a
+// deterministic function of the seed, so every failure replays.
+func corruptFile(t *testing.T, path string, seed int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	data[rng.Intn(len(data))] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsBitFlippedEntry(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		dir := t.TempDir()
+		mustSave(t, dir, testSnap(4, 3, seed))
+		corruptFile(t, filepath.Join(dir, versionDir(4), expertEntry(1)), seed)
+		if _, err := Load(dir, 4); err == nil {
+			t.Fatalf("seed %d: bit-flipped expert entry loaded", seed)
+		}
+	}
+}
+
+func TestLoadRejectsBitFlippedManifest(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		dir := t.TempDir()
+		mustSave(t, dir, testSnap(4, 3, seed))
+		corruptFile(t, filepath.Join(dir, versionDir(4), manifestName), seed)
+		if _, err := Load(dir, 4); err == nil {
+			t.Fatalf("seed %d: bit-flipped manifest loaded", seed)
+		}
+	}
+}
+
+func TestLoadRejectsTruncatedFiles(t *testing.T) {
+	dir := t.TempDir()
+	mustSave(t, dir, testSnap(2, 2, 1))
+	vdir := filepath.Join(dir, versionDir(2))
+
+	// Truncated entry: size check fires before the CRC.
+	entry := filepath.Join(vdir, expertEntry(0))
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entry, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 2); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("truncated entry: err = %v", err)
+	}
+
+	// Torn manifest: a partial write of the envelope must be rejected.
+	mustSave(t, dir, testSnap(2, 2, 1)) // restore, then tear the manifest
+	man := filepath.Join(vdir, manifestName)
+	raw, err := os.ReadFile(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, len(magic) + 4, len(raw) - 5} {
+		if err := os.WriteFile(man, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir, 2); err == nil {
+			t.Fatalf("torn manifest (%d bytes) loaded", cut)
+		}
+	}
+}
+
+func TestLoadRejectsMissingEntry(t *testing.T) {
+	dir := t.TempDir()
+	mustSave(t, dir, testSnap(3, 2, 1))
+	if err := os.Remove(filepath.Join(dir, versionDir(3), expertEntry(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, 3); err == nil {
+		t.Fatal("load succeeded with a missing entry")
+	}
+}
+
+// A crash mid-save leaves only a temp directory; it must be invisible
+// to readers and cleaned by Prune.
+func TestTempDirIgnoredAndPruned(t *testing.T) {
+	dir := t.TempDir()
+	mustSave(t, dir, testSnap(1, 2, 1))
+	tmp := filepath.Join(dir, ".tmp-"+versionDir(2))
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "expert-00000000.bin"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, v, err := LoadLatest(dir); err != nil || v != 1 {
+		t.Fatalf("latest = v%d err %v, want v1", v, err)
+	}
+	if err := Prune(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("prune left the temp directory behind")
+	}
+}
+
+// When the newest version is damaged, LoadLatest falls back to the
+// newest version that still verifies.
+func TestLoadLatestFallsBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	mustSave(t, dir, testSnap(1, 2, 1))
+	mustSave(t, dir, testSnap(2, 2, 2))
+	mustSave(t, dir, testSnap(3, 2, 3))
+	corruptFile(t, filepath.Join(dir, versionDir(3), expertEntry(0)), 5)
+	snap, v, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || snap.Step != 2 {
+		t.Fatalf("latest = v%d, want fallback to v2", v)
+	}
+}
+
+func TestSaveOverwritesSameVersion(t *testing.T) {
+	dir := t.TempDir()
+	mustSave(t, dir, testSnap(5, 2, 1))
+	want := testSnap(5, 3, 9)
+	mustSave(t, dir, want)
+	got, err := Load(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Experts) != 3 || !bytes.Equal(got.Experts[2], want.Experts[2]) {
+		t.Fatal("overwrite did not replace the version contents")
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for step := 1; step <= 5; step++ {
+		mustSave(t, dir, testSnap(step, 1, int64(step)))
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := Versions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0] != 4 || vs[1] != 5 {
+		t.Fatalf("versions after prune = %v, want [4 5]", vs)
+	}
+}

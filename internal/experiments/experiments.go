@@ -42,6 +42,7 @@ func Registry() []Experiment {
 		{"fig17", "Figure 17: unified paradigm on PR-MoE", func() (Result, error) { return Fig17() }},
 		{"straggler", "Extension: straggler sensitivity under both paradigms (§3.2 claim)", func() (Result, error) { return Straggler() }},
 		{"faultsweep", "Extension: injected machine failure — data-centric degradation vs synchronous stall (§5.1/§6)", func() (Result, error) { return FaultSweep() }},
+		{"failover", "Extension: permanent machine loss — checkpointed failover vs unrecoverable stall (§3.2)", func() (Result, error) { return Failover() }},
 	}
 }
 

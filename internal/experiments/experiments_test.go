@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep"}
+	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry ids = %v", got)
@@ -353,4 +353,54 @@ func TestAllExperimentsRender(t *testing.T) {
 			}
 		})
 	}
+}
+
+func TestFailoverExperiment(t *testing.T) {
+	res, err := Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Detection lands within the dead-man budget of the kill.
+	if res.FailoverStep == 0 || res.FailoverStep > res.KillFrom+res.DeadManSteps {
+		t.Fatalf("failover at step %d, want within %d steps of the kill at %d",
+			res.FailoverStep, res.DeadManSteps, res.KillFrom)
+	}
+	for _, row := range res.Rows {
+		if !row.SurvivorsExact {
+			t.Errorf("step %d: surviving outputs diverged from the reference", row.Step)
+		}
+		switch {
+		case row.Step < res.KillFrom:
+			if row.Degraded || row.AliveMachines != res.Machines {
+				t.Errorf("healthy step %d degraded or lost a machine: %+v", row.Step, row)
+			}
+		case row.Step > res.FailoverStep:
+			// Post-failover: survivors run at full fidelity again.
+			if row.Degraded {
+				t.Errorf("step %d still degraded after failover: %+v", row.Step, row)
+			}
+			if row.AliveMachines != res.Machines-1 {
+				t.Errorf("step %d: alive=%d, want %d", row.Step, row.AliveMachines, res.Machines-1)
+			}
+		}
+	}
+	if res.RehomedExperts == 0 || res.Restores == 0 {
+		t.Errorf("no rehoming/restores recorded: %+v", res)
+	}
+	if res.Checkpoints == 0 || res.CheckpointBytes == 0 {
+		t.Errorf("no checkpoints recorded: %+v", res)
+	}
+	if res.PostFailoverOK == 0 {
+		t.Error("no post-failover step completed at full fidelity")
+	}
+	out := res.Render()
+	for _, frag := range []string{"STALLED", "re-homed", "restored from checkpoint"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+	t.Log("\n" + out)
 }

@@ -190,3 +190,70 @@ func TestDeterministicDecisions(t *testing.T) {
 		}
 	}
 }
+
+// Window boundaries are [FromStep, ToStep): the rule fires on FromStep
+// itself, stays live on the last interior step, and is off again on
+// exactly ToStep.
+func TestRuleWindowBoundarySteps(t *testing.T) {
+	in := New(1)
+	in.AddRule(Rule{Label: "x", FromStep: 3, ToStep: 5, Fault: Fault{Kill: true}})
+	cases := []struct {
+		step int
+		kill bool
+	}{
+		{2, false}, // last step before the window
+		{3, true},  // FromStep is inclusive
+		{4, true},  // last interior step
+		{5, false}, // ToStep is exclusive
+		{6, false},
+	}
+	for _, c := range cases {
+		in.SetStep(c.step)
+		if got := in.decide("x", true).kill; got != c.kill {
+			t.Errorf("step %d: kill = %v, want %v", c.step, got, c.kill)
+		}
+		if got := in.killActive("x"); got != c.kill {
+			t.Errorf("step %d: killActive = %v, want %v", c.step, got, c.kill)
+		}
+	}
+	// A label the rule doesn't name is never touched.
+	in.SetStep(3)
+	if in.decide("y", true).kill {
+		t.Error("kill leaked to an unlabelled endpoint")
+	}
+}
+
+// An open-ended rule (ToStep <= 0) never expires.
+func TestRuleWindowOpenEnded(t *testing.T) {
+	in := New(1)
+	in.Kill("x", 2, 0)
+	for _, step := range []int{1, 2, 100, 1 << 20} {
+		in.SetStep(step)
+		want := step >= 2
+		if got := in.decide("x", true).kill; got != want {
+			t.Errorf("step %d: kill = %v, want %v", step, got, want)
+		}
+	}
+}
+
+// A Times budget can run out in the middle of the step window: the rule
+// then stops firing even though the window is still open, and killActive
+// agrees with decide about the exhausted state.
+func TestTimesBudgetExhaustsMidWindow(t *testing.T) {
+	in := New(1)
+	in.AddRule(Rule{Label: "x", FromStep: 2, ToStep: 10, Times: 2, Fault: Fault{Kill: true}})
+	in.SetStep(5) // well inside the window
+	if !in.decide("x", true).kill || !in.decide("x", true).kill {
+		t.Fatal("budgeted kills did not fire inside the window")
+	}
+	if in.decide("x", true).kill {
+		t.Fatal("kill fired past its Times budget")
+	}
+	if in.killActive("x") {
+		t.Fatal("killActive still true after the budget ran out")
+	}
+	in.SetStep(7) // still inside the window: exhaustion is permanent
+	if in.decide("x", true).kill {
+		t.Fatal("exhausted budget revived on a later step")
+	}
+}

@@ -1,0 +1,377 @@
+// Permanent-failure handling: heartbeat-driven membership, deterministic
+// expert re-homing, and checkpoint-backed recovery.
+//
+// The data-centric paradigm (§3.2) is what makes this tractable: an
+// expert is an independently pullable object, not a participant in a
+// collective, so losing a machine for good means re-homing its experts
+// — not rebuilding a world-sized communicator. Every transition here is
+// a pure function of the config seed and the injected fault schedule,
+// so a failover scenario replays identically run after run.
+package livecluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"janus/internal/checkpoint"
+	"janus/internal/moe"
+	"janus/internal/tensor"
+	"janus/internal/transport"
+)
+
+// Membership defaults.
+const (
+	// DefaultDeadManSteps is how many consecutive heartbeat rounds a
+	// machine may miss before survivors declare it dead.
+	DefaultDeadManSteps = 2
+	// DefaultHeartbeatTimeout bounds one liveness probe.
+	DefaultHeartbeatTimeout = 250 * time.Millisecond
+	// DefaultCheckpointKeep is how many committed checkpoint versions
+	// are retained on disk.
+	DefaultCheckpointKeep = 3
+)
+
+// homeMachine is the static (seed-time) owner of an expert — the
+// assignment every machine starts from and a rejoining machine
+// reclaims. Validate guarantees divisibility, so the index is in range.
+func (cl *Cluster) homeMachine(expert int) int {
+	return expert / (cl.cfg.NumExperts / cl.cfg.Machines)
+}
+
+// currentOwner returns the machine that owns an expert under the
+// current membership view.
+func (cl *Cluster) currentOwner(expert int) int {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	return cl.owner[expert]
+}
+
+// OwnerView returns a copy of the expert→machine ownership view.
+func (cl *Cluster) OwnerView() []int {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	return append([]int(nil), cl.owner...)
+}
+
+// Epoch returns the membership epoch: it increments on every failover
+// re-home and every rejoin reclaim.
+func (cl *Cluster) Epoch() int {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	return cl.epoch
+}
+
+// isAlive reports the membership state of machine m.
+func (cl *Cluster) isAlive(m int) bool {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	return cl.alive[m]
+}
+
+// AliveMachines returns how many machines the membership view considers
+// alive.
+func (cl *Cluster) AliveMachines() int {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	n := 0
+	for _, a := range cl.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, seedable, well-mixed
+// hash for rendezvous scoring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// rendezvousOwner picks the new owner of an expert among candidate
+// machines by highest seeded rendezvous score. Every survivor computes
+// the same answer from (seed, expert, candidates) alone — no
+// coordination round needed — and removing a machine only moves the
+// experts that machine owned (the rendezvous minimal-reshuffle
+// property).
+func rendezvousOwner(seed int64, expert int, candidates []int) int {
+	best, bestScore := -1, uint64(0)
+	for _, m := range candidates {
+		h := mix64(uint64(seed)*0x9E3779B97F4A7C15 ^
+			uint64(expert+1)*0xBF58476D1CE4E5B9 ^
+			uint64(m+1)*0x94D049BB133111EB)
+		if best == -1 || h > bestScore || (h == bestScore && m < best) {
+			best, bestScore = m, h
+		}
+	}
+	return best
+}
+
+// heartbeatRound runs one membership round for the given step: every
+// alive machine probes every other machine over the regular transport
+// connections, consecutive-miss counters advance, machines past the
+// dead-man budget fail over, and previously dead machines that answer
+// again rejoin and reclaim their home experts.
+//
+// A machine counts as reachable when at least one *other* alive machine
+// can ping it; a lone survivor never declares itself dead.
+func (cl *Cluster) heartbeatRound(step int) {
+	cfg := cl.cfg
+	deadman := cfg.DeadManSteps
+	if deadman <= 0 {
+		deadman = DefaultDeadManSteps
+	}
+	hbTimeout := cfg.HeartbeatTimeout
+	if hbTimeout <= 0 {
+		hbTimeout = DefaultHeartbeatTimeout
+	}
+
+	cl.viewMu.Lock()
+	alive := append([]bool(nil), cl.alive...)
+	cl.viewMu.Unlock()
+
+	reachable := make([]bool, cfg.Machines)
+	for target := 0; target < cfg.Machines; target++ {
+		probed := false
+		for src := 0; src < cfg.Machines && !reachable[target]; src++ {
+			if src == target || !alive[src] {
+				continue
+			}
+			probed = true
+			ctx, cancel := context.WithTimeout(context.Background(), hbTimeout)
+			if cl.clients[src].Ping(ctx, cl.addrs[target]) == nil {
+				reachable[target] = true
+			}
+			cancel()
+		}
+		if !probed && alive[target] {
+			// No other alive machine exists to probe this one: a lone
+			// survivor stays alive by definition.
+			reachable[target] = true
+		}
+	}
+
+	for m := 0; m < cfg.Machines; m++ {
+		switch {
+		case reachable[m] && !alive[m]:
+			cl.rejoin(m)
+		case reachable[m]:
+			cl.viewMu.Lock()
+			cl.missed[m] = 0
+			cl.viewMu.Unlock()
+		case alive[m]:
+			cl.viewMu.Lock()
+			cl.missed[m]++
+			dead := cl.missed[m] >= deadman
+			cl.viewMu.Unlock()
+			if dead {
+				cl.failover(m, step)
+			}
+		}
+	}
+}
+
+// failover declares machine dead and deterministically re-homes every
+// expert it owned onto a surviving machine, reloading the freshest
+// recoverable state: the newest of (last committed checkpoint, newest
+// stale replica held by any survivor). An expert with no recoverable
+// state anywhere keeps its dead owner in the view — pulls for it keep
+// degrading exactly as under a transient outage, and it is reclaimed
+// when (if ever) the machine rejoins.
+func (cl *Cluster) failover(dead, step int) {
+	cl.viewMu.Lock()
+	if !cl.alive[dead] {
+		cl.viewMu.Unlock()
+		return
+	}
+	cl.alive[dead] = false
+	var survivors []int
+	for m, a := range cl.alive {
+		if a {
+			survivors = append(survivors, m)
+		}
+	}
+	cl.viewMu.Unlock()
+	cl.robust.AddFailover()
+	if len(survivors) == 0 {
+		return // nothing left to re-home onto
+	}
+
+	// The freshest durable state, if checkpointing is configured. The
+	// read goes through the full CRC-verified restore path on purpose:
+	// a torn or bit-flipped checkpoint is skipped here, not trusted.
+	var snap *checkpoint.Snapshot
+	if cl.cfg.CheckpointDir != "" {
+		if s, _, err := checkpoint.LoadLatest(cl.cfg.CheckpointDir); err == nil {
+			snap = s
+		}
+	}
+
+	rehomed := 0
+	maxAge := 0
+	for e := 0; e < cl.cfg.NumExperts; e++ {
+		if cl.currentOwner(e) != dead {
+			continue
+		}
+		next := rendezvousOwner(cl.cfg.Seed, e, survivors)
+
+		// Pick the freshest recoverable copy of the expert's weights.
+		var ex *moe.Expert
+		srcStep := -1
+		fromCkpt := false
+		if snap != nil {
+			if payload, ok := snap.Experts[uint32(e)]; ok {
+				if dec, err := decodeExpert(payload); err == nil {
+					ex, srcStep, fromCkpt = dec, snap.Step, true
+				}
+			}
+		}
+		cl.staleMu.Lock()
+		for _, s := range survivors {
+			if ent, ok := cl.stale[s][e]; ok && ent.step > srcStep {
+				ex, srcStep, fromCkpt = ent.ex.Clone(), ent.step, false
+			}
+		}
+		cl.staleMu.Unlock()
+		if ex == nil {
+			continue // unrecoverable: no durable copy and no replica
+		}
+		if fromCkpt {
+			cl.robust.AddRestore()
+		}
+		if age := step - srcStep; age > maxAge {
+			maxAge = age
+		}
+		cl.stores[next].install(transport.ExpertID{Expert: uint32(e)}, ex)
+		cl.viewMu.Lock()
+		cl.owner[e] = next
+		cl.viewMu.Unlock()
+		rehomed++
+	}
+	if rehomed > 0 {
+		cl.robust.AddRehomedExperts(int64(rehomed))
+		cl.viewMu.Lock()
+		cl.epoch++
+		if maxAge > cl.pendingStaleness {
+			cl.pendingStaleness = maxAge
+		}
+		cl.viewMu.Unlock()
+	}
+}
+
+// rejoin marks a machine alive again and hands its home experts back.
+// The restarted machine serves from its own store (the stand-in for a
+// process that restarted and reloaded its shard from the checkpoint);
+// the interim owners drop their copies so ownership stays unambiguous.
+func (cl *Cluster) rejoin(m int) {
+	cl.viewMu.Lock()
+	cl.alive[m] = true
+	cl.missed[m] = 0
+	var reclaimed []int
+	for e := 0; e < cl.cfg.NumExperts; e++ {
+		if cl.homeMachine(e) == m && cl.owner[e] != m {
+			reclaimed = append(reclaimed, e)
+		}
+	}
+	cl.viewMu.Unlock()
+	for _, e := range reclaimed {
+		id := transport.ExpertID{Expert: uint32(e)}
+		cl.viewMu.Lock()
+		interim := cl.owner[e]
+		cl.owner[e] = m
+		cl.viewMu.Unlock()
+		if interim != m && cl.stores[interim] != cl.stores[m] {
+			cl.stores[interim].remove(id)
+		}
+	}
+	if len(reclaimed) > 0 {
+		cl.robust.AddRehomedExperts(int64(len(reclaimed)))
+		cl.viewMu.Lock()
+		cl.epoch++
+		cl.viewMu.Unlock()
+	}
+}
+
+// maybeCheckpoint commits a crash-consistent snapshot after the given
+// step when checkpointing is configured and the step hits the cadence.
+// The snapshot covers every expert whose owner is alive (a shard that
+// died with its owner has nothing current to persist), the dense gate
+// parameters, and the step counter.
+func (cl *Cluster) maybeCheckpoint(step int) error {
+	dir := cl.cfg.CheckpointDir
+	if dir == "" {
+		return nil
+	}
+	every := cl.cfg.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	if step%every != 0 {
+		return nil
+	}
+	start := time.Now()
+	snap := &checkpoint.Snapshot{
+		Step:    step,
+		Experts: make(map[uint32][]byte, cl.cfg.NumExperts),
+		Dense:   encodeMatrix(cl.layer.Gate.W),
+	}
+	for e := 0; e < cl.cfg.NumExperts; e++ {
+		owner := cl.currentOwner(e)
+		if !cl.isAlive(owner) {
+			continue
+		}
+		if ex, ok := cl.stores[owner].get(transport.ExpertID{Expert: uint32(e)}); ok {
+			snap.Experts[uint32(e)] = encodeExpert(ex)
+		}
+	}
+	bytes, err := checkpoint.Save(dir, snap)
+	if err != nil {
+		return fmt.Errorf("livecluster: checkpoint step %d: %w", step, err)
+	}
+	cl.robust.AddCheckpoint(bytes, time.Since(start).Nanoseconds())
+	keep := cl.cfg.CheckpointKeep
+	if keep < 1 {
+		keep = DefaultCheckpointKeep
+	}
+	if err := checkpoint.Prune(dir, keep); err != nil {
+		return fmt.Errorf("livecluster: checkpoint prune: %w", err)
+	}
+	return nil
+}
+
+// encodeMatrix serialises an arbitrary matrix (the dense-parameter
+// entry of a checkpoint) as rows, cols, then little-endian float32s.
+func encodeMatrix(m *tensor.Matrix) []byte {
+	buf := make([]byte, 8+4*len(m.Data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(m.Cols))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint32(buf[8+4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// decodeMatrix reverses encodeMatrix.
+func decodeMatrix(buf []byte) (*tensor.Matrix, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("livecluster: matrix payload too short")
+	}
+	rows := int(binary.LittleEndian.Uint32(buf[0:4]))
+	cols := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if rows <= 0 || cols <= 0 || len(buf) != 8+4*rows*cols {
+		return nil, fmt.Errorf("livecluster: bad matrix payload (%dx%d, %d bytes)", rows, cols, len(buf))
+	}
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[8+4*i:]))
+	}
+	return m, nil
+}

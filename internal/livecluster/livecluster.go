@@ -19,6 +19,7 @@ package livecluster
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -64,6 +65,32 @@ type Config struct {
 	// gradient pushes. Recovery is automatic: the next iteration
 	// re-pulls from the owner and refreshes the cache.
 	StaleFallback bool
+
+	// Permanent-failure knobs (see failover.go). All optional: with
+	// FailoverEnabled false the cluster behaves exactly as before.
+
+	// FailoverEnabled turns on heartbeat membership: every step, alive
+	// machines probe each other over the transport; a machine missing
+	// DeadManSteps consecutive rounds is declared dead and its experts
+	// are deterministically re-homed onto survivors. A machine that
+	// answers again rejoins and reclaims its home experts.
+	FailoverEnabled bool
+	// DeadManSteps is the consecutive-miss budget before a machine is
+	// declared dead (0 = DefaultDeadManSteps).
+	DeadManSteps int
+	// HeartbeatTimeout bounds one liveness probe (0 = default).
+	HeartbeatTimeout time.Duration
+	// CheckpointDir enables crash-consistent checkpoints of expert
+	// weights, dense params, and the step counter ("" = disabled).
+	// Failover restores a dead owner's experts from the freshest of
+	// (latest checkpoint, newest surviving stale replica).
+	CheckpointDir string
+	// CheckpointEvery is the step cadence of checkpoints (0 = every
+	// step when CheckpointDir is set).
+	CheckpointEvery int
+	// CheckpointKeep is how many committed versions to retain
+	// (0 = DefaultCheckpointKeep).
+	CheckpointKeep int
 }
 
 // MachineLabel is the fault-injection label of machine m's endpoints.
@@ -74,6 +101,13 @@ func (c Config) Validate() error {
 	switch {
 	case c.Machines < 1 || c.WorkersPerNode < 1:
 		return fmt.Errorf("livecluster: need at least one machine and worker")
+	case c.NumExperts < 1 || c.NumExperts%c.Machines != 0:
+		// Checked on its own (not only via the per-worker check below):
+		// the expert→machine partition divides NumExperts by Machines,
+		// so a non-divisible count would map trailing experts to a
+		// machine index >= Machines.
+		return fmt.Errorf("livecluster: %d experts not divisible across %d machines",
+			c.NumExperts, c.Machines)
 	case c.NumExperts%(c.Machines*c.WorkersPerNode) != 0:
 		return fmt.Errorf("livecluster: %d experts not divisible by %d workers",
 			c.NumExperts, c.Machines*c.WorkersPerNode)
@@ -81,6 +115,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("livecluster: topK %d out of range", c.TopK)
 	case c.Hidden < 1 || c.TokensPerWorker < 1:
 		return fmt.Errorf("livecluster: non-positive shape")
+	case c.DeadManSteps < 0 || c.CheckpointEvery < 0 || c.CheckpointKeep < 0:
+		return fmt.Errorf("livecluster: negative failover/checkpoint knob")
 	}
 	return nil
 }
@@ -113,6 +149,10 @@ type Result struct {
 	// DroppedGrads counts gradient pushes abandoned because the owner
 	// stayed unreachable past the retry budget.
 	DroppedGrads int64
+	// AliveMachines is how many machines the membership view considered
+	// alive at the end of the iteration (equals Machines when failover
+	// is disabled or nothing died).
+	AliveMachines int
 	// Robust aggregates the client-side retry/timeout/reconnect events
 	// of this iteration (deltas, summed over all machines' clients).
 	Robust metrics.RobustnessSnapshot
@@ -142,6 +182,19 @@ type Cluster struct {
 
 	staleMu sync.Mutex
 	stale   []map[int]*staleEntry // per machine: expert -> last good copy
+
+	// robust counts cluster-level events (failovers, re-homed experts,
+	// checkpoint saves/restores); client-side counters live on the
+	// transport clients and both are summed into snapshots.
+	robust metrics.Robustness
+
+	// Membership view (guarded by viewMu; see failover.go).
+	viewMu           sync.Mutex
+	owner            []int  // expert -> current owning machine
+	alive            []bool // per machine
+	missed           []int  // consecutive missed heartbeat rounds
+	epoch            int    // bumps on every ownership transition
+	pendingStaleness int    // staleness of replica-recovered experts, folded into the next Result
 }
 
 // machineStore hosts the experts owned by one machine's workers and
@@ -161,6 +214,28 @@ func (s *machineStore) ExpertBytes(id transport.ExpertID) ([]byte, error) {
 		return nil, fmt.Errorf("livecluster: expert %v not hosted", id)
 	}
 	return encodeExpert(e), nil
+}
+
+// get returns the hosted expert, if any.
+func (s *machineStore) get(id transport.ExpertID) (*moe.Expert, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.experts[id]
+	return e, ok
+}
+
+// install hosts (or replaces) an expert — the failover re-home path.
+func (s *machineStore) install(id transport.ExpertID, e *moe.Expert) {
+	s.mu.Lock()
+	s.experts[id] = e
+	s.mu.Unlock()
+}
+
+// remove stops hosting an expert — the rejoin reclaim path.
+func (s *machineStore) remove(id transport.ExpertID) {
+	s.mu.Lock()
+	delete(s.experts, id)
+	s.mu.Unlock()
 }
 
 func (s *machineStore) AddGradient(id transport.ExpertID, payload []byte) error {
@@ -251,6 +326,12 @@ func Start(cfg Config) (*Cluster, error) {
 		cl.addrs = append(cl.addrs, addr)
 		cl.clients = append(cl.clients, cl.newClient(m))
 		cl.stale = append(cl.stale, make(map[int]*staleEntry))
+		cl.alive = append(cl.alive, true)
+		cl.missed = append(cl.missed, 0)
+	}
+	cl.owner = make([]int, cfg.NumExperts)
+	for e := range cl.owner {
+		cl.owner[e] = cl.homeMachine(e)
 	}
 	return cl, nil
 }
@@ -307,11 +388,6 @@ func (cl *Cluster) Close() {
 	}
 }
 
-// ownerMachine returns the machine hosting an expert.
-func (cl *Cluster) ownerMachine(expert int) int {
-	return expert / (cl.cfg.NumExperts / cl.cfg.Machines)
-}
-
 // workerTokens builds each worker's deterministic input batch.
 func (cl *Cluster) workerTokens() []*tensor.Matrix {
 	xs := make([]*tensor.Matrix, cl.cfg.numWorkers())
@@ -335,6 +411,11 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 		cfg.Injector.SetStep(step)
 	}
 	robustBefore := cl.robustSnapshot()
+	if cfg.FailoverEnabled {
+		// Membership first: a machine past its dead-man budget fails
+		// over before any worker routes to it this step.
+		cl.heartbeatRound(step)
+	}
 	xs := cl.workerTokens()
 	outputs := make([]*tensor.Matrix, cfg.numWorkers())
 
@@ -364,6 +445,11 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 	var wg sync.WaitGroup
 	for m := 0; m < cfg.Machines; m++ {
 		m := m
+		if !cl.isAlive(m) {
+			// A permanently lost machine computes nothing: its workers
+			// died with it. Their output slots stay nil.
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -380,9 +466,9 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 			var cacheMu sync.Mutex
 			cache := make(map[int]*cacheEntry)
 			fetch := func(e int) (*moe.Expert, error) {
-				owner := cl.ownerMachine(e)
+				owner := cl.currentOwner(e)
 				if owner == m {
-					return cl.layer.Experts[e], nil
+					return cl.localExpert(m, e)
 				}
 				cacheMu.Lock()
 				if ent, ok := cache[e]; ok {
@@ -394,8 +480,25 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 				cache[e] = ent
 				cacheMu.Unlock()
 
-				payload, err := cl.clients[m].Pull(context.Background(),
-					cl.addrs[owner], transport.ExpertID{Expert: uint32(e)})
+				// Failover-aware pull: the target follows the current
+				// ownership view, and a RemoteError from a machine that
+				// turns out not to own the expert triggers a bounded
+				// re-resolve against the (possibly updated) view.
+				var payload []byte
+				var err error
+				for resolve := 0; resolve < 3; resolve++ {
+					payload, err = cl.clients[m].Pull(context.Background(),
+						cl.addrs[owner], transport.ExpertID{Expert: uint32(e)})
+					var re *transport.RemoteError
+					if err == nil || !errors.As(err, &re) {
+						break
+					}
+					next := cl.currentOwner(e)
+					if next == owner || next == m {
+						break // view agrees with the responder (or moved here)
+					}
+					owner = next
+				}
 				if err == nil {
 					ent.ex, ent.err = decodeExpert(payload)
 				} else {
@@ -443,7 +546,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 			// expert per machine (backward numeric path is exercised in
 			// internal/moe; here we exercise the wire protocol).
 			for e := 0; e < cfg.NumExperts; e++ {
-				owner := cl.ownerMachine(e)
+				owner := cl.currentOwner(e)
 				if owner == m {
 					continue
 				}
@@ -469,6 +572,17 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 	if firstErr != nil {
 		return Result{}, firstErr
 	}
+	if err := cl.maybeCheckpoint(step); err != nil {
+		return Result{}, err
+	}
+	// Fold in the staleness of any replica-recovered experts from a
+	// failover that ran at the top of this step.
+	cl.viewMu.Lock()
+	if cl.pendingStaleness > maxStaleness {
+		maxStaleness = cl.pendingStaleness
+	}
+	cl.pendingStaleness = 0
+	cl.viewMu.Unlock()
 	res := Result{
 		Outputs:           outputs,
 		CrossMachineBytes: cl.wireBytes(),
@@ -476,6 +590,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 		StaleFetches:      staleFetches,
 		MaxStalenessSteps: maxStaleness,
 		DroppedGrads:      droppedGrads,
+		AliveMachines:     cl.AliveMachines(),
 		Robust:            cl.robustSnapshot().Sub(robustBefore),
 	}
 	if staleFetches > 0 || droppedGrads > 0 {
@@ -486,9 +601,20 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 	return res, nil
 }
 
-// robustSnapshot sums all machine clients' robustness counters.
+// localExpert serves an expert this machine currently owns, from its
+// store (the authoritative copy — after a failover that is the
+// restored object, not the seed layer's).
+func (cl *Cluster) localExpert(m, e int) (*moe.Expert, error) {
+	if ex, ok := cl.stores[m].get(transport.ExpertID{Expert: uint32(e)}); ok {
+		return ex, nil
+	}
+	return nil, fmt.Errorf("livecluster: machine %d owns expert %d but does not host it", m, e)
+}
+
+// robustSnapshot sums all machine clients' robustness counters plus the
+// cluster-level failover/checkpoint counters.
 func (cl *Cluster) robustSnapshot() metrics.RobustnessSnapshot {
-	var sum metrics.RobustnessSnapshot
+	sum := cl.robust.Snapshot()
 	for _, c := range cl.clients {
 		sum = sum.Add(c.Robust.Snapshot())
 	}

@@ -100,6 +100,16 @@ type Robustness struct {
 	gradDups      atomic.Int64
 	staleServes   atomic.Int64
 	degradedSteps atomic.Int64
+
+	// Permanent-failure counters: membership transitions, experts
+	// re-homed to a survivor, checkpoint saves (with volume and
+	// latency), and restores from a checkpoint during failover.
+	failovers       atomic.Int64
+	rehomedExperts  atomic.Int64
+	restores        atomic.Int64
+	checkpoints     atomic.Int64
+	checkpointBytes atomic.Int64
+	checkpointNanos atomic.Int64
 }
 
 // AddRetry records one retried request attempt.
@@ -120,15 +130,40 @@ func (r *Robustness) AddStaleServe() { r.staleServes.Add(1) }
 // AddDegradedStep records one iteration completed in degraded mode.
 func (r *Robustness) AddDegradedStep() { r.degradedSteps.Add(1) }
 
+// AddFailover records one machine declared permanently dead and its
+// experts re-homed.
+func (r *Robustness) AddFailover() { r.failovers.Add(1) }
+
+// AddRehomedExperts records n experts whose ownership moved to another
+// machine (during failover or a rejoin reclaim).
+func (r *Robustness) AddRehomedExperts(n int64) { r.rehomedExperts.Add(n) }
+
+// AddRestore records one expert's weights reloaded from a checkpoint.
+func (r *Robustness) AddRestore() { r.restores.Add(1) }
+
+// AddCheckpoint records one committed checkpoint with its payload
+// bytes and wall-clock save latency.
+func (r *Robustness) AddCheckpoint(bytes int64, elapsedNanos int64) {
+	r.checkpoints.Add(1)
+	r.checkpointBytes.Add(bytes)
+	r.checkpointNanos.Add(elapsedNanos)
+}
+
 // Snapshot returns a point-in-time copy of the counters.
 func (r *Robustness) Snapshot() RobustnessSnapshot {
 	return RobustnessSnapshot{
-		Retries:       r.retries.Load(),
-		Timeouts:      r.timeouts.Load(),
-		Reconnects:    r.reconnects.Load(),
-		GradDups:      r.gradDups.Load(),
-		StaleServes:   r.staleServes.Load(),
-		DegradedSteps: r.degradedSteps.Load(),
+		Retries:         r.retries.Load(),
+		Timeouts:        r.timeouts.Load(),
+		Reconnects:      r.reconnects.Load(),
+		GradDups:        r.gradDups.Load(),
+		StaleServes:     r.staleServes.Load(),
+		DegradedSteps:   r.degradedSteps.Load(),
+		Failovers:       r.failovers.Load(),
+		RehomedExperts:  r.rehomedExperts.Load(),
+		Restores:        r.restores.Load(),
+		Checkpoints:     r.checkpoints.Load(),
+		CheckpointBytes: r.checkpointBytes.Load(),
+		CheckpointNanos: r.checkpointNanos.Load(),
 	}
 }
 
@@ -140,29 +175,48 @@ type RobustnessSnapshot struct {
 	GradDups      int64
 	StaleServes   int64
 	DegradedSteps int64
+
+	Failovers       int64
+	RehomedExperts  int64
+	Restores        int64
+	Checkpoints     int64
+	CheckpointBytes int64
+	CheckpointNanos int64
 }
 
 // Sub returns the event counts accumulated since an earlier snapshot.
 func (s RobustnessSnapshot) Sub(earlier RobustnessSnapshot) RobustnessSnapshot {
 	return RobustnessSnapshot{
-		Retries:       s.Retries - earlier.Retries,
-		Timeouts:      s.Timeouts - earlier.Timeouts,
-		Reconnects:    s.Reconnects - earlier.Reconnects,
-		GradDups:      s.GradDups - earlier.GradDups,
-		StaleServes:   s.StaleServes - earlier.StaleServes,
-		DegradedSteps: s.DegradedSteps - earlier.DegradedSteps,
+		Retries:         s.Retries - earlier.Retries,
+		Timeouts:        s.Timeouts - earlier.Timeouts,
+		Reconnects:      s.Reconnects - earlier.Reconnects,
+		GradDups:        s.GradDups - earlier.GradDups,
+		StaleServes:     s.StaleServes - earlier.StaleServes,
+		DegradedSteps:   s.DegradedSteps - earlier.DegradedSteps,
+		Failovers:       s.Failovers - earlier.Failovers,
+		RehomedExperts:  s.RehomedExperts - earlier.RehomedExperts,
+		Restores:        s.Restores - earlier.Restores,
+		Checkpoints:     s.Checkpoints - earlier.Checkpoints,
+		CheckpointBytes: s.CheckpointBytes - earlier.CheckpointBytes,
+		CheckpointNanos: s.CheckpointNanos - earlier.CheckpointNanos,
 	}
 }
 
 // Add returns the element-wise sum of two snapshots.
 func (s RobustnessSnapshot) Add(o RobustnessSnapshot) RobustnessSnapshot {
 	return RobustnessSnapshot{
-		Retries:       s.Retries + o.Retries,
-		Timeouts:      s.Timeouts + o.Timeouts,
-		Reconnects:    s.Reconnects + o.Reconnects,
-		GradDups:      s.GradDups + o.GradDups,
-		StaleServes:   s.StaleServes + o.StaleServes,
-		DegradedSteps: s.DegradedSteps + o.DegradedSteps,
+		Retries:         s.Retries + o.Retries,
+		Timeouts:        s.Timeouts + o.Timeouts,
+		Reconnects:      s.Reconnects + o.Reconnects,
+		GradDups:        s.GradDups + o.GradDups,
+		StaleServes:     s.StaleServes + o.StaleServes,
+		DegradedSteps:   s.DegradedSteps + o.DegradedSteps,
+		Failovers:       s.Failovers + o.Failovers,
+		RehomedExperts:  s.RehomedExperts + o.RehomedExperts,
+		Restores:        s.Restores + o.Restores,
+		Checkpoints:     s.Checkpoints + o.Checkpoints,
+		CheckpointBytes: s.CheckpointBytes + o.CheckpointBytes,
+		CheckpointNanos: s.CheckpointNanos + o.CheckpointNanos,
 	}
 }
 
@@ -170,8 +224,14 @@ func (s RobustnessSnapshot) Add(o RobustnessSnapshot) RobustnessSnapshot {
 func (s RobustnessSnapshot) IsZero() bool { return s == RobustnessSnapshot{} }
 
 func (s RobustnessSnapshot) String() string {
-	return fmt.Sprintf("retries=%d timeouts=%d reconnects=%d grad-dups=%d stale-serves=%d degraded-steps=%d",
+	base := fmt.Sprintf("retries=%d timeouts=%d reconnects=%d grad-dups=%d stale-serves=%d degraded-steps=%d",
 		s.Retries, s.Timeouts, s.Reconnects, s.GradDups, s.StaleServes, s.DegradedSteps)
+	if s.Failovers != 0 || s.RehomedExperts != 0 || s.Restores != 0 || s.Checkpoints != 0 {
+		base += fmt.Sprintf(" failovers=%d rehomed=%d restores=%d checkpoints=%d ckpt-bytes=%d ckpt-ms=%.1f",
+			s.Failovers, s.RehomedExperts, s.Restores, s.Checkpoints,
+			s.CheckpointBytes, float64(s.CheckpointNanos)/1e6)
+	}
+	return base
 }
 
 // GiB converts bytes to binary gigabytes (the unit of Table 1).

@@ -95,3 +95,105 @@ func TestUnitHelpers(t *testing.T) {
 		t.Fatal("zero-time Gbps should be 0")
 	}
 }
+
+// robustFixture populates every Robustness counter with a distinct
+// value so element-wise mistakes (a swapped or forgotten field in
+// Sub/Add) cannot cancel out.
+func robustFixture(scale int64) *Robustness {
+	var r Robustness
+	for i := int64(0); i < 1*scale; i++ {
+		r.AddRetry()
+	}
+	for i := int64(0); i < 2*scale; i++ {
+		r.AddTimeout()
+	}
+	for i := int64(0); i < 3*scale; i++ {
+		r.AddReconnect()
+	}
+	for i := int64(0); i < 4*scale; i++ {
+		r.AddGradDup()
+	}
+	for i := int64(0); i < 5*scale; i++ {
+		r.AddStaleServe()
+	}
+	for i := int64(0); i < 6*scale; i++ {
+		r.AddDegradedStep()
+	}
+	for i := int64(0); i < 7*scale; i++ {
+		r.AddFailover()
+	}
+	r.AddRehomedExperts(8 * scale)
+	for i := int64(0); i < 9*scale; i++ {
+		r.AddRestore()
+	}
+	for i := int64(0); i < 10*scale; i++ {
+		r.AddCheckpoint(100*scale, 1000*scale)
+	}
+	return &r
+}
+
+func TestRobustnessSnapshotSubDeltas(t *testing.T) {
+	r := robustFixture(1)
+	before := r.Snapshot()
+
+	// One more of everything: the delta must be exactly the increment,
+	// field by field, regardless of the totals underneath.
+	r.AddRetry()
+	r.AddTimeout()
+	r.AddReconnect()
+	r.AddGradDup()
+	r.AddStaleServe()
+	r.AddDegradedStep()
+	r.AddFailover()
+	r.AddRehomedExperts(3)
+	r.AddRestore()
+	r.AddCheckpoint(64, 2_000_000)
+
+	delta := r.Snapshot().Sub(before)
+	want := RobustnessSnapshot{
+		Retries: 1, Timeouts: 1, Reconnects: 1, GradDups: 1,
+		StaleServes: 1, DegradedSteps: 1,
+		Failovers: 1, RehomedExperts: 3, Restores: 1,
+		Checkpoints: 1, CheckpointBytes: 64, CheckpointNanos: 2_000_000,
+	}
+	if delta != want {
+		t.Fatalf("delta = %+v, want %+v", delta, want)
+	}
+	// Sub against itself is the zero snapshot, and IsZero agrees.
+	if self := r.Snapshot().Sub(r.Snapshot()); !self.IsZero() {
+		t.Fatalf("x.Sub(x) = %+v, want zero", self)
+	}
+	if delta.IsZero() {
+		t.Fatal("non-empty delta claims IsZero")
+	}
+}
+
+func TestRobustnessSnapshotAddSubRoundTrip(t *testing.T) {
+	a := robustFixture(2).Snapshot()
+	b := robustFixture(5).Snapshot()
+	sum := a.Add(b)
+	if got := sum.Sub(b); got != a {
+		t.Fatalf("(a+b)-b = %+v, want %+v", got, a)
+	}
+	if got := sum.Sub(a); got != b {
+		t.Fatalf("(a+b)-a = %+v, want %+v", got, b)
+	}
+	if a.Add(b) != b.Add(a) {
+		t.Fatal("Add is not commutative")
+	}
+}
+
+func TestRobustnessSnapshotString(t *testing.T) {
+	base := RobustnessSnapshot{Retries: 2}
+	if s := base.String(); strings.Contains(s, "failovers") {
+		t.Fatalf("failover section shown with no failover events: %q", s)
+	}
+	full := RobustnessSnapshot{Failovers: 1, RehomedExperts: 3, Restores: 2,
+		Checkpoints: 4, CheckpointBytes: 1 << 20, CheckpointNanos: 5e6}
+	s := full.String()
+	for _, frag := range []string{"failovers=1", "rehomed=3", "restores=2", "checkpoints=4", "ckpt-ms=5.0"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}

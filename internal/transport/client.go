@@ -490,6 +490,37 @@ func (c *Client) PushGradient(ctx context.Context, addr string, id ExpertID, pay
 	return nil
 }
 
+// Ping probes addr's liveness with a single attempt — no retries and
+// no backoff, because a heartbeat's whole job is to report the current
+// state quickly; the caller's dead-man counter supplies the tolerance
+// a retry budget would. The attempt runs under the request timeout (or
+// the ctx deadline, whichever is sooner), piggybacks on the same
+// pipelined connection as pulls, and evicts the connection on failure
+// so the next probe re-dials.
+func (c *Client) Ping(ctx context.Context, addr string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	actx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	defer cancel()
+	p, err := c.peer(addr)
+	if err != nil {
+		return err
+	}
+	resp, err := p.roundTrip(actx, frame{typ: msgPing}, &c.Counters)
+	if err != nil {
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			c.evict(addr, p, fmt.Errorf("transport: evicted after: %w", err))
+		}
+		return err
+	}
+	if resp.typ != msgPong {
+		return fmt.Errorf("transport: unexpected response type %#x", resp.typ)
+	}
+	return nil
+}
+
 // Close tears down all peer connections. In-flight calls fail, and
 // callers blocked on credits or backoff fail fast.
 func (c *Client) Close() error {

@@ -32,6 +32,8 @@ const (
 	msgExpert  = 0x02 // server -> client: expert payload
 	msgGrad    = 0x03 // client -> server: gradient payload
 	msgGradAck = 0x04 // server -> client: gradient accepted
+	msgPing    = 0x05 // client -> server: liveness probe (heartbeat)
+	msgPong    = 0x06 // server -> client: liveness answer
 	msgError   = 0x7F // server -> client: request failed
 )
 
@@ -167,6 +169,7 @@ type Server struct {
 	pulls    atomic.Int64
 	grads    atomic.Int64
 	gradDups atomic.Int64
+	pings    atomic.Int64
 	Counters Counters
 
 	gradMu    sync.Mutex
@@ -219,6 +222,9 @@ func (s *Server) GradsAccepted() int64 { return s.grads.Load() }
 // GradsDeduped returns how many gradient retransmits the server
 // recognised and answered without re-applying.
 func (s *Server) GradsDeduped() int64 { return s.gradDups.Load() }
+
+// PingsServed returns how many heartbeat probes this server answered.
+func (s *Server) PingsServed() int64 { return s.pings.Load() }
 
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
@@ -298,6 +304,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				respond(resp)
 			}(f)
+		case msgPing:
+			// Heartbeats piggyback on the data connection and never
+			// touch the store; answer inline so liveness is observed
+			// even while store handlers are busy.
+			s.pings.Add(1)
+			respond(frame{typ: msgPong, reqID: f.reqID})
 		default:
 			return // protocol violation: drop the connection
 		}

@@ -353,3 +353,31 @@ func TestDialFailure(t *testing.T) {
 		t.Fatal("unreachable")
 	}
 }
+
+func TestPingRoundTripAndFailure(t *testing.T) {
+	srv, addr := startServer(t, newMemStore())
+	c := newFastClient(4, 1)
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(ctx, addr); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	if got := srv.PingsServed(); got != 3 {
+		t.Fatalf("PingsServed = %d, want 3", got)
+	}
+
+	// A ping is a liveness probe, not a request: it gets exactly one
+	// attempt, so a dead server surfaces as an error immediately.
+	srv.Close()
+	if err := c.Ping(ctx, addr); err == nil {
+		t.Fatal("ping of a closed server succeeded")
+	}
+	// And an expired context fails without touching the wire.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Ping(cctx, addr); err == nil {
+		t.Fatal("ping with cancelled context succeeded")
+	}
+}

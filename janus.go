@@ -24,6 +24,7 @@
 package janus
 
 import (
+	"janus/internal/checkpoint"
 	"janus/internal/config"
 	"janus/internal/core"
 	"janus/internal/engine"
@@ -251,8 +252,36 @@ func MachineLabel(m int) string { return livecluster.MachineLabel(m) }
 
 // RobustnessSnapshot is a point-in-time view of fault-tolerance
 // counters: retries, timeouts, reconnects, gradient dedups, stale
-// serves, degraded steps.
+// serves, degraded steps, failovers, re-homed experts, checkpoint
+// saves/restores.
 type RobustnessSnapshot = metrics.RobustnessSnapshot
+
+// Checkpoint is a crash-consistent snapshot of training state: expert
+// weights by id, dense parameters, and the step counter. On disk each
+// version is CRC-verified per entry and committed by atomic rename, so
+// a torn or bit-flipped file is rejected at restore rather than loaded.
+type Checkpoint = checkpoint.Snapshot
+
+// SaveCheckpoint commits snap as a new version under dir and returns
+// the bytes written.
+func SaveCheckpoint(dir string, snap *Checkpoint) (int64, error) {
+	return checkpoint.Save(dir, snap)
+}
+
+// LoadLatestCheckpoint restores the newest version under dir that
+// passes verification, returning the snapshot and its version. It
+// returns ErrNoCheckpoint when dir holds no loadable version.
+func LoadLatestCheckpoint(dir string) (*Checkpoint, int, error) {
+	return checkpoint.LoadLatest(dir)
+}
+
+// ErrNoCheckpoint reports that a checkpoint directory holds no loadable
+// version.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+
+// DefaultDeadManSteps is the live cluster's default consecutive-miss
+// heartbeat budget before a machine is declared permanently dead.
+const DefaultDeadManSteps = livecluster.DefaultDeadManSteps
 
 // TrainRunConfig describes a multi-iteration training run with a gate
 // whose routing drifts over the run (§3.1's averaged-profile
