@@ -1,7 +1,7 @@
 # Verify tiers. Tier 1 is the seed contract (ROADMAP.md); the race
 # tier vets and race-checks the concurrent retry/reconnect/degradation
 # code at reduced test sizes (-short skips the long experiment sweeps).
-.PHONY: verify tier1 race cover
+.PHONY: verify tier1 race cover bench
 
 verify: tier1 race
 
@@ -21,3 +21,15 @@ cover:
 		./internal/faultinject \
 		./internal/checkpoint \
 		./internal/metrics
+
+# Record the performance trajectory: run the micro-benchmarks (fabric
+# admission/reallocation, tensor kernels, transport framing, livecluster
+# iteration) and write them as JSON. The Seed/Oracle variants pin the
+# pre-optimization code paths, so the speedup ratios are in the file.
+bench:
+	go test -run '^$$' -bench . -benchmem \
+		./internal/fabric \
+		./internal/tensor \
+		./internal/transport \
+		./internal/livecluster \
+		| tee /dev/stderr | go run ./cmd/benchjson -baseline BENCH_BASELINE.json > BENCH_3.json

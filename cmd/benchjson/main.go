@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so `make bench` can record the performance
+// trajectory (BENCH_3.json) in a diffable, machine-readable form.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./... | go run ./cmd/benchjson > BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Package    string  `json:"package"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Extra holds every additional "<value> <unit>" pair the line
+	// reported (B/op, allocs/op, MB/s, custom b.ReportMetric units).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Doc is the whole document.
+type Doc struct {
+	Goos       string          `json:"goos,omitempty"`
+	Goarch     string          `json:"goarch,omitempty"`
+	CPU        string          `json:"cpu,omitempty"`
+	Benchmarks []Benchmark     `json:"benchmarks"`
+	Baseline   json.RawMessage `json:"baseline,omitempty"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "JSON file of frozen baseline measurements to embed verbatim")
+	flag.Parse()
+	var doc Doc
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(pkg, line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s is not valid JSON\n", *baseline)
+			os.Exit(1)
+		}
+		doc.Baseline = json.RawMessage(raw)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses "BenchmarkName-8  120  999 ns/op  12 B/op ...".
+func parseLine(pkg, line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimSuffix(f[0], "-"+lastDashSuffix(f[0]))
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Package: pkg, Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := f[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Extra == nil {
+			b.Extra = make(map[string]float64)
+		}
+		b.Extra[unit] = v
+	}
+	return b, b.NsPerOp != 0
+}
+
+// lastDashSuffix returns the trailing "<digits>" of a -GOMAXPROCS
+// suffix, or "" when the name has none.
+func lastDashSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	suf := name[i+1:]
+	for _, r := range suf {
+		if r < '0' || r > '9' {
+			return ""
+		}
+	}
+	return suf
+}

@@ -6,10 +6,12 @@
 //	janusbench -list            # show available experiments
 //	janusbench -run fig14       # run one experiment
 //	janusbench -run table1,fig3 # run several
+//	janusbench -json            # machine-readable results on stdout
 //	janusbench                  # run everything, in paper order
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +21,22 @@ import (
 	"janus/internal/experiments"
 )
 
+// jsonEntry is one experiment's machine-readable outcome: the typed
+// result struct (whose exported fields are the table rows) plus the
+// rendered text for convenience.
+type jsonEntry struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Seconds float64            `json:"seconds"`
+	Error   string             `json:"error,omitempty"`
+	Result  experiments.Result `json:"result,omitempty"`
+	Render  string             `json:"render,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	asJSON := flag.Bool("json", false, "emit a JSON array of results on stdout instead of tables")
 	flag.Parse()
 
 	if *list {
@@ -38,6 +53,7 @@ func main() {
 		ids = strings.Split(*run, ",")
 	}
 	failed := false
+	var entries []jsonEntry
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := experiments.ByID(id)
@@ -48,13 +64,31 @@ func main() {
 		}
 		start := time.Now()
 		res, err := e.Run()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "janusbench: %s: %v\n", id, err)
 			failed = true
+			if *asJSON {
+				entries = append(entries, jsonEntry{ID: e.ID, Title: e.Title,
+					Seconds: elapsed.Seconds(), Error: err.Error()})
+			}
 			continue
 		}
-		fmt.Printf("=== %s — %s (ran in %v)\n\n%s\n", e.ID, e.Title,
-			time.Since(start).Round(time.Millisecond), res.Render())
+		if *asJSON {
+			entries = append(entries, jsonEntry{ID: e.ID, Title: e.Title,
+				Seconds: elapsed.Seconds(), Result: res, Render: res.Render()})
+		} else {
+			fmt.Printf("=== %s — %s (ran in %v)\n\n%s\n", e.ID, e.Title,
+				elapsed.Round(time.Millisecond), res.Render())
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entries); err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: encode: %v\n", err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -9,8 +9,12 @@
 // finished, so the slowest sender/receiver pins the whole operation.
 //
 // Flow completions are delivered by simulation events, never
-// synchronously from StartFlow, so a collective can safely count its
+// synchronously from StartFlows, so a collective can safely count its
 // flows before any of them finishes.
+//
+// Every collective admits each wave of flows through one batched
+// fabric.StartFlows call, so an n-GPU All-to-All costs the fabric a
+// single rate settlement instead of n(n−1).
 package collective
 
 import (
@@ -36,12 +40,12 @@ func (j *joinCounter) arrive() {
 // AllToAll moves sizes[i][j] bytes from gpus[i] to gpus[j] concurrently
 // and calls onDone when every transfer has completed. Diagonal entries
 // (i == j) are local and free. This is the flat algorithm: one flow per
-// (src, dst) pair with nonzero payload.
+// (src, dst) pair with nonzero payload, all admitted in one batch.
 func AllToAll(c *topology.Cluster, gpus []*topology.GPU, sizes [][]float64, name string, onDone func()) {
 	if len(sizes) != len(gpus) {
 		panic(fmt.Sprintf("collective: sizes has %d rows for %d gpus", len(sizes), len(gpus)))
 	}
-	var flows []func(*joinCounter)
+	var specs []fabric.FlowSpec
 	for i, src := range gpus {
 		if len(sizes[i]) != len(gpus) {
 			panic(fmt.Sprintf("collective: sizes row %d has %d cols for %d gpus", i, len(sizes[i]), len(gpus)))
@@ -50,26 +54,32 @@ func AllToAll(c *topology.Cluster, gpus []*topology.GPU, sizes [][]float64, name
 			if i == j || sizes[i][j] <= 0 {
 				continue
 			}
-			src, dst, size := src, dst, sizes[i][j]
-			flows = append(flows, func(join *joinCounter) {
-				c.Net.StartFlowEff(fmt.Sprintf("%s:%v->%v", name, src, dst), size,
-					c.Spec.A2AEfficiency, c.PathGPUToGPU(src, dst),
-					func(*fabric.Flow) { join.arrive() })
+			specs = append(specs, fabric.FlowSpec{
+				Name: fmt.Sprintf("%s:%v->%v", name, src, dst),
+				Size: sizes[i][j], Eff: c.Spec.A2AEfficiency,
+				Path: c.PathGPUToGPU(src, dst),
 			})
 		}
 	}
-	if len(flows) == 0 {
+	startWave(c, specs, onDone)
+}
+
+// startWave admits specs as one batch, wiring each flow's completion
+// into a join that fires onDone once the whole wave has drained. An
+// empty wave still completes asynchronously, keeping the contract that
+// onDone never fires inside the caller's stack frame.
+func startWave(c *topology.Cluster, specs []fabric.FlowSpec, onDone func()) {
+	if len(specs) == 0 {
 		if onDone != nil {
-			// Keep the "completion is asynchronous" contract even when
-			// nothing moves.
 			c.Engine.After(0, onDone)
 		}
 		return
 	}
-	join := &joinCounter{n: len(flows), done: onDone}
-	for _, f := range flows {
-		f(join)
+	join := &joinCounter{n: len(specs), done: onDone}
+	for i := range specs {
+		specs[i].OnComplete = func(*fabric.Flow) { join.arrive() }
 	}
+	c.Net.StartFlows(specs)
 }
 
 // HierarchicalAllToAll implements the 2D algorithm Tutel and SE-MoE
@@ -111,23 +121,22 @@ func HierarchicalAllToAll(c *topology.Cluster, sizes [][]float64, name string, o
 	}
 
 	runPhase := func(pairs map[[2]int]float64, phase string, then func()) {
-		if len(pairs) == 0 {
-			c.Engine.After(0, then)
-			return
-		}
 		// Deterministic iteration order over the map.
 		keys := make([][2]int, 0, len(pairs))
 		for k := range pairs {
 			keys = append(keys, k)
 		}
 		sortPairs(keys)
-		join := &joinCounter{n: len(keys), done: then}
+		specs := make([]fabric.FlowSpec, 0, len(keys))
 		for _, k := range keys {
 			src, dst := gpus[k[0]], gpus[k[1]]
-			c.Net.StartFlowEff(fmt.Sprintf("%s.%s:%v->%v", name, phase, src, dst),
-				pairs[k], c.Spec.A2AEfficiency, c.PathGPUToGPU(src, dst),
-				func(*fabric.Flow) { join.arrive() })
+			specs = append(specs, fabric.FlowSpec{
+				Name: fmt.Sprintf("%s.%s:%v->%v", name, phase, src, dst),
+				Size: pairs[k], Eff: c.Spec.A2AEfficiency,
+				Path: c.PathGPUToGPU(src, dst),
+			})
 		}
+		startWave(c, specs, then)
 	}
 	runPhase(intraBytes, "intra", func() {
 		runPhase(interBytes, "inter", func() {
@@ -156,7 +165,7 @@ func sortPairs(keys [][2]int) {
 // GPU to its ring successor, with a barrier between steps. onDone fires
 // when the last step completes. The ring order is global-rank order,
 // which places machine boundaries at exactly n points — the usual
-// topology-friendly ring.
+// topology-friendly ring. Each step is one admission batch.
 func RingAllReduce(c *topology.Cluster, gpus []*topology.GPU, bytesPerGPU float64, name string, onDone func()) {
 	nGPU := len(gpus)
 	if nGPU < 2 || bytesPerGPU <= 0 {
@@ -177,13 +186,16 @@ func RingAllReduce(c *topology.Cluster, gpus []*topology.GPU, bytesPerGPU float6
 			}
 			return
 		}
-		join := &joinCounter{n: nGPU, done: func() { runStep(s + 1) }}
+		specs := make([]fabric.FlowSpec, 0, nGPU)
 		for i, src := range gpus {
 			dst := gpus[(i+1)%nGPU]
-			c.Net.StartFlowEff(fmt.Sprintf("%s.step%d:%v->%v", name, s, src, dst),
-				chunk, c.Spec.AllReduceEfficiency, c.PathGPUToGPU(src, dst),
-				func(*fabric.Flow) { join.arrive() })
+			specs = append(specs, fabric.FlowSpec{
+				Name: fmt.Sprintf("%s.step%d:%v->%v", name, s, src, dst),
+				Size: chunk, Eff: c.Spec.AllReduceEfficiency,
+				Path: c.PathGPUToGPU(src, dst),
+			})
 		}
+		startWave(c, specs, func() { runStep(s + 1) })
 	}
 	runStep(0)
 }
@@ -191,24 +203,18 @@ func RingAllReduce(c *topology.Cluster, gpus []*topology.GPU, bytesPerGPU float6
 // Broadcast sends size bytes from root to every other listed GPU
 // concurrently (the flat algorithm; adequate for the expert-push use).
 func Broadcast(c *topology.Cluster, root *topology.GPU, gpus []*topology.GPU, size float64, name string, onDone func()) {
-	var targets []*topology.GPU
-	for _, g := range gpus {
-		if g != root {
-			targets = append(targets, g)
+	var specs []fabric.FlowSpec
+	if size > 0 {
+		for _, dst := range gpus {
+			if dst == root {
+				continue
+			}
+			specs = append(specs, fabric.FlowSpec{
+				Name: fmt.Sprintf("%s:%v->%v", name, root, dst),
+				Size: size, Eff: c.Spec.PullEfficiency,
+				Path: c.PathGPUToGPU(root, dst),
+			})
 		}
 	}
-	if len(targets) == 0 || size <= 0 {
-		c.Engine.After(0, func() {
-			if onDone != nil {
-				onDone()
-			}
-		})
-		return
-	}
-	join := &joinCounter{n: len(targets), done: onDone}
-	for _, dst := range targets {
-		c.Net.StartFlowEff(fmt.Sprintf("%s:%v->%v", name, root, dst), size,
-			c.Spec.PullEfficiency, c.PathGPUToGPU(root, dst),
-			func(*fabric.Flow) { join.arrive() })
-	}
+	startWave(c, specs, onDone)
 }

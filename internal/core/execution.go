@@ -234,11 +234,15 @@ func (w *worker) sendGrad(b, e int) {
 	ownerGPU := r.c.GPU(owner)
 	if ownerGPU.Machine == w.g.Machine {
 		r.pendingGrads++
-		r.c.Net.StartFlowEff(fmt.Sprintf("grad.b%d.e%d.%v", b, e, w.g),
-			bytes, r.cfg.Spec.PullEfficiency,
-			r.c.PathGPUToGPU(w.g, ownerGPU), func(*fabric.Flow) {
-				r.gradDelivered()
-			})
+		r.pendingNow = append(r.pendingNow, fabric.FlowSpec{
+			Name: fmt.Sprintf("grad.b%d.e%d.%v", b, e, w.g),
+			Size: bytes, Eff: r.cfg.Spec.PullEfficiency,
+			Path:       r.c.PathGPUToGPU(w.g, ownerGPU),
+			OnComplete: func(*fabric.Flow) { r.gradDelivered() },
+		})
+		if r.batchDepth == 0 {
+			r.flushFlows()
+		}
 		return
 	}
 	r.pendingGrads++

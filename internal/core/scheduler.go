@@ -96,6 +96,38 @@ type runner struct {
 	workersBwdDone     int
 	optimizerSubmitted bool
 	backwardStarted    bool
+
+	// Batched flow admission: specs accumulated inside a batched()
+	// region are admitted through one fabric.StartFlows call per flush,
+	// so a pump() that issues a whole prefetch wave costs the fabric a
+	// single settlement instead of one per task.
+	batchDepth   int
+	pendingNow   []fabric.FlowSpec // admitted at the current instant
+	pendingPulls []fabric.FlowSpec // admitted after the control-plane round trip
+}
+
+// batched runs fn with flow admission deferred; the outermost region
+// flushes everything fn (and its nested calls) issued as two batches.
+func (r *runner) batched(fn func()) {
+	r.batchDepth++
+	fn()
+	r.batchDepth--
+	if r.batchDepth == 0 {
+		r.flushFlows()
+	}
+}
+
+func (r *runner) flushFlows() {
+	if len(r.pendingNow) > 0 {
+		specs := r.pendingNow
+		r.pendingNow = nil
+		r.c.Net.StartFlows(specs)
+	}
+	if len(r.pendingPulls) > 0 {
+		specs := r.pendingPulls
+		r.pendingPulls = nil
+		r.c.Engine.After(r.cfg.Spec.PullLatency, func() { r.c.Net.StartFlows(specs) })
+	}
 }
 
 // worker is one GPU's view: its compute chain, its Intra-Node Scheduler
@@ -168,17 +200,21 @@ func (r *runner) start() {
 		// Provident prefetch (§5.3): every data-centric block's fetch
 		// requests enter the task queues at iteration start, and the
 		// Inter-Node Schedulers begin pulling external experts at once.
-		for _, b := range r.cfg.Model.MoEBlockIndices() {
-			if r.report.Paradigms[b] != config.DataCentric {
-				continue
+		// One batched() region spans every worker, so the entire
+		// cluster-wide prefetch wave is two flow admissions.
+		r.batched(func() {
+			for _, b := range r.cfg.Model.MoEBlockIndices() {
+				if r.report.Paradigms[b] != config.DataCentric {
+					continue
+				}
+				for _, w := range r.workers {
+					w.enqueueForwardFetches(b)
+				}
 			}
 			for _, w := range r.workers {
-				w.enqueueForwardFetches(b)
+				w.pump()
 			}
-		}
-		for _, w := range r.workers {
-			w.pump()
-		}
+		})
 	}
 	for _, w := range r.workers {
 		w.startForward(0)
@@ -269,6 +305,10 @@ func (w *worker) peer() *worker {
 // capture every credit while an earlier block's external expert starves
 // — a deadlock the tests for this package provoke.
 func (w *worker) pump() {
+	w.r.batched(w.pumpTasks)
+}
+
+func (w *worker) pumpTasks() {
 	for w.credits > 0 {
 		issued := false
 		for i := 0; i < len(w.queue); i++ {
@@ -326,18 +366,28 @@ func (w *worker) blockedOn(t fetchTask) *signal {
 // pullFlow starts a pull-style transfer after the control-plane round
 // trip: the requester messages the holder over the socket control
 // plane, and the data flows once the holder schedules the send (§6).
+// Inside a batched() region the admission is coalesced with every other
+// pull issued at this instant.
 func (r *runner) pullFlow(name string, bytes float64, path []*fabric.Link, then func()) {
-	r.c.Engine.After(r.cfg.Spec.PullLatency, func() {
-		r.c.Net.StartFlowEff(name, bytes, r.cfg.Spec.PullEfficiency, path,
-			func(*fabric.Flow) { then() })
+	r.pendingPulls = append(r.pendingPulls, fabric.FlowSpec{
+		Name: name, Size: bytes, Eff: r.cfg.Spec.PullEfficiency, Path: path,
+		OnComplete: func(*fabric.Flow) { then() },
 	})
+	if r.batchDepth == 0 {
+		r.flushFlows()
+	}
 }
 
 // memcpyFlow starts a local staging copy (host<->device or peer
 // device): no control-plane round trip, near-line-rate goodput.
 func (r *runner) memcpyFlow(name string, bytes float64, path []*fabric.Link, then func()) {
-	r.c.Net.StartFlowEff(name, bytes, r.cfg.Spec.MemcpyEfficiency, path,
-		func(*fabric.Flow) { then() })
+	r.pendingNow = append(r.pendingNow, fabric.FlowSpec{
+		Name: name, Size: bytes, Eff: r.cfg.Spec.MemcpyEfficiency, Path: path,
+		OnComplete: func(*fabric.Flow) { then() },
+	})
+	if r.batchDepth == 0 {
+		r.flushFlows()
+	}
 }
 
 func (w *worker) releaseCredit() {

@@ -1,0 +1,526 @@
+// Rate allocation. A "settle" resolves every arrival and completion
+// that occurred at one virtual instant with a single progressive-filling
+// pass and re-anchors only what actually changed.
+//
+// Bit-identity invariants (enforced by differential_test.go):
+//
+//  1. Component restriction is exact, not approximate. Progressive
+//     filling touches a link's residual/nActive only through flows that
+//     cross it, so the fill restricted to the connected component of
+//     the perturbed links performs the identical float operations the
+//     full fill performs on that component; flows outside it would
+//     recompute to bitwise-equal rates, which re-anchoring then skips.
+//
+//  2. Bottleneck selection order within a component matches the naive
+//     scan. The naive scan picks the first link (in flow-ord × path
+//     order) achieving the minimum share, i.e. the lexicographic
+//     minimum of (share, scanRank). The share-keyed heap uses exactly
+//     that key, with stale entries skipped via allocVer. Selection
+//     order *across* components never affects any computed value.
+//
+//  3. Accounting is anchored. A flow's remaining bytes and a link's
+//     carried/busy integrals are closed-form between rate changes; the
+//     anchors move only when a rate (or a link's rate sum) changes
+//     bitwise. Both allocator modes therefore move anchors at identical
+//     instants with identical values, making lazy and eager evaluation
+//     indistinguishable.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// settle recomputes max-min rates for the scope perturbed by the
+// arrivals/completions batched at the current instant, re-anchors what
+// changed, reschedules the completion event, and fires the completion
+// callbacks of flows retired at this instant.
+func (n *Network) settle() {
+	n.settlePending = false
+	now := n.eng.Now()
+	finished := n.pendingDone
+	n.pendingDone = nil
+	trig := n.trigLinks
+	n.trigLinks = nil
+
+	n.compGen++
+	gen := n.compGen
+	scopeF := n.scopeFlows[:0]
+	scopeL := n.scopeLinks[:0]
+	if n.mode == ModeOracle {
+		// Reference scope: every active flow and every link they (or
+		// the retiring flows) cross.
+		n.compact()
+		for _, f := range n.active {
+			f.compGen = gen
+			scopeF = append(scopeF, f)
+			for _, l := range f.path {
+				if l.compGen != gen {
+					l.compGen = gen
+					scopeL = append(scopeL, l)
+				}
+			}
+		}
+		for _, l := range trig {
+			if l.compGen != gen {
+				l.compGen = gen
+				scopeL = append(scopeL, l)
+			}
+		}
+	} else {
+		// Connected component of the trigger links: flows are the
+		// hyperedges joining links, so a BFS over link→flows→links
+		// closes the scope.
+		queue := n.bfsQueue[:0]
+		for _, l := range trig {
+			if l.compGen != gen {
+				l.compGen = gen
+				scopeL = append(scopeL, l)
+				queue = append(queue, l)
+			}
+		}
+		for len(queue) > 0 {
+			l := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, ref := range l.flows {
+				f := ref.f
+				if f.compGen == gen {
+					continue
+				}
+				f.compGen = gen
+				scopeF = append(scopeF, f)
+				for _, pl := range f.path {
+					if pl.compGen != gen {
+						pl.compGen = gen
+						scopeL = append(scopeL, pl)
+						queue = append(queue, pl)
+					}
+				}
+			}
+		}
+		n.bfsQueue = queue[:0]
+		// The naive scan visits flows in activation order; restricting
+		// it to the component means iterating the component's flows in
+		// that same (sub)order. When the component covers most of the
+		// active population, re-collecting from the ord-ordered active
+		// list is cheaper than sorting the BFS discovery order.
+		if 4*len(scopeF) >= n.nActive+n.nDead {
+			scopeF = scopeF[:0]
+			for _, f := range n.active {
+				if f.compGen == gen {
+					scopeF = append(scopeF, f)
+				}
+			}
+		} else {
+			sort.Slice(scopeF, func(i, j int) bool { return scopeF[i].ord < scopeF[j].ord })
+		}
+		if n.nDead > 64 && n.nDead > n.nActive {
+			n.compact()
+		}
+	}
+
+	// Reset link fill state and assign scan ranks: a link's rank is its
+	// first-visit position in the flow-ord × path-order scan, the exact
+	// tie-break the naive bottleneck rescan implements.
+	rank := 0
+	for _, l := range scopeL {
+		l.nActive = 0
+		l.residual = l.capacity
+		l.scanRank = -1
+		l.allocVer++
+		l.pushVer = l.allocVer - 1 // not yet pushed this fill
+	}
+	for _, f := range scopeF {
+		f.frozen = false
+		f.newRate = 0
+		for _, l := range f.path {
+			l.nActive++
+			if l.scanRank < 0 {
+				l.scanRank = rank
+				rank++
+			}
+		}
+	}
+
+	if n.mode == ModeOracle {
+		fillOracle(scopeF)
+	} else {
+		// Dense components (flows outnumber links) make the lazy heap
+		// churn one entry per (frozen flow, path link); a scoped scan
+		// has no such churn and costs O(rounds·links). Sparse,
+		// link-heavy components are where the heap's O(log) selection
+		// wins. Either choice computes bit-identical rates.
+		useScan := true
+		switch n.fill {
+		case FillAdaptive:
+			useScan = 3*len(scopeF) >= len(scopeL)
+		case FillHeap:
+			useScan = false
+		}
+		if useScan {
+			fillScan(scopeF, scopeL)
+		} else {
+			n.fillIncremental(scopeF)
+		}
+	}
+
+	// Re-anchor exactly the flows whose rate changed bitwise. Using the
+	// old goodput for the catch-up keeps the arithmetic identical to an
+	// eager per-event integration at the same instants.
+	for _, f := range scopeF {
+		if f.newRate == f.rate {
+			continue
+		}
+		rem := f.anchorRem - f.goodput*(now-f.anchorAt)
+		if rem < 0 {
+			rem = 0
+		}
+		f.anchorRem = rem
+		f.anchorAt = now
+		f.rate = f.newRate
+		f.goodput = f.newRate * f.eff
+		if f.goodput <= 0 {
+			// Progressive filling always grants a positive share on
+			// positive-capacity links; reaching here means the fill
+			// terminated early and the flow would never complete.
+			panic(fmt.Sprintf("fabric: flow %q settled with zero goodput", f.name))
+		}
+		f.finishAt = now + rem/f.goodput
+		if f.heapIdx < 0 {
+			n.pushCompletion(f)
+		} else {
+			n.fixCompletion(f)
+		}
+	}
+
+	// Recompute the rate sums of scope links; sync the carried/busy
+	// integrals only where a sum changed bitwise, so the integration
+	// points coincide across alloc modes.
+	for _, l := range scopeL {
+		var sr, sg float64
+		for _, ref := range l.flows {
+			sr += ref.f.rate
+			sg += ref.f.goodput
+		}
+		if sr != l.sumRate || sg != l.sumGoodput {
+			dt := now - l.lastSync
+			l.carried += l.sumGoodput * dt
+			l.busyInt += l.sumRate * dt
+			l.lastSync = now
+			l.sumRate = sr
+			l.sumGoodput = sg
+		}
+	}
+
+	n.scopeFlows = scopeF[:0]
+	n.scopeLinks = scopeL[:0]
+
+	n.rescheduleCompletion()
+
+	for _, f := range finished {
+		n.finish(f)
+	}
+}
+
+// fillOracle is the original naive progressive filling: rescan every
+// flow's path for the minimum fair share, freeze the crossing flows,
+// repeat. Kept verbatim as the reference oracle.
+func fillOracle(scopeF []*Flow) {
+	unfrozen := len(scopeF)
+	for unfrozen > 0 {
+		share := math.Inf(1)
+		var bottleneck *Link
+		for _, f := range scopeF {
+			for _, l := range f.path {
+				if l.nActive == 0 {
+					continue
+				}
+				s := l.residual / float64(l.nActive)
+				if s < share {
+					share = s
+					bottleneck = l
+				}
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for _, f := range scopeF {
+			if f.frozen {
+				continue
+			}
+			crosses := false
+			for _, l := range f.path {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.frozen = true
+			unfrozen--
+			f.newRate = share
+			for _, l := range f.path {
+				l.residual -= share
+				if l.residual < 0 {
+					l.residual = 0
+				}
+				l.nActive--
+			}
+		}
+	}
+}
+
+// fillScan is progressive filling over the component only: each round
+// picks the lexicographic (share, scanRank) minimum across the scope
+// links — exactly the link the naive flow-ord × path-order rescan
+// would reach first — and freezes the flows crossing it. Freezing via
+// the link's flow list instead of a scopeF rescan is value-identical:
+// every frozen flow gets the same share, and the residual decrements it
+// applies commute bitwise (same subtrahend, integer nActive).
+func fillScan(scopeF []*Flow, scopeL []*Link) {
+	unfrozen := len(scopeF)
+	for unfrozen > 0 {
+		share := math.Inf(1)
+		rank := -1
+		var bottleneck *Link
+		for _, l := range scopeL {
+			if l.nActive == 0 {
+				continue
+			}
+			s := l.residual / float64(l.nActive)
+			if s < share || (s == share && l.scanRank < rank) {
+				share, rank, bottleneck = s, l.scanRank, l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for _, ref := range bottleneck.flows {
+			f := ref.f
+			if f.frozen {
+				continue
+			}
+			f.frozen = true
+			unfrozen--
+			f.newRate = share
+			for _, pl := range f.path {
+				pl.residual -= share
+				if pl.residual < 0 {
+					pl.residual = 0
+				}
+				pl.nActive--
+			}
+		}
+	}
+}
+
+// fillIncremental selects bottlenecks through a (share, scanRank)-keyed
+// min-heap with lazy invalidation: every time a link's residual/nActive
+// change it gets a fresh entry (allocVer fences the stale ones), so the
+// popped valid minimum is exactly the link the naive rescan would pick.
+// Each link can be a valid bottleneck at most once per fill (its
+// nActive drops to zero), so the fill costs O(flows·pathlen·log links)
+// instead of O(rounds·flows·pathlen).
+func (n *Network) fillIncremental(scopeF []*Flow) {
+	h := n.lheap[:0]
+	for _, f := range scopeF {
+		for _, l := range f.path {
+			if l.pushVer != l.allocVer {
+				h = lheapPush(h, linkEntry{share: l.residual / float64(l.nActive), rank: l.scanRank, ver: l.allocVer, link: l})
+				l.pushVer = l.allocVer
+			}
+		}
+	}
+	unfrozen := len(scopeF)
+	for unfrozen > 0 && len(h) > 0 {
+		e := h[0]
+		h = lheapPop(h)
+		l := e.link
+		if e.ver != l.allocVer || l.nActive == 0 {
+			continue
+		}
+		share := e.share
+		for _, ref := range l.flows {
+			f := ref.f
+			if f.frozen {
+				continue
+			}
+			f.frozen = true
+			unfrozen--
+			f.newRate = share
+			for _, pl := range f.path {
+				pl.residual -= share
+				if pl.residual < 0 {
+					pl.residual = 0
+				}
+				pl.nActive--
+				pl.allocVer++
+			}
+		}
+		for _, ref := range l.flows {
+			for _, pl := range ref.f.path {
+				if pl.nActive > 0 && pl.pushVer != pl.allocVer {
+					h = lheapPush(h, linkEntry{share: pl.residual / float64(pl.nActive), rank: pl.scanRank, ver: pl.allocVer, link: pl})
+					pl.pushVer = pl.allocVer
+				}
+			}
+		}
+	}
+	n.lheap = h[:0]
+}
+
+// rescheduleCompletion keeps exactly one engine event pending, at the
+// completion heap's minimum predicted finish time.
+func (n *Network) rescheduleCompletion() {
+	if len(n.fheap) == 0 {
+		if n.nextEv != nil {
+			n.eng.Cancel(n.nextEv)
+			n.nextEv = nil
+		}
+		if n.nActive > 0 {
+			// Active flows with zero rate can only happen if filling
+			// terminated without freezing everything, which progressive
+			// filling never does. Guard against silent deadlock anyway.
+			panic("fabric: active flows but no completion schedulable")
+		}
+		return
+	}
+	top := n.fheap[0]
+	if n.nextEv != nil && n.nextAt == top.finishAt {
+		return
+	}
+	if n.nextEv != nil {
+		n.eng.Cancel(n.nextEv)
+	}
+	n.nextAt = top.finishAt
+	n.nextEv = n.eng.At(top.finishAt, n.onCompletionEvent)
+}
+
+// --- completion min-heap, keyed (finishAt, ord) ---------------------------
+
+func flowLess(a, b *Flow) bool {
+	if a.finishAt != b.finishAt {
+		return a.finishAt < b.finishAt
+	}
+	return a.ord < b.ord
+}
+
+func (n *Network) pushCompletion(f *Flow) {
+	f.heapIdx = len(n.fheap)
+	n.fheap = append(n.fheap, f)
+	n.siftUp(f.heapIdx)
+}
+
+func (n *Network) fixCompletion(f *Flow) {
+	i := f.heapIdx
+	if !n.siftDown(i) {
+		n.siftUp(i)
+	}
+}
+
+func (n *Network) popCompletion() *Flow {
+	f := n.fheap[0]
+	last := len(n.fheap) - 1
+	n.fheap[0] = n.fheap[last]
+	n.fheap[0].heapIdx = 0
+	n.fheap[last] = nil
+	n.fheap = n.fheap[:last]
+	if last > 0 {
+		n.siftDown(0)
+	}
+	f.heapIdx = -1
+	return f
+}
+
+func (n *Network) siftUp(i int) {
+	h := n.fheap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !flowLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].heapIdx = i
+		h[parent].heapIdx = parent
+		i = parent
+	}
+}
+
+// siftDown restores heap order below i; reports whether i moved.
+func (n *Network) siftDown(i int) bool {
+	h := n.fheap
+	start := i
+	for {
+		kid := 2*i + 1
+		if kid >= len(h) {
+			break
+		}
+		if r := kid + 1; r < len(h) && flowLess(h[r], h[kid]) {
+			kid = r
+		}
+		if !flowLess(h[kid], h[i]) {
+			break
+		}
+		h[i], h[kid] = h[kid], h[i]
+		h[i].heapIdx = i
+		h[kid].heapIdx = kid
+		i = kid
+	}
+	return i > start
+}
+
+// --- link min-heap, keyed (share, scanRank), lazy invalidation ------------
+
+type linkEntry struct {
+	share float64
+	rank  int
+	ver   uint32
+	link  *Link
+}
+
+func lentryLess(a, b linkEntry) bool {
+	if a.share != b.share {
+		return a.share < b.share
+	}
+	return a.rank < b.rank
+}
+
+func lheapPush(h []linkEntry, e linkEntry) []linkEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lentryLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func lheapPop(h []linkEntry) []linkEntry {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		kid := 2*i + 1
+		if kid >= len(h) {
+			break
+		}
+		if r := kid + 1; r < len(h) && lentryLess(h[r], h[kid]) {
+			kid = r
+		}
+		if !lentryLess(h[kid], h[i]) {
+			break
+		}
+		h[i], h[kid] = h[kid], h[i]
+		i = kid
+	}
+	return h
+}

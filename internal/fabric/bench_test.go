@@ -1,0 +1,212 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"janus/internal/sim"
+)
+
+// benchFatTree builds a two-tier topology: machines with an up and a
+// down link each, joined through one core link per machine pair's hash
+// (a small core trunk set), the shape the simulator's All-to-All load
+// puts on a cluster.
+type benchTopo struct {
+	eng  *sim.Engine
+	net  *Network
+	up   []*Link
+	down []*Link
+	core []*Link
+}
+
+func newBenchTopo(machines, trunks int, mode AllocMode) *benchTopo {
+	eng := sim.NewEngine()
+	net := NewNetwork(eng)
+	net.SetAllocMode(mode)
+	t := &benchTopo{eng: eng, net: net}
+	for m := 0; m < machines; m++ {
+		t.up = append(t.up, net.NewLink(fmt.Sprintf("up%d", m), "nic", 1e10, 0))
+		t.down = append(t.down, net.NewLink(fmt.Sprintf("down%d", m), "nic", 1e10, 0))
+	}
+	for c := 0; c < trunks; c++ {
+		t.core = append(t.core, net.NewLink(fmt.Sprintf("core%d", c), "core", 4e10, 0))
+	}
+	return t
+}
+
+// allToAllSpecs builds one full All-to-All shuffle: every ordered
+// machine pair sends one flow through src-up, a trunk, and dst-down.
+// Sizes are skewed per pair (like real token routing imbalance), so
+// completions stagger and every one forces a reallocation — the
+// settle-heavy regime the incremental allocator is built for.
+func (t *benchTopo) allToAllSpecs(round int, size float64) []FlowSpec {
+	var specs []FlowSpec
+	n := len(t.up)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			specs = append(specs, FlowSpec{
+				Name: fmt.Sprintf("a2a.r%d.%d.%d", round, s, d),
+				Size: size * (1 + 0.01*float64(s*n+d)),
+				Path: []*Link{t.up[s], t.core[(s+d)%len(t.core)], t.down[d]},
+			})
+		}
+	}
+	return specs
+}
+
+// runA2ARounds drives `rounds` back-to-back All-to-All shuffles (each
+// admitted when the previous drains) and runs the simulation dry.
+func runA2ARounds(t *benchTopo, rounds int, size float64) {
+	var kick func(r int)
+	kick = func(r int) {
+		if r == rounds {
+			return
+		}
+		specs := t.allToAllSpecs(r, size)
+		left := len(specs)
+		for i := range specs {
+			specs[i].OnComplete = func(*Flow) {
+				left--
+				if left == 0 {
+					kick(r + 1)
+				}
+			}
+		}
+		t.net.StartFlows(specs)
+	}
+	kick(0)
+	t.eng.Run()
+}
+
+// benchmarkAllToAll measures a 32-machine All-to-All-heavy simulation
+// in the given allocation mode. ModeOracle is the retained seed
+// allocator (full rescans per settle), so the Incremental/Oracle ratio
+// is the ISSUE 3 speedup figure.
+func benchmarkAllToAll(b *testing.B, machines int, mode AllocMode) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := newBenchTopo(machines, 8, mode)
+		runA2ARounds(t, 4, 1e6)
+	}
+}
+
+func BenchmarkAllToAll32Incremental(b *testing.B) { benchmarkAllToAll(b, 32, ModeIncremental) }
+func BenchmarkAllToAll32Oracle(b *testing.B)     { benchmarkAllToAll(b, 32, ModeOracle) }
+
+// BenchmarkAllToAll32Seed reproduces the pre-optimization code path
+// exactly: the naive allocator AND per-flow admission, each StartFlowEff
+// triggering its own full reallocation — what every caller did before
+// batched StartFlows existed. Incremental/Seed is the end-to-end
+// speedup of this PR on the All-to-All-heavy workload.
+func BenchmarkAllToAll32Seed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := newBenchTopo(32, 8, ModeOracle)
+		var kick func(r int)
+		kick = func(r int) {
+			if r == 4 {
+				return
+			}
+			specs := t.allToAllSpecs(r, 1e6)
+			left := len(specs)
+			done := func(*Flow) {
+				left--
+				if left == 0 {
+					kick(r + 1)
+				}
+			}
+			for _, sp := range specs {
+				t.net.StartFlowEff(sp.Name, sp.Size, 1, sp.Path, done)
+			}
+		}
+		kick(0)
+		t.eng.Run()
+	}
+}
+
+// benchmarkAdmission measures admitting `flows` flows in one batch and
+// running the network dry — the admission + reallocation + completion
+// pipeline end to end.
+func benchmarkAdmission(b *testing.B, flows int, mode AllocMode) {
+	b.ReportAllocs()
+	machines := 32
+	for i := 0; i < b.N; i++ {
+		t := newBenchTopo(machines, 8, mode)
+		var specs []FlowSpec
+		for f := 0; f < flows; f++ {
+			s := f % machines
+			d := (f + 1 + f/machines) % machines
+			if d == s {
+				d = (d + 1) % machines
+			}
+			specs = append(specs, FlowSpec{
+				Name: fmt.Sprintf("f%d", f),
+				Size: 1e6 + float64(f%7)*1e5,
+				Path: []*Link{t.up[s], t.core[f%len(t.core)], t.down[d]},
+			})
+		}
+		t.net.StartFlows(specs)
+		t.eng.Run()
+	}
+}
+
+func BenchmarkAdmission1kIncremental(b *testing.B)  { benchmarkAdmission(b, 1000, ModeIncremental) }
+func BenchmarkAdmission1kOracle(b *testing.B)       { benchmarkAdmission(b, 1000, ModeOracle) }
+func BenchmarkAdmission10kIncremental(b *testing.B) { benchmarkAdmission(b, 10000, ModeIncremental) }
+
+// BenchmarkAdmission10kOracle is the seed allocator at 10k flows; it
+// is quadratic-ish per settle, so -short (the CI smoke tier) skips it.
+func BenchmarkAdmission10kOracle(b *testing.B) {
+	if testing.Short() {
+		b.Skip("seed allocator at 10k flows is slow; covered at 1k in -short")
+	}
+	benchmarkAdmission(b, 10000, ModeOracle)
+}
+
+// benchmarkReallocation stresses the settle path itself: a standing
+// population of long flows keeps every link busy while short flows
+// arrive and complete, forcing a reallocation each time. Only the
+// affected component should be recomputed in incremental mode.
+func benchmarkReallocation(b *testing.B, churn int, mode AllocMode) {
+	b.ReportAllocs()
+	machines := 32
+	for i := 0; i < b.N; i++ {
+		t := newBenchTopo(machines, 8, mode)
+		// Standing load: one long flow per machine pair ring.
+		var specs []FlowSpec
+		for m := 0; m < machines; m++ {
+			d := (m + 1) % machines
+			specs = append(specs, FlowSpec{
+				Name: fmt.Sprintf("standing%d", m),
+				Size: 1e9,
+				Path: []*Link{t.up[m], t.core[m%len(t.core)], t.down[d]},
+			})
+		}
+		t.net.StartFlows(specs)
+		// Churn: short flows admitted one at a time as each completes.
+		var kick func(k int)
+		kick = func(k int) {
+			if k == churn {
+				return
+			}
+			s := k % machines
+			d := (k + machines/2) % machines
+			t.net.StartFlows([]FlowSpec{{
+				Name: fmt.Sprintf("churn%d", k),
+				Size: 1e5,
+				Path: []*Link{t.up[s], t.core[k%len(t.core)], t.down[d]},
+				OnComplete: func(*Flow) {
+					kick(k + 1)
+				},
+			}})
+		}
+		kick(0)
+		t.eng.Run()
+	}
+}
+
+func BenchmarkReallocation1kIncremental(b *testing.B) { benchmarkReallocation(b, 1000, ModeIncremental) }
+func BenchmarkReallocation1kOracle(b *testing.B)      { benchmarkReallocation(b, 1000, ModeOracle) }

@@ -1,0 +1,228 @@
+package fabric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"janus/internal/sim"
+)
+
+// progSpec is a reproducible random workload: a topology plus a
+// scheduled program of flow admissions (some batched, some single).
+type progSpec struct {
+	caps []float64 // link capacities
+	lats []float64 // link latencies
+	// batches[t] admitted at time adTimes[t]
+	adTimes []float64
+	batches [][]progFlow
+	single  []bool // admit batch i via StartFlowEff loop instead of StartFlows
+	probes  []float64
+}
+
+type progFlow struct {
+	size float64
+	eff  float64
+	path []int
+}
+
+// randProgram draws topologies/programs engineered to exercise ties:
+// capacities and sizes come from small grids so distinct links hit
+// bitwise-equal fair shares and distinct flows finish at bitwise-equal
+// instants, and several admissions land at the same virtual time.
+func randProgram(rng *rand.Rand) progSpec {
+	nLinks := 3 + rng.Intn(10)
+	capGrid := []float64{1e9, 2e9, 4e9, 1e9, 2e9}
+	latGrid := []float64{0, 0, 1e-6, 5e-6}
+	var p progSpec
+	for i := 0; i < nLinks; i++ {
+		p.caps = append(p.caps, capGrid[rng.Intn(len(capGrid))])
+		p.lats = append(p.lats, latGrid[rng.Intn(len(latGrid))])
+	}
+	sizeGrid := []float64{1e6, 2e6, 4e6, 1e6, 8e6}
+	effGrid := []float64{1, 1, 0.5, 0.85}
+	timeGrid := []float64{0, 0, 0.001, 0.002, 0.005}
+	nBatches := 1 + rng.Intn(4)
+	for b := 0; b < nBatches; b++ {
+		p.adTimes = append(p.adTimes, timeGrid[rng.Intn(len(timeGrid))])
+		p.single = append(p.single, rng.Intn(3) == 0)
+		nFlows := 1 + rng.Intn(8)
+		var fl []progFlow
+		for i := 0; i < nFlows; i++ {
+			pathLen := 1 + rng.Intn(3)
+			var path []int
+			used := map[int]bool{}
+			for len(path) < pathLen {
+				li := rng.Intn(nLinks)
+				if used[li] {
+					continue
+				}
+				used[li] = true
+				path = append(path, li)
+			}
+			size := sizeGrid[rng.Intn(len(sizeGrid))]
+			if rng.Intn(10) == 0 {
+				size = 0 // pure-latency flow
+			}
+			fl = append(fl, progFlow{size: size, eff: effGrid[rng.Intn(len(effGrid))], path: path})
+		}
+		p.batches = append(p.batches, fl)
+	}
+	for i := 0; i < 4; i++ {
+		p.probes = append(p.probes, timeGrid[rng.Intn(len(timeGrid))]+float64(i)*0.0017)
+	}
+	return p
+}
+
+// progResult is everything observable about one run, captured so two
+// runs can be compared float-for-float.
+type progResult struct {
+	finishAt []float64 // per flow, admission order
+	carried  []float64 // per link, at end
+	busy     []float64 // per link, at end
+	probe    []float64 // flattened mid-run samples of Rate/Remaining/CarriedBytes
+	order    []string  // completion callback order
+}
+
+func runProgram(p progSpec, mode AllocMode, fill ...FillStrategy) progResult {
+	eng := sim.NewEngine()
+	net := NewNetwork(eng)
+	net.SetAllocMode(mode)
+	if len(fill) > 0 {
+		net.SetFillStrategy(fill[0])
+	}
+	var links []*Link
+	for i := range p.caps {
+		links = append(links, net.NewLink("l", "test", p.caps[i], p.lats[i]))
+	}
+	var res progResult
+	var flows []*Flow
+	for b := range p.batches {
+		b := b
+		eng.At(p.adTimes[b], func() {
+			var specs []FlowSpec
+			for i, pf := range p.batches[b] {
+				var path []*Link
+				for _, li := range pf.path {
+					path = append(path, links[li])
+				}
+				name := string(rune('a'+b)) + string(rune('0'+i))
+				specs = append(specs, FlowSpec{Name: name, Size: pf.size, Eff: pf.eff, Path: path,
+					OnComplete: func(f *Flow) { res.order = append(res.order, f.Name()) }})
+			}
+			if p.single[b] {
+				for _, sp := range specs {
+					flows = append(flows, net.StartFlowEff(sp.Name, sp.Size, sp.Eff, sp.Path, sp.OnComplete))
+				}
+			} else {
+				flows = append(flows, net.StartFlows(specs)...)
+			}
+		})
+	}
+	for _, pt := range p.probes {
+		eng.At(pt, func() {
+			for _, f := range flows {
+				res.probe = append(res.probe, f.Rate(), f.Remaining())
+			}
+			for _, l := range links {
+				res.probe = append(res.probe, l.CarriedBytes(), l.BusySeconds())
+			}
+		})
+	}
+	eng.Run()
+	for _, f := range flows {
+		if !f.Done() {
+			panic("flow not done at drain")
+		}
+		res.finishAt = append(res.finishAt, f.FinishedAt())
+	}
+	for _, l := range links {
+		res.carried = append(res.carried, l.CarriedBytes())
+		res.busy = append(res.busy, l.BusySeconds())
+	}
+	return res
+}
+
+func bitEqual(a, b []float64) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestDifferentialOracleVsIncremental runs seeded random flow programs
+// under both allocators and requires bit-identical completion times,
+// completion order, link utilization, and mid-run rate/remaining
+// samples. This is the contract that lets the incremental allocator
+// replace the naive one without perturbing any experiment.
+func TestDifferentialOracleVsIncremental(t *testing.T) {
+	cases := 300
+	if testing.Short() {
+		cases = 60
+	}
+	// Every fill strategy of the incremental mode must match the oracle
+	// bitwise — the adaptive default switches between scan and heap, so
+	// both underlying fills are pinned explicitly too.
+	strategies := []FillStrategy{FillAdaptive, FillScan, FillHeap}
+	for seed := 0; seed < cases; seed++ {
+		p := randProgram(rand.New(rand.NewSource(int64(seed))))
+		oracle := runProgram(p, ModeOracle)
+		for _, strat := range strategies {
+			inc := runProgram(p, ModeIncremental, strat)
+			if i, ok := bitEqual(oracle.finishAt, inc.finishAt); !ok {
+				t.Fatalf("seed %d strat %d: completion time diverges at flow %d: oracle=%v inc=%v",
+					seed, strat, i, oracle.finishAt[i], inc.finishAt[i])
+			}
+			if i, ok := bitEqual(oracle.carried, inc.carried); !ok {
+				t.Fatalf("seed %d strat %d: carried bytes diverge at link %d: oracle=%v inc=%v",
+					seed, strat, i, oracle.carried[i], inc.carried[i])
+			}
+			if i, ok := bitEqual(oracle.busy, inc.busy); !ok {
+				t.Fatalf("seed %d strat %d: busy seconds diverge at link %d: oracle=%v inc=%v",
+					seed, strat, i, oracle.busy[i], inc.busy[i])
+			}
+			if i, ok := bitEqual(oracle.probe, inc.probe); !ok {
+				t.Fatalf("seed %d strat %d: mid-run probe diverges at sample %d: oracle=%v inc=%v",
+					seed, strat, i, oracle.probe[i], inc.probe[i])
+			}
+			if len(oracle.order) != len(inc.order) {
+				t.Fatalf("seed %d strat %d: completion count diverges: %d vs %d", seed, strat, len(oracle.order), len(inc.order))
+			}
+			for i := range oracle.order {
+				if oracle.order[i] != inc.order[i] {
+					t.Fatalf("seed %d strat %d: completion order diverges at %d: %q vs %q", seed, strat, i, oracle.order[i], inc.order[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStartFlowsMatchesSingleAdmission checks that batched admission at
+// one instant produces the same steady-state rates and completions as
+// the equivalent sequence of StartFlowEff calls at that instant.
+func TestStartFlowsMatchesSingleAdmission(t *testing.T) {
+	for seed := 0; seed < 50; seed++ {
+		p := randProgram(rand.New(rand.NewSource(int64(1000 + seed))))
+		for i := range p.single {
+			p.single[i] = false
+		}
+		batched := runProgram(p, ModeIncremental)
+		for i := range p.single {
+			p.single[i] = true
+		}
+		single := runProgram(p, ModeIncremental)
+		if i, ok := bitEqual(batched.finishAt, single.finishAt); !ok {
+			t.Fatalf("seed %d: batched vs single completion diverges at flow %d: %v vs %v",
+				seed, i, batched.finishAt[i], single.finishAt[i])
+		}
+		if i, ok := bitEqual(batched.carried, single.carried); !ok {
+			t.Fatalf("seed %d: batched vs single carried diverges at link %d: %v vs %v",
+				seed, i, batched.carried[i], single.carried[i])
+		}
+	}
+}

@@ -16,9 +16,22 @@
 // between GPU pairs) is reproduced by fair sharing on the real link
 // graph.
 //
-// Determinism: flows and links are kept in insertion-ordered slices and
-// all iteration is over those slices, never over maps, so a given
-// sequence of StartFlow calls always produces the identical timeline.
+// Determinism: flows and links carry explicit activation ordinals and
+// all iteration is over ord-ordered slices, never over maps, so a given
+// sequence of StartFlow/StartFlows calls always produces the identical
+// timeline.
+//
+// Performance: rate recomputation ("settling") is batched — any number
+// of arrivals and completions at one virtual instant trigger a single
+// settle — and, in the default ModeIncremental, restricted to the
+// connected component of links and flows actually perturbed. Flow and
+// link byte accounting is anchor-based (see alloc.go), so nothing is
+// integrated eagerly per event; completions are tracked in a min-heap of
+// exact predicted finish times. ModeOracle retains the original naive
+// full-rescan progressive filling as an in-package reference; the two
+// modes produce bit-identical results (rates, completion times, link
+// utilization), which differential_test.go enforces on seeded random
+// workloads.
 package fabric
 
 import (
@@ -28,11 +41,20 @@ import (
 	"janus/internal/sim"
 )
 
-// completionEps is the residual byte count below which a flow is
-// considered finished. Rates are up to ~1e12 B/s and event times carry
-// ~15 significant digits, so residuals from float cancellation are far
-// below one byte; 1e-3 bytes is a safe threshold.
-const completionEps = 1e-3
+// AllocMode selects the allocator implementation. Both modes compute
+// exactly the same floats; ModeOracle exists as the trusted reference
+// for differential testing and costs O(rounds·flows·pathlen) per settle.
+type AllocMode int
+
+const (
+	// ModeIncremental recomputes only the connected component of
+	// links/flows perturbed by the arrivals/completions being settled,
+	// selecting bottlenecks through a share-keyed heap. Default.
+	ModeIncremental AllocMode = iota
+	// ModeOracle recomputes every active flow by naive progressive
+	// filling with full rescans, exactly as the original implementation.
+	ModeOracle
+)
 
 // Link is a directed, fixed-capacity network resource.
 type Link struct {
@@ -41,13 +63,41 @@ type Link struct {
 	latency  float64 // seconds, charged once per flow traversing the link
 	class    string  // free-form label used for traffic accounting
 
-	index   int
-	carried float64 // total bytes carried (integrated)
-	busyInt float64 // ∫ allocated-rate dt, for utilization accounting
+	index int
+	net   *Network
 
-	// scratch fields used during rate computation
+	// flows crossing this link right now (activated, unfinished), in
+	// arrival order perturbed by swap-removal on completion. The order
+	// is itself deterministic (same event sequence => same order), and
+	// identical across alloc modes, which is all bit-identity needs.
+	flows []linkRef
+
+	// Lazily synced accounting. carried/busyInt integrate delivered
+	// bytes and allocated rate up to lastSync; the current regime
+	// (sumRate/sumGoodput, constant between rate changes) extends them
+	// to any later read point. A link is synced only when its sums
+	// change bitwise, so both alloc modes sync at identical instants
+	// with identical values.
+	carried    float64
+	busyInt    float64
+	lastSync   sim.Time
+	sumRate    float64
+	sumGoodput float64
+
+	// settle scratch (see alloc.go)
 	nActive  int
 	residual float64
+	scanRank int
+	compGen  uint64
+	allocVer uint32
+	pushVer  uint32
+}
+
+// linkRef locates a flow on a link together with the index of this link
+// in the flow's path, so swap-removal can fix the flow's back-pointer.
+type linkRef struct {
+	f       *Flow
+	pathIdx int
 }
 
 // Name returns the link's name.
@@ -62,9 +112,11 @@ func (l *Link) Capacity() float64 { return l.capacity }
 // Latency returns the per-flow latency in seconds.
 func (l *Link) Latency() float64 { return l.latency }
 
-// CarriedBytes returns the total bytes the link has carried, integrated
-// up to the last Sync or network event.
-func (l *Link) CarriedBytes() float64 { return l.carried }
+// CarriedBytes returns the total bytes the link has carried up to the
+// current virtual time.
+func (l *Link) CarriedBytes() float64 {
+	return l.carried + l.sumGoodput*(l.net.eng.Now()-l.lastSync)
+}
 
 // BusySeconds returns the capacity-normalised busy time: the integral of
 // allocated rate over time divided by capacity. A link saturated for 2s
@@ -73,16 +125,14 @@ func (l *Link) BusySeconds() float64 {
 	if l.capacity == 0 {
 		return 0
 	}
-	return l.busyInt / l.capacity
+	return (l.busyInt + l.sumRate*(l.net.eng.Now()-l.lastSync)) / l.capacity
 }
 
 // Flow is a transfer of a fixed number of bytes across a path of links.
 type Flow struct {
 	name       string
 	size       float64
-	remaining  float64
 	path       []*Link
-	rate       float64
 	eff        float64  // goodput fraction of the allocated rate
 	started    sim.Time // when StartFlow was called
 	activated  sim.Time // when the latency elapsed and bandwidth use began
@@ -91,6 +141,27 @@ type Flow struct {
 	done       bool
 	onComplete func(*Flow)
 	net        *Network
+
+	ord       uint64 // activation ordinal; all deterministic iteration keys off it
+	rate      float64
+	goodput   float64 // rate * eff, cached
+	remaining float64 // valid only while not active (pre-activation size, post-completion residue)
+
+	// Anchor accounting: while active, the delivered-byte state is
+	// remaining(t) = anchorRem - goodput*(t-anchorAt). The anchor moves
+	// only when the flow's rate changes bitwise, so eager and lazy
+	// evaluation produce the same floats.
+	anchorAt  sim.Time
+	anchorRem float64
+	finishAt  sim.Time // anchorAt + anchorRem/goodput, exact predicted completion
+
+	heapIdx   int   // index in Network.fheap, -1 when not queued
+	posInLink []int // posInLink[i] = index of this flow in path[i].flows
+
+	// settle scratch (see alloc.go)
+	compGen uint64
+	newRate float64
+	frozen  bool
 }
 
 // Name returns the flow's name.
@@ -99,9 +170,18 @@ func (f *Flow) Name() string { return f.name }
 // Size returns the total size in bytes.
 func (f *Flow) Size() float64 { return f.size }
 
-// Remaining returns the bytes not yet delivered (as of the last network
-// event or Sync).
-func (f *Flow) Remaining() float64 { return f.remaining }
+// Remaining returns the bytes not yet delivered as of the current
+// virtual time.
+func (f *Flow) Remaining() float64 {
+	if !f.active {
+		return f.remaining
+	}
+	rem := f.anchorRem - f.goodput*(f.net.eng.Now()-f.anchorAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
 
 // Rate returns the currently allocated rate in bytes per second.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -119,14 +199,48 @@ func (f *Flow) StartedAt() sim.Time { return f.started }
 // FinishedAt returns the completion time; valid only once Done.
 func (f *Flow) FinishedAt() sim.Time { return f.finished }
 
+// FlowSpec describes one flow for batched admission via StartFlows.
+type FlowSpec struct {
+	Name       string
+	Size       float64 // bytes; <= 0 means a pure-latency flow
+	Eff        float64 // protocol efficiency in (0,1]; 0 defaults to 1
+	Path       []*Link
+	OnComplete func(*Flow) // may be nil
+}
+
 // Network owns links and active flows and drives the fluid model.
 type Network struct {
-	eng    *sim.Engine
-	links  []*Link
-	active []*Flow // insertion-ordered; holds only activated, unfinished flows
+	eng   *sim.Engine
+	links []*Link
+	mode  AllocMode
+	fill  FillStrategy
 
-	lastAdvance sim.Time
-	nextEv      *sim.Event
+	// active holds activated, unfinished flows in ord order. Completed
+	// flows are compacted out lazily (the incremental allocator never
+	// scans this slice; the oracle compacts before each settle).
+	active  []*Flow
+	nActive int // live flow count (excludes compacted-out dead entries)
+	nDead   int // dead entries still occupying active
+	ordCtr  uint64
+
+	// settle batching: all arrivals/completions at one instant mark
+	// trigger links and are resolved by a single settle event.
+	settlePending bool
+	trigLinks     []*Link
+	pendingDone   []*Flow
+
+	// completion tracking: min-heap keyed (finishAt, ord) plus the one
+	// scheduled engine event for the heap minimum.
+	fheap  []*Flow
+	nextEv *sim.Event
+	nextAt sim.Time
+
+	// settle scratch, reused across settles (see alloc.go)
+	compGen    uint64
+	scopeFlows []*Flow
+	scopeLinks []*Link
+	bfsQueue   []*Link
+	lheap      []linkEntry
 
 	// OnFlowDone, if set, is invoked for every completed flow after its
 	// own onComplete callback. Used by the metrics recorder.
@@ -146,7 +260,37 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 func (n *Network) Links() []*Link { return n.links }
 
 // ActiveFlows returns the number of flows currently consuming bandwidth.
-func (n *Network) ActiveFlows() int { return len(n.active) }
+func (n *Network) ActiveFlows() int { return n.nActive }
+
+// SetAllocMode selects the allocator implementation. Must be called
+// before any flow is started; both modes produce bit-identical results,
+// so this only matters for performance (and for differential tests).
+func (n *Network) SetAllocMode(m AllocMode) { n.mode = m }
+
+// AllocModeSelected returns the allocator implementation in use.
+func (n *Network) AllocModeSelected() AllocMode { return n.mode }
+
+// FillStrategy selects how the incremental allocator picks bottleneck
+// links within a settle. Every strategy computes bit-identical rates
+// (the bottleneck is always the lexicographic (share, scanRank)
+// minimum); they differ only in cost shape.
+type FillStrategy int
+
+const (
+	// FillAdaptive (default) scans dense components — where flows
+	// outnumber links and the heap would churn an entry per (flow,
+	// path-link) freeze — and uses the heap for sparse, link-heavy ones.
+	FillAdaptive FillStrategy = iota
+	// FillScan always rescans the component's links per fill round.
+	FillScan
+	// FillHeap always uses the (share, scanRank)-keyed lazy min-heap.
+	FillHeap
+)
+
+// SetFillStrategy overrides the incremental fill's bottleneck-selection
+// strategy (differential tests pin each variant; production code keeps
+// the adaptive default).
+func (n *Network) SetFillStrategy(s FillStrategy) { n.fill = s }
 
 // NewLink creates a directed link. class is a free-form label ("nvlink",
 // "nic", "pcie", ...) used by traffic accounting.
@@ -154,7 +298,7 @@ func (n *Network) NewLink(name, class string, capacityBps, latency float64) *Lin
 	if capacityBps <= 0 {
 		panic(fmt.Sprintf("fabric: link %q capacity must be positive, got %v", name, capacityBps))
 	}
-	l := &Link{name: name, class: class, capacity: capacityBps, latency: latency, index: len(n.links)}
+	l := &Link{name: name, class: class, capacity: capacityBps, latency: latency, index: len(n.links), net: n, scanRank: -1}
 	n.links = append(n.links, l)
 	return l
 }
@@ -178,188 +322,182 @@ func (n *Network) StartFlow(name string, size float64, path []*Link, onComplete 
 // second. Link CarriedBytes accounts goodput (delivered bytes);
 // BusySeconds accounts the reservation.
 func (n *Network) StartFlowEff(name string, size, eff float64, path []*Link, onComplete func(*Flow)) *Flow {
-	if size < 0 || math.IsNaN(size) || math.IsInf(size, 0) {
-		panic(fmt.Sprintf("fabric: flow %q has invalid size %v", name, size))
-	}
-	if eff <= 0 || eff > 1 || math.IsNaN(eff) {
-		panic(fmt.Sprintf("fabric: flow %q has invalid efficiency %v", name, eff))
-	}
-	f := &Flow{
-		name:       name,
-		size:       size,
-		remaining:  size,
-		eff:        eff,
-		path:       path,
-		started:    n.eng.Now(),
-		onComplete: onComplete,
-		net:        n,
-	}
-	var lat float64
-	for _, l := range path {
-		lat += l.latency
-	}
+	f := n.newFlow(FlowSpec{Name: name, Size: size, Eff: eff, Path: path, OnComplete: onComplete})
+	lat := pathLatency(path)
 	if size <= 0 || len(path) == 0 {
 		// Pure-latency flow (control message, local no-op copy).
 		n.eng.After(lat, func() { n.finish(f) })
 		return f
 	}
-	n.eng.After(lat, func() {
-		f.active = true
-		f.activated = n.eng.Now()
-		n.advance()
-		n.active = append(n.active, f)
-		n.reallocate()
-	})
+	n.eng.After(lat, func() { n.activate([]*Flow{f}) })
 	return f
 }
 
-// Sync integrates byte and utilization accounting up to the current
-// virtual time. Call before reading CarriedBytes/BusySeconds mid-run.
-func (n *Network) Sync() { n.advance() }
-
-// advance integrates flow progress and link accounting from lastAdvance
-// to now at the currently allocated rates.
-func (n *Network) advance() {
-	now := n.eng.Now()
-	dt := now - n.lastAdvance
-	if dt <= 0 {
-		n.lastAdvance = now
-		return
-	}
-	for _, f := range n.active {
-		moved := f.rate * f.eff * dt
-		f.remaining -= moved
-		if f.remaining < 0 {
-			f.remaining = 0
+// StartFlows admits a batch of flows in one call. All flows sharing the
+// same path latency activate in a single event and are settled by one
+// rate recomputation, so an All-to-All wave of n(n-1) flows costs one
+// reallocation instead of n(n-1). Specs are admitted in slice order;
+// the returned flows are in the same order.
+func (n *Network) StartFlows(specs []FlowSpec) []*Flow {
+	flows := make([]*Flow, len(specs))
+	// Group bandwidth flows by activation latency, preserving first-seen
+	// order of distinct latencies so event seq order is deterministic.
+	var lats []float64
+	var groups [][]*Flow
+	for i, sp := range specs {
+		if sp.Eff == 0 {
+			sp.Eff = 1
 		}
-		for _, l := range f.path {
-			l.carried += moved
-			l.busyInt += f.rate * dt
-		}
-	}
-	n.lastAdvance = now
-}
-
-// reallocate recomputes max-min fair rates for all active flows by
-// progressive filling and reschedules the next completion event.
-func (n *Network) reallocate() {
-	// Reset per-link scratch state for links touched by active flows.
-	for _, f := range n.active {
-		for _, l := range f.path {
-			l.nActive = 0
-			l.residual = l.capacity
-		}
-	}
-	for _, f := range n.active {
-		f.rate = 0
-		for _, l := range f.path {
-			l.nActive++
-		}
-	}
-	unfrozen := len(n.active)
-	frozen := make([]bool, len(n.active))
-	for unfrozen > 0 {
-		// Find the bottleneck: the link with the smallest fair share
-		// among links carrying unfrozen flows. Iterating active flows'
-		// paths in order keeps the choice deterministic.
-		share := math.Inf(1)
-		var bottleneck *Link
-		for _, f := range n.active {
-			for _, l := range f.path {
-				if l.nActive == 0 {
-					continue
-				}
-				s := l.residual / float64(l.nActive)
-				if s < share {
-					share = s
-					bottleneck = l
-				}
-			}
-		}
-		if bottleneck == nil {
-			break
-		}
-		// Freeze every unfrozen flow crossing the bottleneck at the
-		// bottleneck's fair share.
-		for i, f := range n.active {
-			if frozen[i] {
-				continue
-			}
-			crosses := false
-			for _, l := range f.path {
-				if l == bottleneck {
-					crosses = true
-					break
-				}
-			}
-			if !crosses {
-				continue
-			}
-			frozen[i] = true
-			unfrozen--
-			f.rate = share
-			for _, l := range f.path {
-				l.residual -= share
-				if l.residual < 0 {
-					l.residual = 0
-				}
-				l.nActive--
-			}
-		}
-	}
-	n.scheduleNextCompletion()
-}
-
-func (n *Network) scheduleNextCompletion() {
-	if n.nextEv != nil {
-		n.eng.Cancel(n.nextEv)
-		n.nextEv = nil
-	}
-	next := math.Inf(1)
-	for _, f := range n.active {
-		if f.rate <= 0 {
+		f := n.newFlow(sp)
+		flows[i] = f
+		lat := pathLatency(sp.Path)
+		if sp.Size <= 0 || len(sp.Path) == 0 {
+			n.eng.After(lat, func() { n.finish(f) })
 			continue
 		}
-		t := f.remaining / (f.rate * f.eff)
-		if t < next {
-			next = t
+		gi := -1
+		for j, l := range lats {
+			if l == lat {
+				gi = j
+				break
+			}
 		}
-	}
-	if math.IsInf(next, 1) {
-		if len(n.active) > 0 {
-			// Active flows with zero rate can only happen if a link has
-			// zero residual with no sharers, which progressive filling
-			// never produces. Guard against silent deadlock anyway.
-			panic("fabric: active flows but no completion schedulable")
+		if gi < 0 {
+			lats = append(lats, lat)
+			groups = append(groups, nil)
+			gi = len(lats) - 1
 		}
-		return
+		groups[gi] = append(groups[gi], f)
 	}
-	if next < 0 {
-		next = 0
+	for gi, g := range groups {
+		g := g
+		n.eng.After(lats[gi], func() { n.activate(g) })
 	}
-	n.nextEv = n.eng.After(next, n.onCompletionEvent)
+	return flows
 }
 
+func (n *Network) newFlow(sp FlowSpec) *Flow {
+	eff := sp.Eff
+	if sp.Size < 0 || math.IsNaN(sp.Size) || math.IsInf(sp.Size, 0) {
+		panic(fmt.Sprintf("fabric: flow %q has invalid size %v", sp.Name, sp.Size))
+	}
+	if eff <= 0 || eff > 1 || math.IsNaN(eff) {
+		panic(fmt.Sprintf("fabric: flow %q has invalid efficiency %v", sp.Name, eff))
+	}
+	return &Flow{
+		name:       sp.Name,
+		size:       sp.Size,
+		remaining:  sp.Size,
+		eff:        eff,
+		path:       sp.Path,
+		started:    n.eng.Now(),
+		onComplete: sp.OnComplete,
+		net:        n,
+		heapIdx:    -1,
+	}
+}
+
+func pathLatency(path []*Link) float64 {
+	var lat float64
+	for _, l := range path {
+		lat += l.latency
+	}
+	return lat
+}
+
+// activate inserts a batch of latency-elapsed flows into the fluid model
+// and requests a settle. Flows start at rate zero; the settle at this
+// same instant assigns their first max-min share.
+func (n *Network) activate(batch []*Flow) {
+	now := n.eng.Now()
+	for _, f := range batch {
+		f.active = true
+		f.activated = now
+		f.ord = n.ordCtr
+		n.ordCtr++
+		f.anchorAt = now
+		f.anchorRem = f.size
+		f.posInLink = make([]int, len(f.path))
+		for i, l := range f.path {
+			f.posInLink[i] = len(l.flows)
+			l.flows = append(l.flows, linkRef{f: f, pathIdx: i})
+			n.trigLinks = append(n.trigLinks, l)
+		}
+		n.active = append(n.active, f)
+		n.nActive++
+	}
+	n.ensureSettle()
+}
+
+// onCompletionEvent fires at the exact predicted finish time of the
+// completion-heap minimum. It retires every flow whose finish time has
+// arrived and requests a settle; completion callbacks run at the end of
+// that settle, after rates are consistent again.
 func (n *Network) onCompletionEvent() {
 	n.nextEv = nil
-	n.advance()
-	// Collect finished flows in insertion order, then compact the
-	// active list.
-	var finished []*Flow
+	now := n.eng.Now()
+	for len(n.fheap) > 0 && n.fheap[0].finishAt <= now {
+		f := n.popCompletion()
+		f.active = false
+		f.rate = 0
+		f.goodput = 0
+		f.remaining = 0
+		n.removeFromLinks(f)
+		for _, l := range f.path {
+			n.trigLinks = append(n.trigLinks, l)
+		}
+		n.nActive--
+		n.nDead++
+		n.pendingDone = append(n.pendingDone, f)
+	}
+	if len(n.pendingDone) > 0 {
+		n.ensureSettle()
+	}
+}
+
+// removeFromLinks swap-removes f from every link on its path, fixing the
+// displaced flow's back-pointer. The resulting link-list orders depend
+// only on the event sequence, so they are identical across alloc modes.
+func (n *Network) removeFromLinks(f *Flow) {
+	for i, l := range f.path {
+		pos := f.posInLink[i]
+		last := len(l.flows) - 1
+		moved := l.flows[last]
+		l.flows[pos] = moved
+		moved.f.posInLink[moved.pathIdx] = pos
+		l.flows[last] = linkRef{}
+		l.flows = l.flows[:last]
+	}
+}
+
+// ensureSettle schedules the single settle event for the current instant
+// if one is not already pending. After(0) gets the largest seq at this
+// instant, so every already-queued same-time arrival/completion fires
+// first and is folded into the one settle.
+func (n *Network) ensureSettle() {
+	if n.settlePending {
+		return
+	}
+	n.settlePending = true
+	n.eng.After(0, n.settle)
+}
+
+// compact removes completed flows from the ord-ordered active slice.
+func (n *Network) compact() {
+	if n.nDead == 0 {
+		return
+	}
 	keep := n.active[:0]
 	for _, f := range n.active {
-		if f.remaining <= completionEps {
-			f.remaining = 0
-			finished = append(finished, f)
-		} else {
+		if f.active {
 			keep = append(keep, f)
 		}
 	}
-	n.active = keep
-	n.reallocate()
-	for _, f := range finished {
-		n.finish(f)
+	for i := len(keep); i < len(n.active); i++ {
+		n.active[i] = nil
 	}
+	n.active = keep
+	n.nDead = 0
 }
 
 func (n *Network) finish(f *Flow) {
@@ -369,6 +507,7 @@ func (n *Network) finish(f *Flow) {
 	f.done = true
 	f.active = false
 	f.rate = 0
+	f.goodput = 0
 	f.finished = n.eng.Now()
 	if f.onComplete != nil {
 		f.onComplete(f)
@@ -377,3 +516,8 @@ func (n *Network) finish(f *Flow) {
 		n.OnFlowDone(f)
 	}
 }
+
+// Sync is a no-op kept for API compatibility: accounting is anchor-based
+// and CarriedBytes/BusySeconds/Remaining integrate on demand, so there
+// is nothing to flush.
+func (n *Network) Sync() {}

@@ -1,0 +1,57 @@
+package livecluster
+
+import (
+	"testing"
+	"time"
+
+	"janus/internal/faultinject"
+)
+
+// BenchmarkIteration measures one steady-state data-centric iteration
+// of a small live cluster: real TCP pulls, forward compute, and
+// gradient pushes. The ISSUE 3 fast path (static routing index, pooled
+// scratch, memoized expert encodings, overlapped prefetch and pushes)
+// is what this guards.
+func BenchmarkIteration(b *testing.B) {
+	benchIteration(b, nil)
+}
+
+// BenchmarkIterationRTT is the same workload with 100µs injected on
+// every socket read and write (~0.4ms per round trip), approximating a
+// datacenter network instead of kernel loopback. This is the regime
+// the overlap optimizations target: with real latency, sequential
+// pulls and pushes stack round trips that the prefetch wave and the
+// parallel gradient pushes hide.
+func BenchmarkIterationRTT(b *testing.B) {
+	inj := faultinject.New(7)
+	inj.AddRule(faultinject.Rule{Fault: faultinject.Fault{Delay: 100 * time.Microsecond}})
+	benchIteration(b, inj)
+}
+
+func benchIteration(b *testing.B, inj *faultinject.Injector) {
+	cl, err := Start(Config{
+		Machines:        8,
+		WorkersPerNode:  1,
+		NumExperts:      32,
+		TopK:            2,
+		Hidden:          32,
+		TokensPerWorker: 8,
+		Seed:            42,
+		Credits:         16,
+		Injector:        inj,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.RunDataCentric(); err != nil { // warm caches and connections
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.RunDataCentric(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 package livecluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -164,8 +165,9 @@ func (r Result) Degraded() bool { return r.DegradedSteps > 0 }
 // staleEntry is one machine's last successfully fetched copy of an
 // external expert, with the step of that fetch.
 type staleEntry struct {
-	ex   *moe.Expert
-	step int
+	ex      *moe.Expert
+	payload []byte // wire bytes ex was decoded from
+	step    int
 }
 
 // Cluster is a running live deployment.
@@ -179,6 +181,17 @@ type Cluster struct {
 
 	step          int // iterations started (advances the injector's clock)
 	degradedTotal int // iterations completed in degraded mode
+
+	// Per-worker static state, built once at Start: the deterministic
+	// token batches, their gate routing, the derived per-expert /
+	// per-token index, and the pre-gathered expert input slices. The
+	// gate never changes between iterations, so recomputing any of this
+	// per step would do identical work (fast path of ISSUE 3).
+	xs       []*tensor.Matrix
+	routings []moe.Routing
+	rindex   []*routeIndex
+	xes      [][]*tensor.Matrix // worker -> expert -> gathered token rows
+	needs    [][]int            // machine -> union of routed experts, ascending
 
 	staleMu sync.Mutex
 	stale   []map[int]*staleEntry // per machine: expert -> last good copy
@@ -202,6 +215,7 @@ type Cluster struct {
 type machineStore struct {
 	mu      sync.Mutex
 	experts map[transport.ExpertID]*moe.Expert
+	enc     map[transport.ExpertID][]byte // memoized wire encodings
 	grads   map[transport.ExpertID]int
 	h       int
 }
@@ -213,7 +227,14 @@ func (s *machineStore) ExpertBytes(id transport.ExpertID) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("livecluster: expert %v not hosted", id)
 	}
-	return encodeExpert(e), nil
+	// Expert weights only change through install/remove (which drop the
+	// memo), so repeated pulls of the same version reuse one encoding.
+	b, ok := s.enc[id]
+	if !ok {
+		b = encodeExpert(e)
+		s.enc[id] = b
+	}
+	return b, nil
 }
 
 // get returns the hosted expert, if any.
@@ -228,6 +249,7 @@ func (s *machineStore) get(id transport.ExpertID) (*moe.Expert, bool) {
 func (s *machineStore) install(id transport.ExpertID, e *moe.Expert) {
 	s.mu.Lock()
 	s.experts[id] = e
+	delete(s.enc, id)
 	s.mu.Unlock()
 }
 
@@ -235,6 +257,7 @@ func (s *machineStore) install(id transport.ExpertID, e *moe.Expert) {
 func (s *machineStore) remove(id transport.ExpertID) {
 	s.mu.Lock()
 	delete(s.experts, id)
+	delete(s.enc, id)
 	s.mu.Unlock()
 }
 
@@ -297,6 +320,60 @@ func decodeExpert(buf []byte) (*moe.Expert, error) {
 	return e, nil
 }
 
+// routeIndex is one worker's routing, inverted for the per-iteration
+// forward: which tokens each expert sees and, per token, its combine
+// terms in ascending-expert order — the exact summation order of the
+// reference combine loop, so outputs stay bit-identical.
+type routeIndex struct {
+	tokens  [][]int     // expert -> routed tokens, ascending
+	byToken [][]combTerm // token -> combine terms, ascending expert
+	needed  []int       // experts with at least one token, ascending
+}
+
+// combTerm is one (expert output row × weight) contribution to a token.
+type combTerm struct {
+	expert int
+	row    int // row of this token in the expert's gathered batch
+	weight float32
+}
+
+// buildRouteIndex inverts one worker's routing decision.
+func buildRouteIndex(numExperts int, r moe.Routing) *routeIndex {
+	ri := &routeIndex{
+		tokens:  make([][]int, numExperts),
+		byToken: make([][]combTerm, len(r.Experts)),
+	}
+	rowOf := make([]map[int]int, numExperts)
+	for t, experts := range r.Experts {
+		for _, e := range experts {
+			if rowOf[e] == nil {
+				rowOf[e] = make(map[int]int)
+			}
+			rowOf[e][t] = len(ri.tokens[e])
+			ri.tokens[e] = append(ri.tokens[e], t)
+		}
+	}
+	for e := 0; e < numExperts; e++ {
+		if len(ri.tokens[e]) > 0 {
+			ri.needed = append(ri.needed, e)
+		}
+	}
+	for t, experts := range r.Experts {
+		terms := make([]combTerm, 0, len(experts))
+		// Ascending expert order fixes the summation order (the
+		// reference loop scans experts 0..E-1 per token).
+		for _, e := range ri.needed {
+			for k, te := range experts {
+				if te == e {
+					terms = append(terms, combTerm{expert: e, row: rowOf[e][t], weight: r.Weights[t][k]})
+				}
+			}
+		}
+		ri.byToken[t] = terms
+	}
+	return ri
+}
+
 // Start builds the layer, partitions experts over machines, and brings
 // up one TCP server per machine on loopback.
 func Start(cfg Config) (*Cluster, error) {
@@ -309,6 +386,7 @@ func Start(cfg Config) (*Cluster, error) {
 	for m := 0; m < cfg.Machines; m++ {
 		store := &machineStore{
 			experts: make(map[transport.ExpertID]*moe.Expert),
+			enc:     make(map[transport.ExpertID][]byte),
 			grads:   make(map[transport.ExpertID]int),
 			h:       cfg.Hidden,
 		}
@@ -332,6 +410,41 @@ func Start(cfg Config) (*Cluster, error) {
 	cl.owner = make([]int, cfg.NumExperts)
 	for e := range cl.owner {
 		cl.owner[e] = cl.homeMachine(e)
+	}
+
+	// Precompute everything that is invariant across iterations: token
+	// batches, routing, its inverted index, the gathered per-expert
+	// inputs, and each machine's union of routed experts.
+	cl.xs = cl.workerTokens()
+	cl.routings = make([]moe.Routing, len(cl.xs))
+	cl.rindex = make([]*routeIndex, len(cl.xs))
+	cl.xes = make([][]*tensor.Matrix, len(cl.xs))
+	for w, x := range cl.xs {
+		cl.routings[w] = layer.Gate.Assign(x)
+		ri := buildRouteIndex(cfg.NumExperts, cl.routings[w])
+		cl.rindex[w] = ri
+		cl.xes[w] = make([]*tensor.Matrix, cfg.NumExperts)
+		for _, e := range ri.needed {
+			xe := tensor.New(len(ri.tokens[e]), cfg.Hidden)
+			for i, t := range ri.tokens[e] {
+				xe.CopyRow(i, x, t)
+			}
+			cl.xes[w][e] = xe
+		}
+	}
+	cl.needs = make([][]int, cfg.Machines)
+	for m := 0; m < cfg.Machines; m++ {
+		seen := make([]bool, cfg.NumExperts)
+		for lw := 0; lw < cfg.WorkersPerNode; lw++ {
+			for _, e := range cl.rindex[m*cfg.WorkersPerNode+lw].needed {
+				seen[e] = true
+			}
+		}
+		for e, s := range seen {
+			if s {
+				cl.needs[m] = append(cl.needs[m], e)
+			}
+		}
 	}
 	return cl, nil
 }
@@ -416,7 +529,6 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 		// over before any worker routes to it this step.
 		cl.heartbeatRound(step)
 	}
-	xs := cl.workerTokens()
 	outputs := make([]*tensor.Matrix, cfg.numWorkers())
 
 	var firstErr error
@@ -459,24 +571,43 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 			// here, not delegated to the transport, so an entry survives
 			// after the wire call returns).
 			type cacheEntry struct {
-				done chan struct{}
-				ex   *moe.Expert
-				err  error
+				done    chan struct{}
+				ex      *moe.Expert
+				err     error
+				retried bool // this entry is already the one-shot replacement
 			}
 			var cacheMu sync.Mutex
 			cache := make(map[int]*cacheEntry)
+			retrying := make(map[int]bool)
 			fetch := func(e int) (*moe.Expert, error) {
 				owner := cl.currentOwner(e)
 				if owner == m {
 					return cl.localExpert(m, e)
 				}
+			join:
 				cacheMu.Lock()
 				if ent, ok := cache[e]; ok {
 					cacheMu.Unlock()
 					<-ent.done
-					return ent.ex, ent.err
+					if ent.err == nil || ent.retried {
+						return ent.ex, ent.err
+					}
+					// The in-flight pull we joined — typically one of the
+					// advisory prefetch wave, whose correlated timeouts
+					// under fault injection can exhaust a whole retry
+					// budget at once — failed. Drop the entry and pull
+					// again with a fresh budget rather than inheriting
+					// the failure; the replacement entry is marked so a
+					// second failure is final, bounding the loop.
+					cacheMu.Lock()
+					if cache[e] == ent {
+						delete(cache, e)
+					}
+					cacheMu.Unlock()
+					goto join
 				}
-				ent := &cacheEntry{done: make(chan struct{})}
+				ent := &cacheEntry{done: make(chan struct{}), retried: retrying[e]}
+				retrying[e] = true
 				cache[e] = ent
 				cacheMu.Unlock()
 
@@ -500,7 +631,18 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 					owner = next
 				}
 				if err == nil {
-					ent.ex, ent.err = decodeExpert(payload)
+					// Decode is a pure function of the wire bytes, so if the
+					// payload is byte-identical to the last fetch's, the
+					// previously decoded copy is exactly what decode would
+					// produce — reuse it instead of re-decoding.
+					cl.staleMu.Lock()
+					old := cl.stale[m][e]
+					cl.staleMu.Unlock()
+					if old != nil && bytes.Equal(old.payload, payload) {
+						ent.ex = old.ex
+					} else {
+						ent.ex, ent.err = decodeExpert(payload)
+					}
 				} else {
 					ent.err = err
 				}
@@ -508,7 +650,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 					// Refresh the machine's last-known copy (the §5.1.2
 					// Cache Manager's durable layer).
 					cl.staleMu.Lock()
-					cl.stale[m][e] = &staleEntry{ex: ent.ex, step: step}
+					cl.stale[m][e] = &staleEntry{ex: ent.ex, payload: payload, step: step}
 					cl.staleMu.Unlock()
 				} else if cfg.StaleFallback {
 					// Owner unreachable past the retry budget: degrade to
@@ -526,13 +668,32 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 				return ent.ex, ent.err
 			}
 
+			// Prefetch: kick off the pull for every external expert the
+			// machine's workers will need, all overlapped (bounded by the
+			// client's credit window). Workers join the in-flight entries
+			// through the single-flight cache, so each expert is still
+			// fetched exactly once and wire traffic is unchanged — only
+			// the fetch latency stops serialising the forward pass.
+			var pwg sync.WaitGroup
+			for _, e := range cl.needs[m] {
+				if cl.currentOwner(e) == m {
+					continue
+				}
+				e := e
+				pwg.Add(1)
+				go func() {
+					defer pwg.Done()
+					fetch(e) // outcome is consumed via the cache entry
+				}()
+			}
+
 			var mwg sync.WaitGroup
 			for lw := 0; lw < cfg.WorkersPerNode; lw++ {
 				w := m*cfg.WorkersPerNode + lw
 				mwg.Add(1)
 				go func() {
 					defer mwg.Done()
-					out, err := cl.forwardWorker(xs[w], fetch)
+					out, err := cl.forwardWorker(w, fetch)
 					if err != nil {
 						setErr(err)
 						return
@@ -541,31 +702,40 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 				}()
 			}
 			mwg.Wait()
+			pwg.Wait()
 
 			// Gradient pre-reduce: one synthetic gradient per external
 			// expert per machine (backward numeric path is exercised in
-			// internal/moe; here we exercise the wire protocol).
+			// internal/moe; here we exercise the wire protocol). Pushes
+			// to distinct owners are independent, so they run overlapped.
+			var gwg sync.WaitGroup
 			for e := 0; e < cfg.NumExperts; e++ {
 				owner := cl.currentOwner(e)
 				if owner == m {
 					continue
 				}
-				grad := make([]byte, 8)
-				binary.LittleEndian.PutUint64(grad, uint64(e))
-				if err := cl.clients[m].PushGradient(context.Background(), cl.addrs[owner],
-					transport.ExpertID{Expert: uint32(e)}, grad); err != nil {
-					if cfg.StaleFallback {
-						// Owner unreachable: the contribution is dropped
-						// this step (it would be retried from fresh
-						// activations next step in a real trainer).
-						degMu.Lock()
-						droppedGrads++
-						degMu.Unlock()
-					} else {
-						setErr(err)
+				e, owner := e, owner
+				gwg.Add(1)
+				go func() {
+					defer gwg.Done()
+					grad := make([]byte, 8)
+					binary.LittleEndian.PutUint64(grad, uint64(e))
+					if err := cl.clients[m].PushGradient(context.Background(), cl.addrs[owner],
+						transport.ExpertID{Expert: uint32(e)}, grad); err != nil {
+						if cfg.StaleFallback {
+							// Owner unreachable: the contribution is dropped
+							// this step (it would be retried from fresh
+							// activations next step in a real trainer).
+							degMu.Lock()
+							droppedGrads++
+							degMu.Unlock()
+						} else {
+							setErr(err)
+						}
 					}
-				}
+				}()
 			}
+			gwg.Wait()
 		}()
 	}
 	wg.Wait()
@@ -639,59 +809,30 @@ func (cl *Cluster) RobustnessTotals() metrics.RobustnessSnapshot {
 // forwardWorker computes one worker's tokens against every routed
 // expert using fetched weights, combining in expert-index order (the
 // same order as the reference implementation in internal/moe, so the
-// outputs compare bit-for-bit).
-func (cl *Cluster) forwardWorker(x *tensor.Matrix, fetch func(int) (*moe.Expert, error)) (*tensor.Matrix, error) {
-	routing := cl.layer.Gate.Assign(x)
+// outputs compare bit-for-bit). The token gather and the routing
+// inversion are precomputed at Start; per iteration only the expert
+// matmuls and the combine run.
+func (cl *Cluster) forwardWorker(w int, fetch func(int) (*moe.Expert, error)) (*tensor.Matrix, error) {
+	ri := cl.rindex[w]
+	x := cl.xs[w]
 	out := tensor.New(x.Rows, cl.cfg.Hidden)
-	type contrib struct {
-		row map[int]int
-		ye  *tensor.Matrix
-	}
-	contribs := make([]*contrib, cl.cfg.NumExperts)
-	for e := 0; e < cl.cfg.NumExperts; e++ {
-		var tokens []int
-		for t := 0; t < x.Rows; t++ {
-			for _, te := range routing.Experts[t] {
-				if te == e {
-					tokens = append(tokens, t)
-				}
-			}
-		}
-		if len(tokens) == 0 {
-			continue
-		}
+	yes := make([]*tensor.Matrix, cl.cfg.NumExperts)
+	for _, e := range ri.needed {
 		expert, err := fetch(e)
 		if err != nil {
 			return nil, err
 		}
-		xe := tensor.New(len(tokens), cl.cfg.Hidden)
-		for i, t := range tokens {
-			xe.CopyRow(i, x, t)
-		}
-		ye, _ := expert.Forward(xe)
-		c := &contrib{row: make(map[int]int, len(tokens)), ye: ye}
-		for i, t := range tokens {
-			c.row[t] = i
-		}
-		contribs[e] = c
+		ye, fc := expert.Forward(cl.xes[w][e])
+		fc.Release() // forward-only: the backward scratch goes straight back
+		yes[e] = ye
 	}
 	for t := 0; t < x.Rows; t++ {
-		// ascending expert order for a fixed summation order
-		for e := 0; e < cl.cfg.NumExperts; e++ {
-			c := contribs[e]
-			if c == nil {
-				continue
-			}
-			i, ok := c.row[t]
-			if !ok {
-				continue
-			}
-			for k, te := range routing.Experts[t] {
-				if te == e {
-					out.AddScaledRow(t, c.ye.Row(i), routing.Weights[t][k])
-				}
-			}
+		for _, c := range ri.byToken[t] {
+			out.AddScaledRow(t, yes[c.expert].Row(c.row), c.weight)
 		}
+	}
+	for _, e := range ri.needed {
+		tensor.Put(yes[e])
 	}
 	return out, nil
 }
@@ -699,7 +840,7 @@ func (cl *Cluster) forwardWorker(x *tensor.Matrix, fetch func(int) (*moe.Expert,
 // RunExpertCentricReference computes the same forward pass with the
 // in-process expert-centric reference (no network), for comparison.
 func (cl *Cluster) RunExpertCentricReference() []*tensor.Matrix {
-	return cl.layer.ForwardBackwardExpertCentric(cl.workerTokens(), nil).Outputs
+	return cl.layer.ForwardBackwardExpertCentric(cl.xs, nil).Outputs
 }
 
 // TokenExchangeBytes returns the bytes an expert-centric token exchange
@@ -707,12 +848,11 @@ func (cl *Cluster) RunExpertCentricReference() []*tensor.Matrix {
 // combine, fp32 like the live payloads), for the traffic comparison.
 func (cl *Cluster) TokenExchangeBytes() int64 {
 	cfg := cl.cfg
-	xs := cl.workerTokens()
 	var cross int64
 	perMachine := cfg.NumExperts / cfg.Machines
-	for w, x := range xs {
+	for w, x := range cl.xs {
 		machine := w / cfg.WorkersPerNode
-		routing := cl.layer.Gate.Assign(x)
+		routing := cl.routings[w]
 		for t := 0; t < x.Rows; t++ {
 			for _, e := range routing.Experts[t] {
 				if e/perMachine != machine {

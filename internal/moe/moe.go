@@ -47,18 +47,31 @@ func (e *Expert) Clone() *Expert {
 }
 
 // ExpertCache holds the activations an expert's backward pass needs.
+// H1 and A come from the tensor scratch pool; call Release once the
+// backward pass (or the cache) is finished with them.
 type ExpertCache struct {
 	X  *tensor.Matrix // input tokens
 	H1 *tensor.Matrix // pre-activation X·W1
 	A  *tensor.Matrix // GeLU(H1)
 }
 
+// Release recycles the cache's pooled activations. The cache must not
+// be used afterwards; X is caller-owned and untouched.
+func (c *ExpertCache) Release() {
+	tensor.Put(c.H1)
+	tensor.Put(c.A)
+	c.H1, c.A = nil, nil
+}
+
 // Forward computes Y = GeLU(X·W1)·W2, returning the output and the
 // cache for backward. X has one token per row.
 func (e *Expert) Forward(x *tensor.Matrix) (*tensor.Matrix, *ExpertCache) {
-	h1 := tensor.MatMul(x, e.W1)
-	a := tensor.GeLU(h1)
-	y := tensor.MatMul(a, e.W2)
+	h1 := tensor.Get(x.Rows, e.W1.Cols)
+	tensor.MatMulInto(x, e.W1, h1)
+	a := tensor.GetUninit(h1.Rows, h1.Cols)
+	tensor.GeLUInto(h1, a)
+	y := tensor.Get(a.Rows, e.W2.Cols)
+	tensor.MatMulInto(a, e.W2, y)
 	return y, &ExpertCache{X: x, H1: h1, A: a}
 }
 
@@ -79,14 +92,35 @@ func (g *ExpertGrad) Accumulate(other *ExpertGrad) {
 }
 
 // Backward computes input and weight gradients given the forward cache
-// and the upstream gradient dY.
+// and the upstream gradient dY. The intermediate dA/dH1 matrices live
+// in the scratch pool only for the duration of the call.
 func (e *Expert) Backward(cache *ExpertCache, dy *tensor.Matrix) (dx *tensor.Matrix, grad *ExpertGrad) {
-	da := tensor.MatMulTransB(dy, e.W2)      // dA = dY·W2ᵀ
-	dh1 := tensor.GeLUGrad(cache.H1, da)     // dH1 = dA ⊙ gelu'(H1)
+	da := tensor.GetUninit(dy.Rows, e.W2.Rows)
+	tensor.MatMulTransBInto(dy, e.W2, da) // dA = dY·W2ᵀ
+	dh1 := tensor.GetUninit(cache.H1.Rows, cache.H1.Cols)
+	tensor.GeLUGradInto(cache.H1, da, dh1)   // dH1 = dA ⊙ gelu'(H1)
+	tensor.Put(da)
 	dw1 := tensor.MatMulTransA(cache.X, dh1) // dW1 = Xᵀ·dH1
 	dw2 := tensor.MatMulTransA(cache.A, dy)  // dW2 = Aᵀ·dY
 	dx = tensor.MatMulTransB(dh1, e.W1)      // dX = dH1·W1ᵀ
+	tensor.Put(dh1)
 	return dx, &ExpertGrad{DW1: dw1, DW2: dw2}
+}
+
+// clonePooled is Clone backed by the tensor scratch pool; pair with
+// release. A pooled copy computes bit-identically to the original.
+func (e *Expert) clonePooled() *Expert {
+	w1 := tensor.GetUninit(e.W1.Rows, e.W1.Cols)
+	copy(w1.Data, e.W1.Data)
+	w2 := tensor.GetUninit(e.W2.Rows, e.W2.Cols)
+	copy(w2.Data, e.W2.Data)
+	return &Expert{W1: w1, W2: w2}
+}
+
+func (e *Expert) release() {
+	tensor.Put(e.W1)
+	tensor.Put(e.W2)
+	e.W1, e.W2 = nil, nil
 }
 
 // ApplySGD updates the expert in place: W -= lr·dW.
@@ -229,7 +263,7 @@ func (l *Layer) ForwardBackwardExpertCentric(tokensByWorker, dOutByWorker []*ten
 			res.Grads[e] = NewExpertGrad(l.H)
 			continue
 		}
-		xe := tensor.New(len(slots), l.H)
+		xe := tensor.GetUninit(len(slots), l.H)
 		for i, s := range slots {
 			xe.CopyRow(i, tokensByWorker[s.worker], s.token)
 		}
@@ -238,20 +272,25 @@ func (l *Layer) ForwardBackwardExpertCentric(tokensByWorker, dOutByWorker []*ten
 			wgt := routes[s.worker].Weights[s.token][s.k]
 			res.Outputs[s.worker].AddScaledRow(s.token, ye.Row(i), wgt)
 		}
+		tensor.Put(ye)
 		if backward {
-			dye := tensor.New(len(slots), l.H)
+			dye := tensor.Get(len(slots), l.H)
 			for i, s := range slots {
 				wgt := routes[s.worker].Weights[s.token][s.k]
 				dye.AddScaledRow(i, dOutByWorker[s.worker].Row(s.token), wgt)
 			}
 			dxe, grad := l.Experts[e].Backward(cache, dye)
+			tensor.Put(dye)
 			res.Grads[e] = grad
 			for i, s := range slots {
 				res.InputGrads[s.worker].AddScaledRow(s.token, dxe.Row(i), 1)
 			}
+			tensor.Put(dxe)
 		} else {
 			res.Grads[e] = NewExpertGrad(l.H)
 		}
+		cache.Release()
+		tensor.Put(xe)
 	}
 	return res
 }
@@ -310,9 +349,9 @@ func (l *Layer) ForwardBackwardDataCentric(tokensByWorker, dOutByWorker []*tenso
 
 		for _, e := range order {
 			// The worker "fetches" expert e: in the real system a copy
-			// arrives in the credit buffer; numerically a clone computes
-			// identically to the original.
-			expert := l.Experts[e].Clone()
+			// arrives in the credit buffer; numerically a pooled clone
+			// computes identically to the original.
+			expert := l.Experts[e].clonePooled()
 			var myTokens []int
 			var myK []int
 			for t := 0; t < x.Rows; t++ {
@@ -324,9 +363,10 @@ func (l *Layer) ForwardBackwardDataCentric(tokensByWorker, dOutByWorker []*tenso
 				}
 			}
 			if len(myTokens) == 0 {
+				expert.release()
 				continue
 			}
-			xe := tensor.New(len(myTokens), l.H)
+			xe := tensor.GetUninit(len(myTokens), l.H)
 			for i, t := range myTokens {
 				xe.CopyRow(i, x, t)
 			}
@@ -338,15 +378,19 @@ func (l *Layer) ForwardBackwardDataCentric(tokensByWorker, dOutByWorker []*tenso
 			}
 			contribs[e] = c
 			if backward {
-				dye := tensor.New(len(myTokens), l.H)
+				dye := tensor.Get(len(myTokens), l.H)
 				for i, t := range myTokens {
 					wgt := routes[w].Weights[t][myK[i]]
 					dye.AddScaledRow(i, dOutByWorker[w].Row(t), wgt)
 				}
 				dxe, grad := expert.Backward(cache, dye)
+				tensor.Put(dye)
 				c.dxe = dxe
 				partials[w][e] = grad
 			}
+			cache.Release()
+			tensor.Put(xe)
+			expert.release()
 		}
 
 		// Combine in ascending expert-index order per token — the same
@@ -376,6 +420,13 @@ func (l *Layer) ForwardBackwardDataCentric(tokensByWorker, dOutByWorker []*tenso
 					res.InputGrads[w].AddScaledRow(t, c.dxe.Row(i), 1)
 				}
 			}
+		}
+		for _, c := range contribs {
+			if c == nil {
+				continue
+			}
+			tensor.Put(c.ye)
+			tensor.Put(c.dxe)
 		}
 	}
 

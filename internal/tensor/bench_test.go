@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32() - 0.5
+	}
+	return m
+}
+
+// BenchmarkMatMul measures the dispatching kernel: row-partitioned
+// across the worker pool when GOMAXPROCS allows, bit-identical to the
+// serial reference either way.
+func BenchmarkMatMul(b *testing.B) {
+	a := benchMatrix(256, 256, 1)
+	c := benchMatrix(256, 256, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}
+
+// BenchmarkMatMulSerial pins the retained pre-parallelization
+// reference kernel, the baseline the dispatching kernel is property-
+// tested against.
+func BenchmarkMatMulSerial(b *testing.B) {
+	a := benchMatrix(256, 256, 1)
+	c := benchMatrix(256, 256, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matMulSerial(a, c)
+	}
+}
+
+// BenchmarkMatMulIntoPooled is the steady-state shape of the moe
+// forward/backward path: output taken from the scratch pool, so the
+// hot loop allocates nothing.
+func BenchmarkMatMulIntoPooled(b *testing.B) {
+	a := benchMatrix(256, 256, 1)
+	c := benchMatrix(256, 256, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := GetUninit(256, 256)
+		MatMulInto(a, c, out)
+		Put(out)
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	a := benchMatrix(256, 256, 1)
+	c := benchMatrix(256, 256, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(a, c)
+	}
+}

@@ -1,0 +1,184 @@
+// Row-partitioned parallel kernels and scratch-buffer pooling.
+//
+// Determinism argument: every kernel partitions work by *output row*,
+// and each output row is written by exactly one worker running the
+// identical per-row loop as the serial reference — the summation order
+// within every output element is unchanged. Float addition is
+// non-associative, so this is the one partitioning that is safe: the
+// result is bit-identical to the serial kernel for any worker count,
+// which parallel_test.go property-tests against the retained serial
+// references. This preserves the repository's expert-centric ≡
+// data-centric numerical equivalence proof (§3.2, §5.1.1).
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxKernelWorkers bounds the worker pool; beyond this the per-chunk
+// coordination overhead outweighs the row-loop work for the matrix
+// sizes this repository uses.
+const maxKernelWorkers = 8
+
+// minParRows is the smallest output-row count worth fanning out.
+const minParRows = 32
+
+var kernelPool struct {
+	once    sync.Once
+	workers int
+	jobs    chan func()
+}
+
+func poolWorkers() int {
+	kernelPool.once.Do(func() {
+		w := runtime.GOMAXPROCS(0)
+		if w > maxKernelWorkers {
+			w = maxKernelWorkers
+		}
+		kernelPool.workers = w
+		if w > 1 {
+			kernelPool.jobs = make(chan func(), 4*w)
+			for i := 0; i < w; i++ {
+				go func() {
+					for job := range kernelPool.jobs {
+						job()
+					}
+				}()
+			}
+		}
+	})
+	return kernelPool.workers
+}
+
+// parallelRows runs fn over [0, rows) split into contiguous chunks, one
+// chunk per pool worker, executing the last chunk on the caller. Serial
+// when the pool has one worker or the row count is too small to pay for
+// the fan-out. fn must touch only the rows it is given.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	w := poolWorkers()
+	if w == 1 || rows < minParRows {
+		fn(0, rows)
+		return
+	}
+	chunks := w
+	if chunks > rows {
+		chunks = rows
+	}
+	size := (rows + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+size < rows {
+		lo2, hi2 := lo, lo+size
+		wg.Add(1)
+		kernelPool.jobs <- func() {
+			fn(lo2, hi2)
+			wg.Done()
+		}
+		lo = hi2
+	}
+	fn(lo, rows) // caller takes the tail chunk
+	wg.Wait()
+}
+
+// --- kernels -------------------------------------------------------------
+
+// matMulRows computes rows [lo, hi) of out = a·b, identically to the
+// serial reference restricted to those rows.
+func matMulRows(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matMulTransARows computes output rows [lo, hi) of out = aᵀ·b. The
+// serial reference iterates k outermost, so each out[i][j] accumulates
+// its k-terms in ascending-k order; iterating k per output row keeps
+// exactly that per-element order (including the a[k][i]==0 skips).
+func matMulTransARows(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := out.Row(i)
+		for k := 0; k < a.Rows; k++ {
+			av := a.Data[k*a.Cols+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransBRows computes rows [lo, hi) of out = a·bᵀ: one
+// sequential-accumulator dot product per output element, identical to
+// the serial reference.
+func matMulTransBRows(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float32
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+}
+
+// --- scratch pooling ------------------------------------------------------
+
+// matrixPool recycles backing arrays for transient matrices (activation
+// scratch, gradient staging). Buffers are pooled by capacity class and
+// zeroed on Get, so a pooled matrix is indistinguishable from New.
+var matrixPool = sync.Pool{New: func() any { return &Matrix{} }}
+
+// Get returns a zeroed rows×cols matrix, reusing pooled backing store
+// when one large enough is available. Pair with Put when the matrix is
+// no longer referenced.
+func Get(rows, cols int) *Matrix {
+	m := GetUninit(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// GetUninit is Get without the zero fill: the contents are arbitrary
+// leftovers, so the caller must overwrite every element (fine for
+// kernels like MatMulTransBInto or GeLUInto, wrong for accumulating
+// ones like MatMulInto).
+func GetUninit(rows, cols int) *Matrix {
+	m := matrixPool.Get().(*Matrix)
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// Put recycles a matrix obtained from Get (or any matrix the caller
+// owns outright). The caller must not use m afterwards.
+func Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	matrixPool.Put(m)
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSparse draws a matrix with a mix of magnitudes and explicit
+// zeros (the serial kernels skip zero multiplicands, so the skip path
+// must be exercised too).
+func randomSparse(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(4) {
+		case 0:
+			m.Data[i] = 0
+		default:
+			m.Data[i] = float32((rng.Float64()*2 - 1) * float64(uint(1)<<uint(rng.Intn(8))))
+		}
+	}
+	return m
+}
+
+// TestParallelKernelsBitIdentical property-tests the row-partitioned
+// kernels against the retained serial references across random shapes,
+// including shapes above and below the parallel dispatch threshold.
+func TestParallelKernelsBitIdentical(t *testing.T) {
+	for seed := 0; seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		r := 1 + rng.Intn(90)
+		k := 1 + rng.Intn(70)
+		c := 1 + rng.Intn(50)
+
+		a := randomSparse(rng, r, k)
+		b := randomSparse(rng, k, c)
+		if got, want := MatMul(a, b), matMulSerial(a, b); !Equal(got, want) {
+			t.Fatalf("seed %d: MatMul %dx%d·%dx%d diverges from serial (maxdiff %v)",
+				seed, r, k, k, c, MaxAbsDiff(got, want))
+		}
+
+		at := randomSparse(rng, k, r)
+		if got, want := MatMulTransA(at, b), matMulTransASerial(at, b); !Equal(got, want) {
+			t.Fatalf("seed %d: MatMulTransA diverges from serial (maxdiff %v)",
+				seed, MaxAbsDiff(got, want))
+		}
+
+		bt := randomSparse(rng, c, k)
+		if got, want := MatMulTransB(a, bt), matMulTransBSerial(a, bt); !Equal(got, want) {
+			t.Fatalf("seed %d: MatMulTransB diverges from serial (maxdiff %v)",
+				seed, MaxAbsDiff(got, want))
+		}
+	}
+}
+
+// TestIntoVariantsMatch checks the Into kernels on pooled, recycled
+// buffers: a Get matrix that previously held other data must produce
+// the same result as a fresh allocation.
+func TestIntoVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSparse(rng, 65, 33)
+	b := randomSparse(rng, 33, 41)
+
+	dirty := Get(65, 41)
+	for i := range dirty.Data {
+		dirty.Data[i] = 99
+	}
+	Put(dirty)
+
+	out := Get(65, 41)
+	MatMulInto(a, b, out)
+	if want := matMulSerial(a, b); !Equal(out, want) {
+		t.Fatalf("MatMulInto on recycled buffer diverges (maxdiff %v)", MaxAbsDiff(out, want))
+	}
+	Put(out)
+
+	at := randomSparse(rng, 33, 65)
+	out2 := Get(65, 41)
+	MatMulTransAInto(at, b, out2)
+	if want := matMulTransASerial(at, b); !Equal(out2, want) {
+		t.Fatalf("MatMulTransAInto on recycled buffer diverges (maxdiff %v)", MaxAbsDiff(out2, want))
+	}
+	Put(out2)
+
+	bt := randomSparse(rng, 41, 33)
+	out3 := Get(65, 41)
+	MatMulTransBInto(a, bt, out3)
+	if want := matMulTransBSerial(a, bt); !Equal(out3, want) {
+		t.Fatalf("MatMulTransBInto on recycled buffer diverges (maxdiff %v)", MaxAbsDiff(out3, want))
+	}
+	Put(out3)
+}
+
+// TestGetReturnsZeroed guards the pooling contract the accumulating
+// kernels rely on.
+func TestGetReturnsZeroed(t *testing.T) {
+	m := Get(8, 8)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	Put(m)
+	m2 := Get(4, 4)
+	for i, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("Get returned dirty buffer at %d: %v", i, v)
+		}
+	}
+	Put(m2)
+}

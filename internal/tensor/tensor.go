@@ -4,10 +4,12 @@
 // that the expert-centric and data-centric paradigms compute identical
 // results (§3.2 and §5.1.1 of the Janus paper).
 //
-// Performance is a non-goal — correctness, determinism and zero
-// dependencies are. All operations are straightforward loops; the
+// Correctness, determinism and zero dependencies come first. The
 // summation order of every reduction is fixed, so results are exactly
-// reproducible.
+// reproducible: the matmul kernels fan output rows across a bounded
+// worker pool (see parallel.go), which leaves every per-element
+// summation order untouched and therefore stays bit-identical to the
+// retained serial reference kernels — property-tested, not assumed.
 package tensor
 
 import (
@@ -95,6 +97,26 @@ func (m *Matrix) Scale(s float32) {
 
 // MatMul returns a·b with shapes (r×k)·(k×c) → (r×c).
 func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulInto computes a·b into out, which must be zero-filled (Get
+// returns such matrices) with shape a.Rows×b.Cols.
+func MatMulInto(a, b, out *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulRows(a, b, out, lo, hi) })
+}
+
+// matMulSerial is the pre-parallelization reference kernel, retained
+// for the bit-identity property tests.
+func matMulSerial(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -119,6 +141,26 @@ func MatMul(a, b *Matrix) *Matrix {
 // MatMulTransA returns aᵀ·b with shapes (k×r)ᵀ·(k×c) → (r×c). Used for
 // weight gradients (dW = Xᵀ·dY).
 func MatMulTransA(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	MatMulTransAInto(a, b, out)
+	return out
+}
+
+// MatMulTransAInto computes aᵀ·b into out, which must be zero-filled
+// with shape a.Cols×b.Cols.
+func MatMulTransAInto(a, b, out *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	parallelRows(a.Cols, func(lo, hi int) { matMulTransARows(a, b, out, lo, hi) })
+}
+
+// matMulTransASerial is the pre-parallelization reference kernel,
+// retained for the bit-identity property tests.
+func matMulTransASerial(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -142,6 +184,26 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 // MatMulTransB returns a·bᵀ with shapes (r×k)·(c×k)ᵀ → (r×c). Used for
 // input gradients (dX = dY·Wᵀ).
 func MatMulTransB(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTransBInto(a, b, out)
+	return out
+}
+
+// MatMulTransBInto computes a·bᵀ into out with shape a.Rows×b.Rows.
+// Every element is fully overwritten, so out need not be zeroed.
+func MatMulTransBInto(a, b, out *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulTransBRows(a, b, out, lo, hi) })
+}
+
+// matMulTransBSerial is the pre-parallelization reference kernel,
+// retained for the bit-identity property tests.
+func matMulTransBSerial(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -165,23 +227,38 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 // matrix.
 func GeLU(m *Matrix) *Matrix {
 	out := New(m.Rows, m.Cols)
+	GeLUInto(m, out)
+	return out
+}
+
+// GeLUInto applies GeLU element-wise into out, overwriting every
+// element (out need not be zeroed).
+func GeLUInto(m, out *Matrix) {
+	if m.Rows != out.Rows || m.Cols != out.Cols {
+		panic("tensor: GeLUInto shape mismatch")
+	}
 	for i, x := range m.Data {
 		out.Data[i] = gelu(x)
 	}
-	return out
 }
 
 // GeLUGrad returns dx given pre-activation x and upstream gradient dy:
 // dx = dy ⊙ gelu'(x).
 func GeLUGrad(x, dy *Matrix) *Matrix {
-	if x.Rows != dy.Rows || x.Cols != dy.Cols {
+	out := New(x.Rows, x.Cols)
+	GeLUGradInto(x, dy, out)
+	return out
+}
+
+// GeLUGradInto computes dy ⊙ gelu'(x) into out, overwriting every
+// element (out need not be zeroed).
+func GeLUGradInto(x, dy, out *Matrix) {
+	if x.Rows != dy.Rows || x.Cols != dy.Cols || x.Rows != out.Rows || x.Cols != out.Cols {
 		panic("tensor: GeLUGrad shape mismatch")
 	}
-	out := New(x.Rows, x.Cols)
 	for i := range x.Data {
 		out.Data[i] = dy.Data[i] * geluPrime(x.Data[i])
 	}
-	return out
 }
 
 const (

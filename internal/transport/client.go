@@ -172,6 +172,14 @@ type peerConn struct {
 	w    *bufio.Writer
 	wmu  sync.Mutex
 
+	// lastRead is the wall-clock UnixNano of the most recent frame the
+	// read loop delivered. A timed-out attempt consults it to tell a
+	// hung connection (evict and re-dial) from a live one that merely
+	// lost this request's frame (retry in place) — on a pipelined
+	// connection, evicting kills every other in-flight request, so a
+	// single lost frame must not take down the whole window.
+	lastRead atomic.Int64
+
 	mu      sync.Mutex
 	nextID  uint64
 	waiting map[uint64]chan frame
@@ -258,12 +266,17 @@ func (p *peerConn) readLoop(counters *Counters) {
 			return
 		}
 		counters.addReceived(4 + frameHeaderBytes + len(f.payload))
+		p.lastRead.Store(time.Now().UnixNano())
 		p.mu.Lock()
 		ch, ok := p.waiting[f.reqID]
 		delete(p.waiting, f.reqID)
 		p.mu.Unlock()
 		if ok {
 			ch <- f
+		} else {
+			// Response for a caller that gave up (deadline passed):
+			// nobody will read the payload, recycle its buffer.
+			f.recycle()
 		}
 	}
 }
@@ -322,7 +335,9 @@ func (p *peerConn) roundTrip(ctx context.Context, f frame, counters *Counters) (
 			return frame{}, err
 		}
 		if resp.typ == msgError {
-			return frame{}, &RemoteError{Msg: string(resp.payload)}
+			msg := string(resp.payload) // copies; buffer can go back
+			resp.recycle()
+			return frame{}, &RemoteError{Msg: msg}
 		}
 		return resp, nil
 	case <-ctx.Done():
@@ -357,6 +372,7 @@ func (c *Client) do(ctx context.Context, addr string, req frame) (frame, error) 
 			return frame{}, lastErr
 		}
 
+		attemptStart := time.Now()
 		actx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 		p, err := c.peer(addr)
 		if err == nil {
@@ -371,12 +387,23 @@ func (c *Client) do(ctx context.Context, addr string, req frame) (frame, error) 
 				cancel()
 				return frame{}, err
 			}
+			evictConn := true
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 				c.Robust.AddTimeout()
+				if p.lastRead.Load() >= attemptStart.UnixNano() {
+					// The connection delivered other responses during
+					// this attempt, so it is alive; only this request's
+					// frame (or its response) was lost. Retry on the
+					// same connection rather than evicting it, which
+					// would abort every other request pipelined on it.
+					evictConn = false
+				}
 			}
-			// The connection is suspect (lost, reset, or hung past its
-			// deadline): evict so the next attempt re-dials.
-			c.evict(addr, p, fmt.Errorf("transport: evicted after: %w", err))
+			if evictConn {
+				// The connection is suspect (lost, reset, or hung past
+				// its deadline): evict so the next attempt re-dials.
+				c.evict(addr, p, fmt.Errorf("transport: evicted after: %w", err))
+			}
 		}
 		cancel()
 		if errors.Is(err, ErrClosed) {

@@ -62,10 +62,44 @@ type frame struct {
 	reqID   uint64
 	id      ExpertID
 	payload []byte
+	// buf is the pooled backing store of payload, set only when the
+	// frame was read with a recyclable buffer. recycle() returns it to
+	// the pool; payloads that escape to callers (msgExpert) leave buf
+	// unrecycled, which is safe — the pool never requires a Put.
+	buf *[]byte
 }
 
 const frameHeaderBytes = 1 + 8 + 4 + 4
 
+// frameBufPool recycles frame read buffers. Header-only frames (PULL,
+// PING, PONG, GRADACK) return their buffer inside readFrame; GRAD
+// payloads are recycled by the server once the store has consumed them.
+// Buffers are held behind a pointer so Put does not allocate.
+var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4+frameHeaderBytes); return &b }}
+
+func getFrameBuf(n int) *[]byte {
+	bp := frameBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// recycle returns the frame's pooled read buffer, if any. The caller
+// must not touch f.payload afterwards.
+func (f *frame) recycle() {
+	if f.buf != nil {
+		frameBufPool.Put(f.buf)
+		f.buf, f.payload = nil, nil
+	}
+}
+
+// writeFrame serialises f into w and flushes it. One flush per frame
+// is deliberate: a previous optimization coalesced concurrent senders'
+// flushes into one syscall, but a single faulted Write then swallowed
+// a whole burst of frames at once, correlating losses across requests
+// and defeating the per-request retry budget under fault injection.
 func writeFrame(w *bufio.Writer, f frame) error {
 	if len(f.payload) > maxFrameBytes-frameHeaderBytes {
 		return fmt.Errorf("transport: frame payload %d exceeds limit", len(f.payload))
@@ -96,8 +130,10 @@ func readFrame(r *bufio.Reader) (frame, error) {
 	if n < frameHeaderBytes || n > maxFrameBytes {
 		return frame{}, fmt.Errorf("transport: invalid frame length %d", n)
 	}
-	buf := make([]byte, n)
+	bp := getFrameBuf(int(n))
+	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {
+		frameBufPool.Put(bp)
 		return frame{}, err
 	}
 	f := frame{
@@ -110,6 +146,10 @@ func readFrame(r *bufio.Reader) (frame, error) {
 	}
 	if n > frameHeaderBytes {
 		f.payload = buf[frameHeaderBytes:]
+		f.buf = bp
+	} else {
+		// Header-only frame: nothing aliases the buffer, recycle now.
+		frameBufPool.Put(bp)
 	}
 	return f, nil
 }
@@ -120,6 +160,9 @@ type Store interface {
 	// or an error if the expert is not hosted here.
 	ExpertBytes(id ExpertID) ([]byte, error)
 	// AddGradient accepts one gradient contribution for a hosted expert.
+	// The payload slice is only valid for the duration of the call — the
+	// transport recycles its backing buffer afterwards — so an
+	// implementation that needs the bytes later must copy them.
 	AddGradient(id ExpertID, payload []byte) error
 }
 
@@ -298,6 +341,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			go func(f frame) {
 				defer handlers.Done()
 				err := s.applyGradient(f)
+				// The store has consumed (or rejected) the payload and
+				// may not retain it, so the read buffer can go back.
+				f.recycle()
 				resp := frame{typ: msgGradAck, reqID: f.reqID, id: f.id}
 				if err != nil {
 					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}
