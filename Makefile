@@ -24,12 +24,15 @@ cover:
 
 # Record the performance trajectory: run the micro-benchmarks (fabric
 # admission/reallocation, tensor kernels, transport framing, livecluster
-# iteration) and write them as JSON. The Seed/Oracle variants pin the
-# pre-optimization code paths, so the speedup ratios are in the file.
+# iteration, lockstep-vs-pipelined training) and write them as JSON. The
+# Seed/Oracle variants pin the pre-optimization code paths, and the
+# TrainLockstep*/TrainPipelined* pairs (loopback and 100µs-RTT) carry
+# the cross-step pipeline's steps/sec ratio, so the speedups are in the
+# file.
 bench:
 	go test -run '^$$' -bench . -benchmem \
 		./internal/fabric \
 		./internal/tensor \
 		./internal/transport \
 		./internal/livecluster \
-		| tee /dev/stderr | go run ./cmd/benchjson -baseline BENCH_BASELINE.json > BENCH_3.json
+		| tee /dev/stderr | go run ./cmd/benchjson -baseline BENCH_BASELINE.json > BENCH_4.json

@@ -1,10 +1,10 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON document on stdout, so `make bench` can record the performance
-// trajectory (BENCH_3.json) in a diffable, machine-readable form.
+// trajectory (BENCH_4.json) in a diffable, machine-readable form.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . ./... | go run ./cmd/benchjson > BENCH_3.json
+//	go test -run '^$' -bench . ./... | go run ./cmd/benchjson > BENCH_4.json
 package main
 
 import (

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,24 +35,54 @@ type jsonEntry struct {
 	Render  string             `json:"render,omitempty"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	list := flag.Bool("list", false, "list available experiments and exit")
-	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	runIDs := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	asJSON := flag.Bool("json", false, "emit a JSON array of results on stdout instead of tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "janusbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "janusbench:", err)
+			return 1
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "janusbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "janusbench:", err)
+			}
+		}()
 	}
 
 	var ids []string
-	if *run == "all" {
+	if *runIDs == "all" {
 		ids = experiments.IDs()
 	} else {
-		ids = strings.Split(*run, ",")
+		ids = strings.Split(*runIDs, ",")
 	}
 	failed := false
 	var entries []jsonEntry
@@ -91,6 +123,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -23,19 +23,35 @@
 //
 //	januslive -machines 3 -workers 1 -experts 9 -topk 3 -steps 8 \
 //	  -kill-machine 2 -kill-from 3 -fail-permanent -checkpoint-dir /tmp/janus-ckpt
+//
+// Training: -train switches from the forward-only iteration loop to the
+// real trainer (backward pass, pre-reduced gradient pushes, SGD merges
+// on the owners). -pipelined streams microbatches through the fetch →
+// compute → push stages and overlaps steps where the fault policy
+// permits; a pipelined run is re-executed in lockstep on a twin cluster
+// and the final weights are compared bitwise:
+//
+//	januslive -train -pipelined -steps 8 -microbatches 4 -delay 100us
+//
+// Profiling: -cpuprofile/-memprofile write pprof files for any mode.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"janus"
 	"janus/internal/tensor"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	machines := flag.Int("machines", 2, "number of machines (TCP servers)")
 	workers := flag.Int("workers", 2, "workers per machine")
 	experts := flag.Int("experts", 8, "experts in the MoE layer")
@@ -55,50 +71,83 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-consistent checkpoints (failover restores from here)")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "checkpoint cadence in steps")
 	deadman := flag.Int("deadman", janus.DefaultDeadManSteps, "consecutive missed heartbeat rounds before a machine is declared dead")
+	train := flag.Bool("train", false, "run the real trainer (backward + SGD merges) instead of forward-only iterations")
+	pipelined := flag.Bool("pipelined", false, "with -train: stream microbatches and overlap steps (verified bitwise against a lockstep twin)")
+	microbatches := flag.Int("microbatches", 1, "with -train: contiguous token microbatches per worker batch")
+	depth := flag.Int("depth", 0, "with -train -pipelined: cross-step in-flight window (0 = default)")
+	lr := flag.Float64("lr", 0, "with -train: SGD learning rate (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *failPermanent && *killMachine < 0 {
 		fmt.Fprintln(os.Stderr, "januslive: -fail-permanent needs -kill-machine")
-		os.Exit(2)
+		return 2
 	}
 	if *failPermanent {
 		*killTo = 0 // permanent means the server never comes back
 	}
-	faulted := *killMachine >= 0 || *drop > 0 || *delay > 0
-	cfg := janus.LiveConfig{
-		Machines: *machines, WorkersPerNode: *workers,
-		NumExperts: *experts, TopK: *topk, Hidden: *hidden,
-		TokensPerWorker: *tokens, Seed: *seed, Credits: 4,
-	}
-	if faulted {
-		inj := janus.NewFaultInjector(*seed)
-		if *killMachine >= 0 {
-			inj.Kill(janus.MachineLabel(*killMachine), *killFrom, *killTo)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "januslive:", err)
+			return 1
 		}
-		if *drop > 0 || *delay > 0 {
-			inj.AddRule(janus.FaultRule{Fault: janus.Fault{DropProb: *drop, Delay: *delay}})
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "januslive:", err)
+			return 1
 		}
-		cfg.Injector = inj
-		cfg.StaleFallback = true
-		cfg.PullTimeout = *pullTimeout
-		cfg.PullRetries = *retries
-		cfg.RetryBackoff = 5 * time.Millisecond
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
-	if *failPermanent {
-		cfg.FailoverEnabled = true
-		cfg.DeadManSteps = *deadman
-	}
-	if *checkpointDir != "" {
-		cfg.CheckpointDir = *checkpointDir
-		cfg.CheckpointEvery = *checkpointEvery
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "januslive:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "januslive:", err)
+			}
+		}()
 	}
 
-	cl, err := janus.StartLiveCluster(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "januslive:", err)
-		os.Exit(1)
+	faulted := *killMachine >= 0 || *drop > 0 || *delay > 0
+	// buildCfg returns a fresh config with a fresh injector: injectors
+	// are stateful, so the pipelined run and its lockstep twin each get
+	// their own.
+	buildCfg := func() janus.LiveConfig {
+		cfg := janus.LiveConfig{
+			Machines: *machines, WorkersPerNode: *workers,
+			NumExperts: *experts, TopK: *topk, Hidden: *hidden,
+			TokensPerWorker: *tokens, Seed: *seed, Credits: 4,
+		}
+		if faulted {
+			inj := janus.NewFaultInjector(*seed)
+			if *killMachine >= 0 {
+				inj.Kill(janus.MachineLabel(*killMachine), *killFrom, *killTo)
+			}
+			if *drop > 0 || *delay > 0 {
+				inj.AddRule(janus.FaultRule{Fault: janus.Fault{DropProb: *drop, Delay: *delay}})
+			}
+			cfg.Injector = inj
+			cfg.StaleFallback = true
+			cfg.PullTimeout = *pullTimeout
+			cfg.PullRetries = *retries
+			cfg.RetryBackoff = 5 * time.Millisecond
+		}
+		if *failPermanent {
+			cfg.FailoverEnabled = true
+			cfg.DeadManSteps = *deadman
+		}
+		if *checkpointDir != "" {
+			cfg.CheckpointDir = *checkpointDir
+			cfg.CheckpointEvery = *checkpointEvery
+		}
+		return cfg
 	}
-	defer cl.Close()
 
 	fmt.Printf("live cluster: %d machines x %d workers, %d experts (H=%d), %d tokens/worker, topK=%d\n",
 		*machines, *workers, *experts, *hidden, *tokens, *topk)
@@ -107,27 +156,127 @@ func main() {
 			*killMachine, *killFrom, *killTo, *drop, *delay)
 	}
 
+	if *train {
+		return runTrain(buildCfg, janus.LiveTrainOptions{
+			Steps: *steps, Microbatches: *microbatches,
+			Pipelined: *pipelined, Depth: *depth, LR: float32(*lr),
+		})
+	}
+	return runForward(buildCfg(), *steps, faulted, *failPermanent, *machines)
+}
+
+// runTrain executes the trainer; a pipelined run is verified bitwise
+// against a lockstep twin cluster driven by an identical fault policy.
+func runTrain(buildCfg func() janus.LiveConfig, opts janus.LiveTrainOptions) int {
+	cl, err := janus.StartLiveCluster(buildCfg())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "januslive:", err)
+		return 1
+	}
+	defer cl.Close()
+
+	mode := "lockstep"
+	if opts.Pipelined {
+		mode = "pipelined"
+	}
+	start := time.Now()
+	res, err := cl.Train(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "januslive: train:", err)
+		return 1
+	}
+	el := time.Since(start)
+	fmt.Printf("train (%s): %d steps x %d microbatches in %.1fms (%.1f steps/sec)\n",
+		mode, res.Steps, opts.Microbatches, float64(el.Microseconds())/1e3,
+		float64(res.Steps)/el.Seconds())
+	if opts.Pipelined && res.Synced {
+		fmt.Println("schedule: step-synced (fault policy is not outcome-neutral; cross-step overlap disabled)")
+	}
+	fmt.Printf("pipeline: %v\n", res.Pipeline)
+	if res.DegradedSteps > 0 {
+		fmt.Printf("degraded: %d/%d steps (stale=%d max-staleness=%d dropped-grads=%d) alive=%d\n",
+			res.DegradedSteps, res.Steps, res.StaleFetches, res.MaxStalenessSteps,
+			res.DroppedGrads, res.AliveMachines)
+	}
+
+	if !opts.Pipelined {
+		return 0
+	}
+	// Bit-identity check: replay the identical schedule in lockstep on
+	// a twin cluster and compare every expert's final weights. The twin
+	// must not share -checkpoint-dir: it would restore from the first
+	// run's (newer) checkpoints on failover instead of its own.
+	tcfg := buildCfg()
+	if tcfg.CheckpointDir != "" {
+		dir, err := os.MkdirTemp("", "januslive-twin-ckpt-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "januslive: twin:", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		tcfg.CheckpointDir = dir
+	}
+	twin, err := janus.StartLiveCluster(tcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "januslive: twin:", err)
+		return 1
+	}
+	defer twin.Close()
+	lockOpts := opts
+	lockOpts.Pipelined = false
+	if _, err := twin.Train(lockOpts); err != nil {
+		fmt.Fprintln(os.Stderr, "januslive: twin train:", err)
+		return 1
+	}
+	got, err := cl.ExpertState()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "januslive:", err)
+		return 1
+	}
+	want, err := twin.ExpertState()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "januslive:", err)
+		return 1
+	}
+	for e := range got {
+		if !bytes.Equal(got[e], want[e]) {
+			fmt.Fprintf(os.Stderr, "januslive: expert %d weights diverged from the lockstep twin\n", e)
+			return 1
+		}
+	}
+	fmt.Printf("OK: pipelined weights bit-identical to the lockstep twin (%d experts)\n", len(got))
+	return 0
+}
+
+func runForward(cfg janus.LiveConfig, steps int, faulted, failPermanent bool, machines int) int {
+	cl, err := janus.StartLiveCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "januslive:", err)
+		return 1
+	}
+	defer cl.Close()
+
 	ref := cl.RunExpertCentricReference()
 	var last janus.LiveResult
 	degradedTotal := 0
-	for s := 1; s <= *steps; s++ {
+	for s := 1; s <= steps; s++ {
 		start := time.Now()
 		res, err := cl.RunDataCentric()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "januslive: step %d: %v\n", s, err)
-			os.Exit(1)
+			return 1
 		}
 		last = res
 		degradedTotal += res.DegradedSteps
-		if *steps > 1 || faulted {
+		if steps > 1 || faulted {
 			mode := "ok"
 			if res.Degraded() {
 				mode = fmt.Sprintf("DEGRADED (stale=%d max-staleness=%d dropped-grads=%d)",
 					res.StaleFetches, res.MaxStalenessSteps, res.DroppedGrads)
 			}
 			alive := ""
-			if *failPermanent {
-				alive = fmt.Sprintf("  alive=%d/%d", res.AliveMachines, *machines)
+			if failPermanent {
+				alive = fmt.Sprintf("  alive=%d/%d", res.AliveMachines, machines)
 			}
 			fmt.Printf("step %2d: %6.1fms  %s%s  [%v]\n",
 				s, float64(time.Since(start).Microseconds())/1e3, mode, alive, res.Robust)
@@ -157,19 +306,20 @@ func main() {
 	fmt.Println()
 	if faulted || degradedTotal > 0 {
 		fmt.Printf("robustness:             %d/%d steps degraded; cumulative %v\n",
-			degradedTotal, *steps, cl.RobustnessTotals())
+			degradedTotal, steps, cl.RobustnessTotals())
 	}
-	if *failPermanent {
+	if failPermanent {
 		fmt.Printf("membership:             %d/%d machines alive after the run\n",
-			last.AliveMachines, *machines)
+			last.AliveMachines, machines)
 	}
 	if maxDiff != 0 {
 		fmt.Fprintln(os.Stderr, "januslive: outputs differ from reference")
-		os.Exit(1)
+		return 1
 	}
 	if survivors < len(ref) {
 		fmt.Printf("OK: all %d surviving workers bit-identical to the reference (failed machine's workers excluded)\n", survivors)
-		return
+		return 0
 	}
 	fmt.Println("OK: data-centric execution over real sockets is bit-identical to the reference")
+	return 0
 }

@@ -187,6 +187,28 @@ func (rs *ruleState) consume() bool {
 	return true
 }
 
+// OutcomeNeutral reports whether the installed rule set can only slow
+// traffic down, never change what arrives: every rule is a pure delay
+// (no drop/corrupt/reset/kill), has no step window, and no Times
+// budget. The live-cluster trainer uses this to decide whether
+// free-running cross-step overlap is safe — outcome rules and
+// step-gated rules both require the step-synced schedule, because their
+// effects depend on the step clock or on RNG draw order.
+func (in *Injector) OutcomeNeutral() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		f := rs.Fault
+		if f.Kill || f.DropProb > 0 || f.CorruptProb > 0 || f.ResetProb > 0 {
+			return false
+		}
+		if rs.FromStep > 0 || rs.ToStep > 0 || rs.Times > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // killActive reports whether a kill rule currently covers label,
 // without consuming any budget (used by the listener wrapper).
 func (in *Injector) killActive(label string) bool {

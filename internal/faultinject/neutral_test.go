@@ -1,0 +1,35 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOutcomeNeutral(t *testing.T) {
+	neutral := New(1)
+	neutral.AddRule(Rule{Label: "m0", Fault: Fault{Delay: time.Millisecond}})
+	neutral.AddRule(Rule{Fault: Fault{Delay: 2 * time.Millisecond}})
+	if !neutral.OutcomeNeutral() {
+		t.Fatal("window-free pure delays should be outcome-neutral")
+	}
+
+	cases := map[string]Rule{
+		"kill":        {Fault: Fault{Kill: true}},
+		"drop":        {Fault: Fault{DropProb: 0.1}},
+		"corrupt":     {Fault: Fault{CorruptProb: 0.1}},
+		"reset":       {Fault: Fault{ResetProb: 0.1}},
+		"step-window": {FromStep: 2, ToStep: 4, Fault: Fault{Delay: time.Millisecond}},
+		"times":       {Times: 3, Fault: Fault{Delay: time.Millisecond}},
+	}
+	for name, r := range cases {
+		in := New(1)
+		in.AddRule(Rule{Fault: Fault{Delay: time.Millisecond}})
+		in.AddRule(r)
+		if in.OutcomeNeutral() {
+			t.Errorf("%s rule wrongly classified outcome-neutral", name)
+		}
+	}
+	if !New(2).OutcomeNeutral() {
+		t.Fatal("empty rule set should be outcome-neutral")
+	}
+}

@@ -250,7 +250,14 @@ func (cl *Cluster) failover(dead, step int) {
 		if age := step - srcStep; age > maxAge {
 			maxAge = age
 		}
-		cl.stores[next].install(transport.ExpertID{Expert: uint32(e)}, ex)
+		if cl.train != nil {
+			// During training the re-homed weights stand in for the
+			// version pulls of step `step` expect (the pre-step state),
+			// so parked pullers resume deterministically.
+			cl.stores[next].installAt(transport.ExpertID{Expert: uint32(e)}, ex, uint64(step-1))
+		} else {
+			cl.stores[next].install(transport.ExpertID{Expert: uint32(e)}, ex)
+		}
 		cl.viewMu.Lock()
 		cl.owner[e] = next
 		cl.viewMu.Unlock()

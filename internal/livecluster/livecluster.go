@@ -208,16 +208,30 @@ type Cluster struct {
 	missed           []int  // consecutive missed heartbeat rounds
 	epoch            int    // bumps on every ownership transition
 	pendingStaleness int    // staleness of replica-recovered experts, folded into the next Result
+
+	// train is the pipelined trainer's state (nil until Train runs).
+	train *trainState
 }
 
 // machineStore hosts the experts owned by one machine's workers and
 // accumulates gradients pushed back to them.
 type machineStore struct {
 	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on version advance / install / remove / abort
 	experts map[transport.ExpertID]*moe.Expert
 	enc     map[transport.ExpertID][]byte // memoized wire encodings
 	grads   map[transport.ExpertID]int
 	h       int
+
+	// Versioned-training state (see train.go; zero until enableTraining).
+	trainOn      bool
+	countTrigger bool
+	aborted      bool
+	lr           float32
+	expect       [][]int // shared: expert index -> ascending contributor machines
+	ver          map[transport.ExpertID]uint64
+	pending      map[transport.ExpertID]map[uint64]*mergeBuf
+	pipe         *metrics.Pipeline
 }
 
 func (s *machineStore) ExpertBytes(id transport.ExpertID) ([]byte, error) {
@@ -250,6 +264,9 @@ func (s *machineStore) install(id transport.ExpertID, e *moe.Expert) {
 	s.mu.Lock()
 	s.experts[id] = e
 	delete(s.enc, id)
+	if s.trainOn {
+		s.cond.Broadcast()
+	}
 	s.mu.Unlock()
 }
 
@@ -258,10 +275,17 @@ func (s *machineStore) remove(id transport.ExpertID) {
 	s.mu.Lock()
 	delete(s.experts, id)
 	delete(s.enc, id)
+	if s.trainOn {
+		delete(s.pending, id)
+		s.cond.Broadcast() // wake version waiters into the not-hosted error
+	}
 	s.mu.Unlock()
 }
 
 func (s *machineStore) AddGradient(id transport.ExpertID, payload []byte) error {
+	if isTrainGrad(payload) {
+		return s.addTrainGradWire(id, payload)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.experts[id]; !ok {
@@ -390,6 +414,7 @@ func Start(cfg Config) (*Cluster, error) {
 			grads:   make(map[transport.ExpertID]int),
 			h:       cfg.Hidden,
 		}
+		store.cond = sync.NewCond(&store.mu)
 		for e := m * perMachine; e < (m+1)*perMachine; e++ {
 			store.experts[transport.ExpertID{Expert: uint32(e)}] = layer.Experts[e]
 		}
@@ -493,6 +518,11 @@ func (cl *Cluster) newClient(m int) *transport.Client {
 
 // Close shuts down all servers and clients.
 func (cl *Cluster) Close() {
+	// Unpark any version waiters first: a blocked ExpertBytesAt holds a
+	// server handler goroutine, and Server.Close waits for handlers.
+	for _, s := range cl.stores {
+		s.abortTraining()
+	}
 	for _, c := range cl.clients {
 		c.Close()
 	}
@@ -531,6 +561,11 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 	}
 	outputs := make([]*tensor.Matrix, cfg.numWorkers())
 
+	// Per-step context: a fatally failed step cancels its own in-flight
+	// pulls and pushes instead of letting them run on in the background.
+	stepCtx, cancelStep := context.WithCancel(context.Background())
+	defer cancelStep()
+
 	var firstErr error
 	var errMu sync.Mutex
 	setErr := func(err error) {
@@ -539,6 +574,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 			firstErr = err
 		}
 		errMu.Unlock()
+		cancelStep()
 	}
 
 	// Degradation bookkeeping for this iteration.
@@ -618,7 +654,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 				var payload []byte
 				var err error
 				for resolve := 0; resolve < 3; resolve++ {
-					payload, err = cl.clients[m].Pull(context.Background(),
+					payload, err = cl.clients[m].Pull(stepCtx,
 						cl.addrs[owner], transport.ExpertID{Expert: uint32(e)})
 					var re *transport.RemoteError
 					if err == nil || !errors.As(err, &re) {
@@ -720,7 +756,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 					defer gwg.Done()
 					grad := make([]byte, 8)
 					binary.LittleEndian.PutUint64(grad, uint64(e))
-					if err := cl.clients[m].PushGradient(context.Background(), cl.addrs[owner],
+					if err := cl.clients[m].PushGradient(stepCtx, cl.addrs[owner],
 						transport.ExpertID{Expert: uint32(e)}, grad); err != nil {
 						if cfg.StaleFallback {
 							// Owner unreachable: the contribution is dropped

@@ -1,0 +1,638 @@
+// The pipelined live trainer. Train runs real training steps —
+// versioned expert pulls, fused forward/backward over microbatches,
+// pre-reduced gradient pushes, deterministic SGD merges — in one of two
+// schedules:
+//
+//   - Lockstep (the reference): fetch every expert, then compute every
+//     microbatch, then push every gradient, with a global barrier and a
+//     flush merge between steps.
+//   - Pipelined: microbatches stream — each (worker, microbatch) piece
+//     fetches, computes and hands off its gradients independently, so
+//     expert pulls, forward/backward and pushes overlap. When the fault
+//     configuration permits (see syncedTraining), steps overlap too:
+//     step s+1's pulls and compute start while step s's pushes drain,
+//     bounded by a depth window; otherwise the step barrier is kept and
+//     only the intra-step phases overlap.
+//
+// Both schedules fold gradients at the same fixed points in the same
+// fixed order (see train.go), so their final weights are bitwise equal.
+package livecluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"janus/internal/metrics"
+	"janus/internal/moe"
+	"janus/internal/tensor"
+	"janus/internal/transport"
+)
+
+// DefaultPipelineDepth is the cross-step in-flight window: a machine
+// may start step s+Depth's compute only once step s's pushes drained.
+const DefaultPipelineDepth = 2
+
+// DefaultTrainLR is the SGD learning rate when TrainOptions.LR is zero.
+const DefaultTrainLR = 0.05
+
+// TrainOptions configures one Train call.
+type TrainOptions struct {
+	// Steps is the number of training steps to run (default 1).
+	Steps int
+	// Microbatches splits each worker's batch into M contiguous token
+	// ranges (default 1; clamped to TokensPerWorker). Bitwise
+	// comparisons between runs require equal M — gradient sums are not
+	// reassociation-free across different splits.
+	Microbatches int
+	// Pipelined selects the streaming schedule; false is the lockstep
+	// reference.
+	Pipelined bool
+	// Depth bounds cross-step overlap in pipelined mode (default
+	// DefaultPipelineDepth). Ignored in lockstep mode.
+	Depth int
+	// LR is the SGD learning rate (default DefaultTrainLR).
+	LR float32
+}
+
+// TrainResult reports one Train call.
+type TrainResult struct {
+	Steps        int
+	// FinalOutputs holds each worker's combined layer output from the
+	// last step (nil for workers on dead machines).
+	FinalOutputs []*tensor.Matrix
+	// Synced reports whether a pipelined run kept the per-step barrier
+	// because the fault configuration required it.
+	Synced            bool
+	StaleFetches      int64
+	DroppedGrads      int64
+	MaxStalenessSteps int
+	DegradedSteps     int
+	AliveMachines     int
+	Robust            metrics.RobustnessSnapshot
+	Pipeline          metrics.PipelineSnapshot
+}
+
+// syncedTraining reports whether pipelined training must keep the
+// global step barrier. Free-running overlap changes when operations
+// happen relative to the injector's step clock and RNG draw order, so
+// it is only deterministic (and failover's step-boundary view changes
+// only sound) when faults cannot change outcomes and membership cannot
+// change: any failover, checkpointing, or non-outcome-neutral injector
+// rule forces the step-synced schedule.
+func (cl *Cluster) syncedTraining() bool {
+	cfg := cl.cfg
+	if cfg.FailoverEnabled || cfg.CheckpointDir != "" {
+		return true
+	}
+	return cfg.Injector != nil && !cfg.Injector.OutcomeNeutral()
+}
+
+// Train runs opts.Steps training steps. Not safe for concurrent use
+// with itself or RunDataCentric; successive calls continue the same
+// weight trajectory.
+func (cl *Cluster) Train(opts TrainOptions) (TrainResult, error) {
+	cfg := cl.cfg
+	if opts.Steps <= 0 {
+		opts.Steps = 1
+	}
+	if opts.Microbatches <= 0 {
+		opts.Microbatches = 1
+	}
+	if opts.Microbatches > cfg.TokensPerWorker {
+		opts.Microbatches = cfg.TokensPerWorker
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = DefaultPipelineDepth
+	}
+	if opts.LR == 0 {
+		opts.LR = DefaultTrainLR
+	}
+	synced := cl.syncedTraining()
+	overlap := opts.Pipelined && !synced
+	cl.trainInit(opts, overlap)
+	if overlap {
+		return cl.trainOverlap(opts)
+	}
+	return cl.trainSynced(opts, opts.Pipelined)
+}
+
+// runDeg accumulates a Train call's degradation telemetry.
+type runDeg struct {
+	mu           sync.Mutex
+	stale        int64
+	dropped      int64
+	maxStaleness int
+	steps        map[int]bool // training steps that saw degradation
+}
+
+func (d *runDeg) noteStale(age, step int) {
+	d.mu.Lock()
+	d.stale++
+	if age > d.maxStaleness {
+		d.maxStaleness = age
+	}
+	if d.steps == nil {
+		d.steps = make(map[int]bool)
+	}
+	d.steps[step] = true
+	d.mu.Unlock()
+}
+
+func (d *runDeg) noteDropped(step int) {
+	d.mu.Lock()
+	d.dropped++
+	if d.steps == nil {
+		d.steps = make(map[int]bool)
+	}
+	d.steps[step] = true
+	d.mu.Unlock()
+}
+
+// trainFetch is one single-flight versioned expert fetch within a step.
+type trainFetch struct {
+	done chan struct{}
+	ex   *moe.Expert
+	err  error
+}
+
+// stepRun is one machine's execution of one training step.
+type stepRun struct {
+	cl     *Cluster
+	opts   TrainOptions
+	m      int
+	s      int  // training step number (1-based, monotonic across calls)
+	final  bool // assemble worker outputs this step
+	phased bool // lockstep: fetch-all, compute-all, push-all phases
+	ctx    context.Context
+	deg    *runDeg
+	errf   func(error)
+
+	fetchMu sync.Mutex
+	fetch   map[int]*trainFetch
+
+	slotMu sync.Mutex
+	parts  map[int][]*moe.ExpertGrad // expert -> grads in fold-slot order
+	left   map[int]int               // expert -> undelivered slots
+
+	pushWG sync.WaitGroup
+	outs   map[int]*tensor.Matrix // worker -> combined output (final step)
+}
+
+func (cl *Cluster) newStepRun(opts TrainOptions, m, s int, final bool, ctx context.Context, deg *runDeg, errf func(error)) *stepRun {
+	r := &stepRun{
+		cl: cl, opts: opts, m: m, s: s, final: final,
+		phased: !opts.Pipelined,
+		ctx:    ctx, deg: deg, errf: errf,
+		fetch: make(map[int]*trainFetch),
+		parts: make(map[int][]*moe.ExpertGrad),
+		left:  make(map[int]int),
+	}
+	for e, n := range cl.train.plan.slots[m] {
+		r.parts[e] = make([]*moe.ExpertGrad, n)
+		r.left[e] = n
+	}
+	if final {
+		r.outs = make(map[int]*tensor.Matrix)
+		for lw := 0; lw < cl.cfg.WorkersPerNode; lw++ {
+			w := m*cl.cfg.WorkersPerNode + lw
+			r.outs[w] = tensor.New(cl.cfg.TokensPerWorker, cl.cfg.Hidden)
+		}
+	}
+	return r
+}
+
+// runTrainStep executes the step's compute and launches its pushes; the
+// caller decides when to wait on r.pushWG (immediately in synced mode,
+// lazily in overlap mode — that lag is the cross-step pipeline).
+func (cl *Cluster) runTrainStep(r *stepRun) {
+	pieces := cl.train.plan.pieces[r.m]
+	if r.phased {
+		// Phase 1: pull every needed expert, overlapped, and wait.
+		var fwg sync.WaitGroup
+		for _, e := range cl.needs[r.m] {
+			fwg.Add(1)
+			go func(e int) { defer fwg.Done(); r.fetchExpert(e) }(e)
+		}
+		fwg.Wait()
+	} else {
+		// Prefetch wave: pieces join the in-flight pulls as they go.
+		for _, e := range cl.needs[r.m] {
+			go r.fetchExpert(e)
+		}
+	}
+	var cwg sync.WaitGroup
+	for _, p := range pieces {
+		cwg.Add(1)
+		go func(p *workPiece) { defer cwg.Done(); r.runPiece(p) }(p)
+	}
+	cwg.Wait()
+	if r.phased {
+		// Phase 3: fold and push everything after all compute is done.
+		for _, p := range pieces {
+			for _, pe := range p.exps {
+				if pe.slot != 0 {
+					continue // one push per expert
+				}
+				r.pushWG.Add(1)
+				go func(e int) { defer r.pushWG.Done(); r.foldPush(e) }(pe.e)
+			}
+		}
+	}
+}
+
+// fetchExpert resolves expert e's version-(s-1) weights: the owner's
+// live object when local, otherwise a single-flight versioned pull.
+func (r *stepRun) fetchExpert(e int) (*moe.Expert, error) {
+	cl := r.cl
+	want := uint64(r.s - 1)
+	id := transport.ExpertID{Expert: uint32(e)}
+	if cl.currentOwner(e) == r.m {
+		return cl.stores[r.m].waitLocalAt(id, want)
+	}
+	r.fetchMu.Lock()
+	if f, ok := r.fetch[e]; ok {
+		r.fetchMu.Unlock()
+		<-f.done
+		return f.ex, f.err
+	}
+	f := &trainFetch{done: make(chan struct{})}
+	r.fetch[e] = f
+	r.fetchMu.Unlock()
+	f.ex, f.err = r.pullVersioned(e, want)
+	close(f.done)
+	return f.ex, f.err
+}
+
+// pullVersioned pulls (e, version) from its current owner, re-resolving
+// ownership on remote rejections and falling back to the freshest stale
+// copy when the pull cannot complete and StaleFallback allows it.
+func (r *stepRun) pullVersioned(e int, want uint64) (*moe.Expert, error) {
+	cl := r.cl
+	id := transport.ExpertID{Expert: uint32(e)}
+	owner := cl.currentOwner(e)
+	var payload []byte
+	var err error
+	for resolve := 0; resolve < 3; resolve++ {
+		if owner == r.m {
+			return cl.stores[r.m].waitLocalAt(id, want)
+		}
+		payload, err = cl.clients[r.m].PullVersion(r.ctx, cl.addrs[owner], id, want)
+		var re *transport.RemoteError
+		if err == nil || !errors.As(err, &re) {
+			break
+		}
+		next := cl.currentOwner(e)
+		if next == owner {
+			break
+		}
+		owner = next
+	}
+	if err == nil {
+		cl.staleMu.Lock()
+		old := cl.stale[r.m][e]
+		cl.staleMu.Unlock()
+		var ex *moe.Expert
+		if old != nil && bytes.Equal(old.payload, payload) {
+			ex = old.ex // identical bits: reuse the decoded weights
+		} else {
+			ex, err = decodeExpert(payload)
+		}
+		if err == nil {
+			cl.staleMu.Lock()
+			cl.stale[r.m][e] = &staleEntry{ex: ex, payload: payload, step: r.s}
+			cl.staleMu.Unlock()
+			return ex, nil
+		}
+	}
+	if cl.cfg.StaleFallback {
+		cl.staleMu.Lock()
+		old := cl.stale[r.m][e]
+		cl.staleMu.Unlock()
+		if old != nil {
+			cl.clients[r.m].Robust.AddStaleServe()
+			r.deg.noteStale(r.s-old.step, r.s)
+			return old.ex, nil
+		}
+	}
+	return nil, fmt.Errorf("livecluster: machine %d pull expert %d@%d: %w", r.m, e, want, err)
+}
+
+// runPiece computes one (worker, microbatch) unit: for each expert with
+// tokens in the range, fetch its weights, build the upstream gradient
+// rows, run the fused forward/backward, and deliver the weight gradient
+// into its fold slot. On the final step it also combines the outputs.
+func (r *stepRun) runPiece(p *workPiece) {
+	cl := r.cl
+	dout := cl.train.douts[p.w]
+	var ys []*tensor.Matrix
+	if r.final {
+		ys = make([]*tensor.Matrix, len(p.exps))
+	}
+	for i, pe := range p.exps {
+		ex, err := r.fetchExpert(pe.e)
+		if err != nil {
+			r.errf(err)
+			return
+		}
+		dy := tensor.Get(len(pe.toks), cl.cfg.Hidden)
+		for j, t := range pe.toks {
+			dy.AddScaledRow(j, dout.Row(t), pe.ws[j])
+		}
+		y, grad := ex.ForwardBackward(pe.x, dy)
+		tensor.Put(dy)
+		if r.final {
+			ys[i] = y
+		} else {
+			tensor.Put(y)
+		}
+		r.deliver(pe.e, pe.slot, grad)
+	}
+	cl.train.pipe.AddMicrobatch()
+	if r.final {
+		out := r.outs[p.w] // pieces write disjoint token rows
+		for _, c := range p.comb {
+			out.AddScaledRow(c.t, ys[c.expIdx].Row(c.row), c.weight)
+		}
+		for _, y := range ys {
+			tensor.Put(y)
+		}
+	}
+}
+
+// deliver stores a piece's gradient in its fold slot; in streamed mode
+// the last slot for an expert triggers its fold-and-push immediately,
+// overlapping the push with the remaining compute.
+func (r *stepRun) deliver(e, slot int, g *moe.ExpertGrad) {
+	r.slotMu.Lock()
+	r.parts[e][slot] = g
+	r.left[e]--
+	ready := r.left[e] == 0 && !r.phased
+	r.slotMu.Unlock()
+	if ready {
+		r.pushWG.Add(1)
+		go func() { defer r.pushWG.Done(); r.foldPush(e) }()
+	}
+}
+
+// foldPush pre-reduces the machine's gradient slots for expert e in
+// (worker, microbatch) order and delivers the sum to the owner —
+// locally when this machine owns it, otherwise over the wire with
+// ownership re-resolution. A push that cannot reach the owner is a
+// dropped contribution when StaleFallback degradation is on, fatal
+// otherwise.
+func (r *stepRun) foldPush(e int) {
+	cl := r.cl
+	r.slotMu.Lock()
+	parts := r.parts[e]
+	r.slotMu.Unlock()
+	acc := moe.NewExpertGrad(cl.cfg.Hidden)
+	for _, g := range parts {
+		acc.Accumulate(g)
+	}
+	id := transport.ExpertID{Expert: uint32(e)}
+	step := uint64(r.s)
+	owner := cl.currentOwner(e)
+	var payload []byte
+	var err error
+	for resolve := 0; resolve < 3; resolve++ {
+		if owner == r.m {
+			if aerr := cl.stores[r.m].addTrainGrad(id, step, r.m, acc); aerr != nil {
+				r.errf(aerr)
+			}
+			return
+		}
+		if payload == nil {
+			payload = encodeTrainGrad(step, r.m, acc)
+		}
+		err = cl.clients[r.m].PushGradient(r.ctx, cl.addrs[owner], id, payload)
+		var re *transport.RemoteError
+		if err == nil || !errors.As(err, &re) {
+			break
+		}
+		next := cl.currentOwner(e)
+		if next == owner {
+			break
+		}
+		owner = next
+	}
+	if err != nil {
+		if cl.cfg.StaleFallback {
+			r.deg.noteDropped(r.s)
+			return
+		}
+		r.errf(fmt.Errorf("livecluster: machine %d push grad expert %d step %d: %w", r.m, e, r.s, err))
+	}
+}
+
+// trainSynced is the barriered driver: lockstep (streamed=false, the
+// phased reference) and step-synced pipelined (streamed=true, phases
+// overlap within a step but the step barrier and flush merge are kept).
+func (cl *Cluster) trainSynced(opts TrainOptions, streamed bool) (TrainResult, error) {
+	cfg := cl.cfg
+	st := cl.train
+	deg := &runDeg{}
+	robustBefore := cl.robustSnapshot()
+	pipeBefore := st.pipe.Snapshot()
+	base := st.steps
+	outputs := make([]*tensor.Matrix, cfg.numWorkers())
+
+	for i := 0; i < opts.Steps; i++ {
+		s := base + i + 1
+		if cfg.Injector != nil {
+			cfg.Injector.SetStep(s)
+		}
+		if cfg.FailoverEnabled {
+			cl.heartbeatRound(s)
+		}
+		final := i == opts.Steps-1
+		stepCtx, cancel := context.WithCancel(context.Background())
+		var errMu sync.Mutex
+		var firstErr error
+		setErr := func(err error) {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			cancel() // a failed step cancels its in-flight pulls and pushes
+			for _, store := range cl.stores {
+				store.abortTraining()
+			}
+		}
+		var wg sync.WaitGroup
+		runs := make([]*stepRun, cfg.Machines)
+		for m := 0; m < cfg.Machines; m++ {
+			if !cl.isAlive(m) {
+				continue
+			}
+			r := cl.newStepRun(opts, m, s, final, stepCtx, deg, setErr)
+			if streamed {
+				r.phased = false
+			}
+			runs[m] = r
+			wg.Add(1)
+			go func(r *stepRun) {
+				defer wg.Done()
+				cl.runTrainStep(r)
+				r.pushWG.Wait()
+			}(r)
+		}
+		wg.Wait()
+		cancel()
+		errMu.Lock()
+		err := firstErr
+		errMu.Unlock()
+		if err != nil {
+			return TrainResult{}, err
+		}
+		// Barrier merge: every store folds what arrived for step s.
+		for _, store := range cl.stores {
+			store.flushTo(uint64(s))
+		}
+		if err := cl.maybeCheckpoint(s); err != nil {
+			return TrainResult{}, err
+		}
+		if final {
+			for _, r := range runs {
+				if r == nil {
+					continue
+				}
+				for w, out := range r.outs {
+					outputs[w] = out
+				}
+			}
+		}
+		st.steps = s
+	}
+	return cl.trainResult(opts, outputs, deg, robustBefore, pipeBefore, true), nil
+}
+
+// trainOverlap is the free-running driver: each machine advances its
+// own step counter, bounded by the depth window — a machine may compute
+// step s+Depth only after step s's gradient pushes drained. Merges are
+// count-triggered on the owners, so the only cross-machine
+// synchronisation left is the versioned pulls themselves.
+func (cl *Cluster) trainOverlap(opts TrainOptions) (TrainResult, error) {
+	cfg := cl.cfg
+	st := cl.train
+	deg := &runDeg{}
+	robustBefore := cl.robustSnapshot()
+	pipeBefore := st.pipe.Snapshot()
+	base := st.steps
+	outputs := make([]*tensor.Matrix, cfg.numWorkers())
+	var outMu sync.Mutex
+
+	runCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+		for _, store := range cl.stores {
+			store.abortTraining()
+		}
+	}
+	if cfg.Injector != nil {
+		// Outcome-neutral, window-free rules only (syncedTraining
+		// guarantees it), so the step clock can sit still.
+		cfg.Injector.SetStep(base + 1)
+	}
+	var wg sync.WaitGroup
+	for m := 0; m < cfg.Machines; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			drained := make([]chan struct{}, opts.Steps)
+			for i := 0; i < opts.Steps; i++ {
+				if runCtx.Err() != nil {
+					return
+				}
+				if j := i - opts.Depth; j >= 0 {
+					// Backpressure: block until step j's pushes drained.
+					select {
+					case <-drained[j]:
+					default:
+						start := time.Now()
+						select {
+						case <-drained[j]:
+							st.pipe.AddDepthStall(time.Since(start).Nanoseconds())
+						case <-runCtx.Done():
+							return
+						}
+					}
+				}
+				s := base + i + 1
+				final := i == opts.Steps-1
+				r := cl.newStepRun(opts, m, s, final, runCtx, deg, setErr)
+				r.phased = false
+				cl.runTrainStep(r)
+				ch := make(chan struct{})
+				drained[i] = ch
+				go func(r *stepRun, ch chan struct{}) {
+					r.pushWG.Wait()
+					close(ch)
+				}(r, ch)
+				if final {
+					outMu.Lock()
+					for w, out := range r.outs {
+						outputs[w] = out
+					}
+					outMu.Unlock()
+				}
+			}
+			// Drain the tail before the machine retires.
+			for i := max(0, opts.Steps-opts.Depth); i < opts.Steps; i++ {
+				if drained[i] == nil {
+					continue
+				}
+				select {
+				case <-drained[i]:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return TrainResult{}, err
+	}
+	st.steps = base + opts.Steps
+	return cl.trainResult(opts, outputs, deg, robustBefore, pipeBefore, false), nil
+}
+
+func (cl *Cluster) trainResult(opts TrainOptions, outputs []*tensor.Matrix, deg *runDeg, robustBefore metrics.RobustnessSnapshot, pipeBefore metrics.PipelineSnapshot, synced bool) TrainResult {
+	deg.mu.Lock()
+	maxStale := deg.maxStaleness
+	if cl.pendingStaleness > maxStale {
+		maxStale = cl.pendingStaleness
+	}
+	cl.pendingStaleness = 0
+	res := TrainResult{
+		Steps:             opts.Steps,
+		FinalOutputs:      outputs,
+		Synced:            opts.Pipelined && synced,
+		StaleFetches:      deg.stale,
+		DroppedGrads:      deg.dropped,
+		MaxStalenessSteps: maxStale,
+		DegradedSteps:     len(deg.steps),
+		AliveMachines:     cl.AliveMachines(),
+		Robust:            cl.robustSnapshot().Sub(robustBefore),
+		Pipeline:          cl.train.pipe.Snapshot().Sub(pipeBefore),
+	}
+	deg.mu.Unlock()
+	cl.degradedTotal += res.DegradedSteps
+	return res
+}

@@ -1,0 +1,541 @@
+// Training-side state of the live cluster: versioned expert weights,
+// deterministic gradient merging, and the static microbatch plan the
+// pipelined trainer streams through.
+//
+// Bit-identity discipline (the contract the differential tests pin):
+// an expert's weights advance through integer versions, version s being
+// the weights after the step-s merge. A merge folds the per-machine
+// pre-reduced gradients in ascending source-machine order, and each
+// machine pre-reduces its partial gradients in ascending (worker,
+// microbatch) order — both orders are fixed by the static plan, never
+// by arrival timing. Forward outputs are microbatch-invariant bitwise
+// (every kernel is per-output-row), but gradient sums are not float-
+// reassociation-free, so lockstep and pipelined runs must use the same
+// microbatch count to compare bitwise — they then do, by construction,
+// because timing can only reorder work between the fixed fold points.
+package livecluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"janus/internal/metrics"
+	"janus/internal/moe"
+	"janus/internal/tensor"
+	"janus/internal/transport"
+)
+
+// trainGradMagic prefixes training gradient payloads on the wire,
+// distinguishing them from the legacy 8-byte synthetic gradients.
+const trainGradMagic = 0x4A475231 // "JGR1"
+
+// trainGradHeaderBytes is magic + step (u64) + source machine (u32).
+const trainGradHeaderBytes = 4 + 8 + 4
+
+// encodeTrainGrad serialises one pre-reduced gradient contribution:
+// header, then DW1 and DW2 as little-endian float32 bit patterns (so a
+// decode reproduces the exact bits that were folded on the sender).
+func encodeTrainGrad(step uint64, source int, g *moe.ExpertGrad) []byte {
+	n1, n2 := len(g.DW1.Data), len(g.DW2.Data)
+	buf := make([]byte, trainGradHeaderBytes+4*(n1+n2))
+	binary.BigEndian.PutUint32(buf[0:4], trainGradMagic)
+	binary.BigEndian.PutUint64(buf[4:12], step)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(source))
+	off := trainGradHeaderBytes
+	for _, v := range g.DW1.Data {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+		off += 4
+	}
+	for _, v := range g.DW2.Data {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+		off += 4
+	}
+	return buf
+}
+
+// isTrainGrad reports whether a gradient payload carries the training
+// format (the legacy synthetic payload is 8 bytes, shorter than the
+// training header, so the check cannot misfire).
+func isTrainGrad(payload []byte) bool {
+	return len(payload) >= trainGradHeaderBytes &&
+		binary.BigEndian.Uint32(payload[0:4]) == trainGradMagic
+}
+
+// decodeTrainGrad parses a training gradient payload for hidden size h,
+// copying the floats out (the transport recycles the payload buffer
+// after the store call returns).
+func decodeTrainGrad(payload []byte, h int) (step uint64, source int, g *moe.ExpertGrad, err error) {
+	n1 := h * 4 * h
+	n2 := n1
+	if len(payload) != trainGradHeaderBytes+4*(n1+n2) {
+		return 0, 0, nil, fmt.Errorf("livecluster: training gradient %d bytes, want %d",
+			len(payload), trainGradHeaderBytes+4*(n1+n2))
+	}
+	step = binary.BigEndian.Uint64(payload[4:12])
+	source = int(binary.BigEndian.Uint32(payload[12:16]))
+	g = moe.NewExpertGrad(h)
+	off := trainGradHeaderBytes
+	for i := range g.DW1.Data {
+		g.DW1.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	for i := range g.DW2.Data {
+		g.DW2.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	return step, source, g, nil
+}
+
+// mergeBuf collects the contributions for one (expert, step) merge,
+// keyed by source machine.
+type mergeBuf struct {
+	got map[int]*moe.ExpertGrad
+}
+
+// enableTraining switches the store into versioned-training mode.
+// expect is the shared contributor table (expert index → ascending
+// machines that route tokens to it — ownership-independent, so it
+// survives failover re-homes); startVer seeds every hosted expert's
+// version on first enable (later calls keep the versions already
+// reached). countTrigger selects the merge trigger: true applies a
+// step's merge the moment every expected contribution arrived (the
+// free-running overlap mode), false leaves merging to flushTo at the
+// step barrier (lockstep and step-synced modes).
+func (s *machineStore) enableTraining(expect [][]int, lr float32, countTrigger bool, pipe *metrics.Pipeline, startVer uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trainOn = true
+	s.aborted = false
+	s.countTrigger = countTrigger
+	s.lr = lr
+	s.expect = expect
+	s.pipe = pipe
+	if s.ver == nil {
+		s.ver = make(map[transport.ExpertID]uint64, len(s.experts))
+		s.pending = make(map[transport.ExpertID]map[uint64]*mergeBuf)
+		for id := range s.experts {
+			s.ver[id] = startVer
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// abortTraining permanently unblocks every version waiter with an
+// error; the next enableTraining call re-arms the store.
+func (s *machineStore) abortTraining() {
+	s.mu.Lock()
+	s.aborted = true
+	if s.cond != nil {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// detachExperts replaces every hosted expert with a deep copy, so SGD
+// updates never write through to the seed layer the expert-centric
+// reference computes from.
+func (s *machineStore) detachExperts() {
+	s.mu.Lock()
+	for id, e := range s.experts {
+		s.experts[id] = e.Clone()
+	}
+	s.mu.Unlock()
+}
+
+var errTrainAborted = errors.New("livecluster: training aborted")
+
+// ExpertBytesAt implements transport.VersionedStore: it serves the
+// expert's encoded weights at exactly the requested version, parking
+// the caller until the owner's merge publishes it. The park is the
+// pipeline's backpressure — a puller one step ahead waits here, inside
+// its own server handler goroutine, instead of receiving torn weights.
+func (s *machineStore) ExpertBytesAt(id transport.ExpertID, version uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var waitStart time.Time
+	for {
+		if s.aborted || !s.trainOn {
+			return nil, errTrainAborted
+		}
+		e, ok := s.experts[id]
+		if !ok {
+			// Surfaces as a RemoteError so the puller re-resolves
+			// ownership (the expert may have been re-homed).
+			return nil, fmt.Errorf("livecluster: expert %v not hosted", id)
+		}
+		switch v := s.ver[id]; {
+		case v == version:
+			if !waitStart.IsZero() {
+				s.pipe.AddVersionWait(time.Since(waitStart).Nanoseconds())
+			}
+			b, ok := s.enc[id]
+			if !ok {
+				b = encodeExpert(e)
+				s.enc[id] = b
+			}
+			return b, nil
+		case v > version:
+			// The pull⟺contribute invariant makes this unreachable in a
+			// correct run: a version can only pass `version` after the
+			// puller's own contribution for version+1 arrived, which it
+			// sends only after this pull returns.
+			return nil, fmt.Errorf("livecluster: expert %v version %d superseded by %d", id, version, v)
+		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
+		s.cond.Wait()
+	}
+}
+
+// waitLocalAt is the owner-local analogue of ExpertBytesAt: it blocks
+// until the expert reaches the version, then returns the live object.
+// Safe to compute with without a copy: the next merge that would mutate
+// it cannot apply until this machine's own contribution for that merge
+// is delivered, which happens only after the compute using this object
+// finished.
+func (s *machineStore) waitLocalAt(id transport.ExpertID, version uint64) (*moe.Expert, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var waitStart time.Time
+	for {
+		if s.aborted || !s.trainOn {
+			return nil, errTrainAborted
+		}
+		e, ok := s.experts[id]
+		if !ok {
+			return nil, fmt.Errorf("livecluster: expert %v not hosted", id)
+		}
+		switch v := s.ver[id]; {
+		case v == version:
+			if !waitStart.IsZero() {
+				s.pipe.AddVersionWait(time.Since(waitStart).Nanoseconds())
+			}
+			return e, nil
+		case v > version:
+			return nil, fmt.Errorf("livecluster: expert %v version %d superseded by %d", id, version, v)
+		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
+		s.cond.Wait()
+	}
+}
+
+// addTrainGrad records one machine's pre-reduced contribution for
+// (expert, step). In count-trigger mode it applies the merge chain as
+// soon as a step's expected set completes.
+func (s *machineStore) addTrainGrad(id transport.ExpertID, step uint64, source int, g *moe.ExpertGrad) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.trainOn || s.aborted {
+		return errTrainAborted
+	}
+	if _, ok := s.experts[id]; !ok {
+		return fmt.Errorf("livecluster: expert %v not hosted", id)
+	}
+	if step <= s.ver[id] {
+		return fmt.Errorf("livecluster: gradient for step %d but expert %v already at version %d", step, id, s.ver[id])
+	}
+	pe := s.pending[id]
+	if pe == nil {
+		pe = make(map[uint64]*mergeBuf)
+		s.pending[id] = pe
+	}
+	mb := pe[step]
+	if mb == nil {
+		mb = &mergeBuf{got: make(map[int]*moe.ExpertGrad)}
+		pe[step] = mb
+	}
+	if _, dup := mb.got[source]; dup {
+		return fmt.Errorf("livecluster: duplicate gradient from machine %d for %v step %d", source, id, step)
+	}
+	mb.got[source] = g
+	if s.countTrigger {
+		s.advanceLocked(id)
+	}
+	return nil
+}
+
+// addTrainGradWire decodes a wire-format training gradient and records
+// it. The payload is only valid during the call (transport contract).
+func (s *machineStore) addTrainGradWire(id transport.ExpertID, payload []byte) error {
+	step, source, g, err := decodeTrainGrad(payload, s.h)
+	if err != nil {
+		return err
+	}
+	return s.addTrainGrad(id, step, source, g)
+}
+
+// advanceLocked applies complete pending merges in step order: version
+// v+1 applies once every machine in the expert's expected contributor
+// set has delivered its step-(v+1) gradient.
+func (s *machineStore) advanceLocked(id transport.ExpertID) {
+	e := int(id.Expert)
+	for {
+		next := s.ver[id] + 1
+		mb := s.pending[id][next]
+		if mb == nil || len(mb.got) < len(s.expect[e]) {
+			return
+		}
+		s.applyMergeLocked(id, mb, true)
+	}
+}
+
+// applyMergeLocked folds one step's contributions in ascending source-
+// machine order (the deterministic merge), applies SGD, and publishes
+// the next version. A nil or empty buffer (contributions lost to faults
+// or a dead sender) publishes the version with unchanged weights — the
+// trainer's analogue of a skipped micro-update, and what keeps parked
+// pullers from deadlocking on a step whose gradients died with a
+// machine.
+func (s *machineStore) applyMergeLocked(id transport.ExpertID, mb *mergeBuf, countTriggered bool) {
+	next := s.ver[id] + 1
+	if mb != nil && len(mb.got) > 0 {
+		acc := moe.NewExpertGrad(s.h)
+		for _, src := range s.expect[int(id.Expert)] {
+			if g, ok := mb.got[src]; ok {
+				acc.Accumulate(g)
+			}
+		}
+		s.experts[id].ApplySGD(acc, s.lr)
+		delete(s.enc, id)
+	}
+	if s.pending[id] != nil {
+		delete(s.pending[id], next)
+	}
+	s.ver[id] = next
+	if countTriggered {
+		s.pipe.AddMerge()
+	} else {
+		s.pipe.AddFlush()
+	}
+	s.cond.Broadcast()
+}
+
+// flushTo advances every hosted expert to the target version at a step
+// barrier, folding whatever contributions arrived (ascending expert
+// order for a deterministic iteration). This is the lockstep merge and
+// the step-synced pipeline's merge; under count-trigger mode it is a
+// no-op for experts that already advanced.
+func (s *machineStore) flushTo(target uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.trainOn || s.aborted {
+		return
+	}
+	ids := make([]transport.ExpertID, 0, len(s.experts))
+	for id := range s.experts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Block != ids[j].Block {
+			return ids[i].Block < ids[j].Block
+		}
+		return ids[i].Expert < ids[j].Expert
+	})
+	for _, id := range ids {
+		for s.ver[id] < target {
+			s.applyMergeLocked(id, s.pending[id][s.ver[id]+1], false)
+		}
+	}
+}
+
+// installAt is install plus version bookkeeping: the failover re-home
+// path during training publishes the restored (possibly stale) weights
+// at the current step's expected version so parked pullers proceed
+// deterministically.
+func (s *machineStore) installAt(id transport.ExpertID, e *moe.Expert, ver uint64) {
+	s.mu.Lock()
+	s.experts[id] = e
+	delete(s.enc, id)
+	if s.trainOn {
+		s.ver[id] = ver
+		delete(s.pending, id)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// trainState is the cluster's cross-call training bookkeeping.
+type trainState struct {
+	steps    int // training steps completed (the version clock)
+	detached bool
+	douts    []*tensor.Matrix // per worker: deterministic upstream gradient
+	expect   [][]int          // expert -> ascending contributor machines
+	plan     *microPlan
+	pipe     metrics.Pipeline
+}
+
+// microPlan is the static decomposition of every worker's batch into M
+// contiguous-token microbatches, with everything the per-step loop
+// needs precomputed: sliced inputs, combine terms, per-expert gradient
+// slot assignments in the deterministic (worker, microbatch) fold
+// order.
+type microPlan struct {
+	m      int
+	pieces [][]*workPiece // machine -> its pieces, (worker asc, microbatch asc)
+	slots  []map[int]int  // machine -> expert -> number of contributing pieces
+}
+
+// workPiece is one (worker, microbatch) unit of streamed work.
+type workPiece struct {
+	w      int // global worker index
+	lo, hi int // token range [lo, hi)
+	exps   []*pieceExpert
+	comb   []combOp // output combine ops, (token asc, expert asc)
+}
+
+// pieceExpert is one expert's share of a piece.
+type pieceExpert struct {
+	e    int
+	x    *tensor.Matrix // view into the pre-gathered xes rows for this range
+	toks []int          // the tokens of those rows (ascending)
+	ws   []float32      // combine weight of (token, e), aligned with toks
+	slot int            // index in the machine's per-expert fold order
+}
+
+// combOp adds one weighted expert-output row into an output token row.
+type combOp struct {
+	t, expIdx, row int
+	weight         float32
+}
+
+// buildMicroPlan cuts every worker's batch into m contiguous token
+// ranges and precomputes each range's per-expert input views, combine
+// terms and gradient fold slots. Pure function of the static routing —
+// identical across modes, which is half the bit-identity argument.
+func (cl *Cluster) buildMicroPlan(m int) *microPlan {
+	cfg := cl.cfg
+	plan := &microPlan{
+		m:      m,
+		pieces: make([][]*workPiece, cfg.Machines),
+		slots:  make([]map[int]int, cfg.Machines),
+	}
+	for mach := 0; mach < cfg.Machines; mach++ {
+		slots := make(map[int]int)
+		for lw := 0; lw < cfg.WorkersPerNode; lw++ {
+			w := mach*cfg.WorkersPerNode + lw
+			ri := cl.rindex[w]
+			routing := cl.routings[w]
+			T := cfg.TokensPerWorker
+			for b := 0; b < m; b++ {
+				lo, hi := b*T/m, (b+1)*T/m
+				if hi == lo {
+					continue
+				}
+				p := &workPiece{w: w, lo: lo, hi: hi}
+				epos := make(map[int]int)  // expert -> index in p.exps
+				xlos := make(map[int]int)  // expert -> row offset of the slice
+				for _, e := range ri.needed {
+					toks := ri.tokens[e]
+					xlo := sort.SearchInts(toks, lo)
+					xhi := sort.SearchInts(toks, hi)
+					if xhi == xlo {
+						continue
+					}
+					pe := &pieceExpert{
+						e:    e,
+						x:    cl.xes[w][e].RowSlice(xlo, xhi),
+						toks: toks[xlo:xhi],
+						slot: slots[e],
+					}
+					slots[e]++
+					for _, t := range pe.toks {
+						for k, te := range routing.Experts[t] {
+							if te == e {
+								pe.ws = append(pe.ws, routing.Weights[t][k])
+							}
+						}
+					}
+					epos[e] = len(p.exps)
+					xlos[e] = xlo
+					p.exps = append(p.exps, pe)
+				}
+				for t := lo; t < hi; t++ {
+					for _, c := range ri.byToken[t] {
+						p.comb = append(p.comb, combOp{
+							t:      t,
+							expIdx: epos[c.expert],
+							row:    c.row - xlos[c.expert],
+							weight: c.weight,
+						})
+					}
+				}
+				plan.pieces[mach] = append(plan.pieces[mach], p)
+			}
+		}
+		plan.slots[mach] = slots
+	}
+	return plan
+}
+
+// trainInit builds (or refreshes) the cluster's training state for one
+// Train call: detach store weights from the seed layer (once), build
+// the contributor table and upstream gradients (once), (re)build the
+// microbatch plan when M changed, and arm every store.
+func (cl *Cluster) trainInit(opts TrainOptions, countTrigger bool) {
+	cfg := cl.cfg
+	if cl.train == nil {
+		st := &trainState{}
+		st.douts = make([]*tensor.Matrix, cfg.numWorkers())
+		for w := range st.douts {
+			st.douts[w] = tensor.NewRandom(cfg.TokensPerWorker, cfg.Hidden, 1, cfg.Seed+5000+int64(w))
+		}
+		st.expect = make([][]int, cfg.NumExperts)
+		for m := 0; m < cfg.Machines; m++ {
+			for _, e := range cl.needs[m] {
+				st.expect[e] = append(st.expect[e], m)
+			}
+		}
+		cl.train = st
+	}
+	st := cl.train
+	if st.plan == nil || st.plan.m != opts.Microbatches {
+		st.plan = cl.buildMicroPlan(opts.Microbatches)
+	}
+	if !st.detached {
+		for _, s := range cl.stores {
+			s.detachExperts()
+		}
+		st.detached = true
+	}
+	for _, s := range cl.stores {
+		s.enableTraining(st.expect, opts.LR, countTrigger, &st.pipe, uint64(st.steps))
+	}
+}
+
+// ExpertState returns every expert's current encoded weights, read from
+// its current owner — the differential tests' bitwise comparison point.
+func (cl *Cluster) ExpertState() ([][]byte, error) {
+	out := make([][]byte, cl.cfg.NumExperts)
+	for e := range out {
+		owner := cl.currentOwner(e)
+		b, err := cl.stores[owner].ExpertBytes(transport.ExpertID{Expert: uint32(e)})
+		if err != nil {
+			return nil, err
+		}
+		out[e] = b
+	}
+	return out, nil
+}
+
+// TrainSteps returns how many training steps the cluster has completed.
+func (cl *Cluster) TrainSteps() int {
+	if cl.train == nil {
+		return 0
+	}
+	return cl.train.steps
+}
+
+// PipelineStats returns the cumulative pipeline counters.
+func (cl *Cluster) PipelineStats() metrics.PipelineSnapshot {
+	if cl.train == nil {
+		return metrics.PipelineSnapshot{}
+	}
+	return cl.train.pipe.Snapshot()
+}

@@ -234,6 +234,105 @@ func (s RobustnessSnapshot) String() string {
 	return base
 }
 
+// Pipeline counts live-cluster training-pipeline events: microbatches
+// executed, stalls on the bounded cross-step window (with time spent),
+// pulls blocked waiting for an expert version to be published (with
+// time spent), and gradient merges by trigger (count-complete vs. step
+// flush). The zero value is ready to use; all methods are safe for
+// concurrent use.
+type Pipeline struct {
+	microbatches     atomic.Int64
+	depthStalls      atomic.Int64
+	depthStallNanos  atomic.Int64
+	versionWaits     atomic.Int64
+	versionWaitNanos atomic.Int64
+	merges           atomic.Int64
+	flushes          atomic.Int64
+}
+
+// AddMicrobatch records one executed (worker, microbatch) piece.
+func (p *Pipeline) AddMicrobatch() { p.microbatches.Add(1) }
+
+// AddDepthStall records one wait on the bounded in-flight step window.
+func (p *Pipeline) AddDepthStall(nanos int64) {
+	p.depthStalls.Add(1)
+	p.depthStallNanos.Add(nanos)
+}
+
+// AddVersionWait records one pull that blocked until the requested
+// expert version was published.
+func (p *Pipeline) AddVersionWait(nanos int64) {
+	p.versionWaits.Add(1)
+	p.versionWaitNanos.Add(nanos)
+}
+
+// AddMerge records one gradient merge applied because every expected
+// contribution arrived (the overlap pipeline's trigger).
+func (p *Pipeline) AddMerge() { p.merges.Add(1) }
+
+// AddFlush records one gradient merge applied at a step barrier (the
+// lockstep / step-synced trigger, which folds whatever arrived).
+func (p *Pipeline) AddFlush() { p.flushes.Add(1) }
+
+// Snapshot returns a point-in-time copy of the counters.
+func (p *Pipeline) Snapshot() PipelineSnapshot {
+	return PipelineSnapshot{
+		Microbatches:     p.microbatches.Load(),
+		DepthStalls:      p.depthStalls.Load(),
+		DepthStallNanos:  p.depthStallNanos.Load(),
+		VersionWaits:     p.versionWaits.Load(),
+		VersionWaitNanos: p.versionWaitNanos.Load(),
+		Merges:           p.merges.Load(),
+		Flushes:          p.flushes.Load(),
+	}
+}
+
+// PipelineSnapshot is an immutable view of a Pipeline counter set.
+type PipelineSnapshot struct {
+	Microbatches     int64
+	DepthStalls      int64
+	DepthStallNanos  int64
+	VersionWaits     int64
+	VersionWaitNanos int64
+	Merges           int64
+	Flushes          int64
+}
+
+// Sub returns the event counts accumulated since an earlier snapshot.
+func (s PipelineSnapshot) Sub(earlier PipelineSnapshot) PipelineSnapshot {
+	return PipelineSnapshot{
+		Microbatches:     s.Microbatches - earlier.Microbatches,
+		DepthStalls:      s.DepthStalls - earlier.DepthStalls,
+		DepthStallNanos:  s.DepthStallNanos - earlier.DepthStallNanos,
+		VersionWaits:     s.VersionWaits - earlier.VersionWaits,
+		VersionWaitNanos: s.VersionWaitNanos - earlier.VersionWaitNanos,
+		Merges:           s.Merges - earlier.Merges,
+		Flushes:          s.Flushes - earlier.Flushes,
+	}
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s PipelineSnapshot) Add(o PipelineSnapshot) PipelineSnapshot {
+	return PipelineSnapshot{
+		Microbatches:     s.Microbatches + o.Microbatches,
+		DepthStalls:      s.DepthStalls + o.DepthStalls,
+		DepthStallNanos:  s.DepthStallNanos + o.DepthStallNanos,
+		VersionWaits:     s.VersionWaits + o.VersionWaits,
+		VersionWaitNanos: s.VersionWaitNanos + o.VersionWaitNanos,
+		Merges:           s.Merges + o.Merges,
+		Flushes:          s.Flushes + o.Flushes,
+	}
+}
+
+// IsZero reports whether no pipeline events were recorded.
+func (s PipelineSnapshot) IsZero() bool { return s == PipelineSnapshot{} }
+
+func (s PipelineSnapshot) String() string {
+	return fmt.Sprintf("microbatches=%d depth-stalls=%d depth-stall-ms=%.1f version-waits=%d version-wait-ms=%.1f merges=%d flushes=%d",
+		s.Microbatches, s.DepthStalls, float64(s.DepthStallNanos)/1e6,
+		s.VersionWaits, float64(s.VersionWaitNanos)/1e6, s.Merges, s.Flushes)
+}
+
 // GiB converts bytes to binary gigabytes (the unit of Table 1).
 func GiB(bytes float64) float64 { return bytes / (1024 * 1024 * 1024) }
 

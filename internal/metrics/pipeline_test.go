@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelineSnapshotSubAdd(t *testing.T) {
+	var p Pipeline
+	p.AddMicrobatch()
+	p.AddMicrobatch()
+	p.AddDepthStall(100)
+	p.AddVersionWait(250)
+	p.AddMerge()
+	p.AddFlush()
+	before := p.Snapshot()
+	p.AddMicrobatch()
+	p.AddFlush()
+	delta := p.Snapshot().Sub(before)
+	if delta.Microbatches != 1 || delta.Flushes != 1 || delta.Merges != 0 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	sum := before.Add(delta)
+	if sum != p.Snapshot() {
+		t.Fatalf("before+delta = %+v, want %+v", sum, p.Snapshot())
+	}
+}
+
+func TestPipelineSnapshotString(t *testing.T) {
+	var p Pipeline
+	if !p.Snapshot().IsZero() {
+		t.Fatal("fresh pipeline not zero")
+	}
+	p.AddMerge()
+	s := p.Snapshot().String()
+	if !strings.Contains(s, "merges=1") {
+		t.Fatalf("String() = %q, want merges=1", s)
+	}
+}

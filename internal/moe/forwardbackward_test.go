@@ -1,0 +1,61 @@
+package moe
+
+import (
+	"testing"
+
+	"janus/internal/tensor"
+)
+
+// TestForwardBackwardMatchesSeparate pins the fused kernel to the
+// reference pair bitwise: same output, same weight gradients (the dX
+// product is the only thing it may skip).
+func TestForwardBackwardMatchesSeparate(t *testing.T) {
+	e := NewExpert(16, 7)
+	x := tensor.NewRandom(9, 16, 1, 21)
+	dy := tensor.NewRandom(9, 16, 1, 22)
+
+	wantY, cache := e.Forward(x)
+	_, wantG := e.Backward(cache, dy)
+	cache.Release()
+
+	gotY, gotG := e.ForwardBackward(x, dy)
+	if !tensor.Equal(gotY, wantY) {
+		t.Fatal("fused forward output differs from Forward")
+	}
+	if !tensor.Equal(gotG.DW1, wantG.DW1) || !tensor.Equal(gotG.DW2, wantG.DW2) {
+		t.Fatal("fused weight gradients differ from Backward")
+	}
+	tensor.Put(gotY)
+}
+
+// TestForwardBackwardMicrobatchOutputInvariant: forward outputs are
+// per-row, so computing a batch in slices reproduces the full-batch
+// rows bitwise. (Weight gradients intentionally are not sliced-
+// invariant — float sums reassociate — which is why the trainer fixes
+// one microbatch count per comparison.)
+func TestForwardBackwardMicrobatchOutputInvariant(t *testing.T) {
+	e := NewExpert(8, 3)
+	x := tensor.NewRandom(10, 8, 1, 31)
+	dy := tensor.NewRandom(10, 8, 1, 32)
+
+	full, grad := e.ForwardBackward(x, dy)
+	for _, cut := range []int{3, 7} {
+		lo, hi := 0, cut
+		for _, r := range [][2]int{{0, cut}, {cut, 10}} {
+			lo, hi = r[0], r[1]
+			y, g := e.ForwardBackward(x.RowSlice(lo, hi), dy.RowSlice(lo, hi))
+			for i := 0; i < hi-lo; i++ {
+				fr, sr := full.Row(lo+i), y.Row(i)
+				for c := range sr {
+					if fr[c] != sr[c] {
+						t.Fatalf("cut %d: row %d col %d differs", cut, lo+i, c)
+					}
+				}
+			}
+			tensor.Put(y)
+			_ = g
+		}
+	}
+	tensor.Put(full)
+	_ = grad
+}

@@ -107,6 +107,26 @@ func (e *Expert) Backward(cache *ExpertCache, dy *tensor.Matrix) (dx *tensor.Mat
 	return dx, &ExpertGrad{DW1: dw1, DW2: dw2}
 }
 
+// ForwardBackward fuses Forward with the weight-gradient half of
+// Backward, skipping the dX product the live trainer never consumes.
+// The returned output and gradients are bit-identical to
+// Forward+Backward on the same inputs (same kernels, same order); the
+// activation cache never escapes the call, so intermediates stay in the
+// scratch pool. The caller owns y (Put it when done) and grad.
+func (e *Expert) ForwardBackward(x, dy *tensor.Matrix) (y *tensor.Matrix, grad *ExpertGrad) {
+	y, cache := e.Forward(x)
+	da := tensor.GetUninit(dy.Rows, e.W2.Rows)
+	tensor.MatMulTransBInto(dy, e.W2, da) // dA = dY·W2ᵀ
+	dh1 := tensor.GetUninit(cache.H1.Rows, cache.H1.Cols)
+	tensor.GeLUGradInto(cache.H1, da, dh1) // dH1 = dA ⊙ gelu'(H1)
+	tensor.Put(da)
+	dw1 := tensor.MatMulTransA(cache.X, dh1) // dW1 = Xᵀ·dH1
+	dw2 := tensor.MatMulTransA(cache.A, dy)  // dW2 = Aᵀ·dY
+	tensor.Put(dh1)
+	cache.Release()
+	return y, &ExpertGrad{DW1: dw1, DW2: dw2}
+}
+
 // clonePooled is Clone backed by the tensor scratch pool; pair with
 // release. A pooled copy computes bit-identically to the original.
 func (e *Expert) clonePooled() *Expert {

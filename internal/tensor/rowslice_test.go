@@ -1,0 +1,45 @@
+package tensor
+
+import "testing"
+
+func TestRowSliceAliasesParent(t *testing.T) {
+	m := NewRandom(6, 4, 1, 99)
+	v := m.RowSlice(2, 5)
+	if v.Rows != 3 || v.Cols != 4 {
+		t.Fatalf("view shape %dx%d, want 3x4", v.Rows, v.Cols)
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if v.At(r, c) != m.At(r+2, c) {
+				t.Fatalf("view (%d,%d) != parent (%d,%d)", r, c, r+2, c)
+			}
+		}
+	}
+	v.Set(0, 0, 42)
+	if m.At(2, 0) != 42 {
+		t.Fatal("write through view not visible in parent")
+	}
+	m.Set(4, 3, -7)
+	if v.At(2, 3) != -7 {
+		t.Fatal("write through parent not visible in view")
+	}
+}
+
+func TestRowSliceEmptyAndFull(t *testing.T) {
+	m := New(3, 2)
+	if v := m.RowSlice(0, 3); v.Rows != 3 {
+		t.Fatalf("full view has %d rows", v.Rows)
+	}
+	if v := m.RowSlice(1, 1); v.Rows != 0 {
+		t.Fatalf("empty view has %d rows", v.Rows)
+	}
+}
+
+func TestRowSliceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RowSlice(1, 5) on 3 rows did not panic")
+		}
+	}()
+	New(3, 2).RowSlice(1, 5)
+}

@@ -59,6 +59,17 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// RowSlice returns a view of rows [lo, hi): it shares m's backing
+// storage, so writes through either alias are visible to both and the
+// view costs no copy (rows are contiguous in row-major layout). A view
+// must never be handed to Put — only the owning matrix may be recycled.
+func (m *Matrix) RowSlice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("tensor: RowSlice [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 // CopyRow copies row src of from into row dst of m.
 func (m *Matrix) CopyRow(dst int, from *Matrix, src int) {
 	if m.Cols != from.Cols {

@@ -50,6 +50,12 @@ type Client struct {
 	clientID uint64
 	gradSeq  atomic.Uint64
 
+	// Multiplexed in-flight accounting: how many pulls and gradient
+	// pushes currently hold the wire (across all peers), so the pipeline
+	// can observe how deep its overlap actually runs.
+	inflightPulls atomic.Int64
+	inflightGrads atomic.Int64
+
 	Counters Counters
 	// Robust counts retries, per-attempt timeouts and reconnects.
 	Robust metrics.Robustness
@@ -157,6 +163,11 @@ func NewClientOptions(opts Options) *Client {
 type pullKey struct {
 	addr string
 	id   ExpertID
+	// versioned pulls single-flight per requested version: a pull of
+	// version v and one of v+1 are different requests and must not be
+	// merged, while the unversioned key keeps its PR 3 behaviour.
+	ver       uint64
+	versioned bool
 }
 
 type pullCall struct {
@@ -442,10 +453,29 @@ func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
 // one credit while its wire request is outstanding. Transient failures
 // are retried up to the attempt budget; ctx bounds the whole call.
 func (c *Client) Pull(ctx context.Context, addr string, id ExpertID) ([]byte, error) {
+	return c.pull(ctx, addr, pullKey{addr: addr, id: id})
+}
+
+// PullVersion fetches an expert's bytes at exactly the given version.
+// The server parks the request until the owner publishes that version
+// (see VersionedStore), which both guarantees the pipelined trainer
+// reads the step's exact weights and provides natural backpressure on
+// cross-step prefetching. Single flight is per (addr, expert, version).
+func (c *Client) PullVersion(ctx context.Context, addr string, id ExpertID, version uint64) ([]byte, error) {
+	return c.pull(ctx, addr, pullKey{addr: addr, id: id, ver: version, versioned: true})
+}
+
+// InflightPulls returns how many pulls currently hold the wire.
+func (c *Client) InflightPulls() int64 { return c.inflightPulls.Load() }
+
+// InflightGrads returns how many gradient pushes currently hold the
+// wire.
+func (c *Client) InflightGrads() int64 { return c.inflightGrads.Load() }
+
+func (c *Client) pull(ctx context.Context, addr string, key pullKey) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	key := pullKey{addr, id}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -469,7 +499,7 @@ func (c *Client) Pull(ctx context.Context, addr string, id ExpertID) ([]byte, er
 	// deadlock callers parked here with credits exhausted).
 	select {
 	case <-c.credits:
-		call.payload, call.err = c.pullWire(ctx, addr, id)
+		call.payload, call.err = c.pullWire(ctx, addr, key)
 		c.credits <- struct{}{}
 	case <-c.closedCh:
 		call.err = ErrClosed
@@ -484,8 +514,16 @@ func (c *Client) Pull(ctx context.Context, addr string, id ExpertID) ([]byte, er
 	return call.payload, call.err
 }
 
-func (c *Client) pullWire(ctx context.Context, addr string, id ExpertID) ([]byte, error) {
-	resp, err := c.do(ctx, addr, frame{typ: msgPull, id: id})
+func (c *Client) pullWire(ctx context.Context, addr string, key pullKey) ([]byte, error) {
+	req := frame{typ: msgPull, id: key.id}
+	if key.versioned {
+		var ver [versionedPullBytes]byte
+		binary.BigEndian.PutUint64(ver[:], key.ver)
+		req = frame{typ: msgPullV, id: key.id, payload: ver[:]}
+	}
+	c.inflightPulls.Add(1)
+	resp, err := c.do(ctx, addr, req)
+	c.inflightPulls.Add(-1)
 	if err != nil {
 		return nil, err
 	}
@@ -507,7 +545,9 @@ func (c *Client) PushGradient(ctx context.Context, addr string, id ExpertID, pay
 	binary.BigEndian.PutUint64(buf[0:8], c.clientID)
 	binary.BigEndian.PutUint64(buf[8:16], c.gradSeq.Add(1))
 	copy(buf[gradTokenBytes:], payload)
+	c.inflightGrads.Add(1)
 	resp, err := c.do(ctx, addr, frame{typ: msgGrad, id: id, payload: buf})
+	c.inflightGrads.Add(-1)
 	if err != nil {
 		return err
 	}

@@ -34,6 +34,7 @@ const (
 	msgGradAck = 0x04 // server -> client: gradient accepted
 	msgPing    = 0x05 // client -> server: liveness probe (heartbeat)
 	msgPong    = 0x06 // server -> client: liveness answer
+	msgPullV   = 0x07 // client -> server: request expert bytes at a version
 	msgError   = 0x7F // server -> client: request failed
 )
 
@@ -165,6 +166,25 @@ type Store interface {
 	// implementation that needs the bytes later must copy them.
 	AddGradient(id ExpertID, payload []byte) error
 }
+
+// VersionedStore is an optional extension of Store for stores whose
+// expert weights advance through numbered versions (the live trainer's
+// double-buffered cache manager). ExpertBytesAt may block until the
+// requested version is published — that wait is the pipeline's
+// backpressure: a puller one step ahead parks server-side until the
+// owner's merge for the previous step lands, instead of spinning or
+// receiving torn weights. An implementation must unblock waiters (with
+// an error) when it stops hosting the expert or shuts down. The server
+// runs each request in its own goroutine, so a parked versioned pull
+// never head-of-line blocks the connection.
+type VersionedStore interface {
+	Store
+	ExpertBytesAt(id ExpertID, version uint64) ([]byte, error)
+}
+
+// versionedPullBytes is the payload of a msgPullV request: the wanted
+// version as a big-endian uint64.
+const versionedPullBytes = 8
 
 // Counters tracks wire traffic in bytes, usable concurrently.
 type Counters struct {
@@ -330,6 +350,30 @@ func (s *Server) serveConn(conn net.Conn) {
 			go func(f frame) {
 				defer handlers.Done()
 				payload, err := s.store.ExpertBytes(f.id)
+				resp := frame{typ: msgExpert, reqID: f.reqID, id: f.id, payload: payload}
+				if err != nil {
+					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}
+				}
+				respond(resp)
+			}(f)
+		case msgPullV:
+			s.pulls.Add(1)
+			if len(f.payload) < versionedPullBytes {
+				respond(frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte("transport: short versioned pull")})
+				f.recycle()
+				continue
+			}
+			version := binary.BigEndian.Uint64(f.payload[:versionedPullBytes])
+			f.recycle()
+			vs, ok := s.store.(VersionedStore)
+			if !ok {
+				respond(frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte("transport: store is not versioned")})
+				continue
+			}
+			handlers.Add(1)
+			go func(f frame) {
+				defer handlers.Done()
+				payload, err := vs.ExpertBytesAt(f.id, version)
 				resp := frame{typ: msgExpert, reqID: f.reqID, id: f.id, payload: payload}
 				if err != nil {
 					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}

@@ -223,6 +223,14 @@ type LiveCluster = livecluster.Cluster
 // LiveResult reports one live iteration.
 type LiveResult = livecluster.Result
 
+// LiveTrainOptions configures the live trainer: step count, microbatch
+// split, and the lockstep-vs-pipelined schedule choice.
+type LiveTrainOptions = livecluster.TrainOptions
+
+// LiveTrainResult reports one live training run, including the
+// pipeline-depth and version-wait telemetry.
+type LiveTrainResult = livecluster.TrainResult
+
 // StartLiveCluster brings up a live deployment.
 func StartLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	return livecluster.Start(cfg)
