@@ -1,15 +1,22 @@
 # Verify tiers. Tier 1 is the seed contract (ROADMAP.md); the race
 # tier vets and race-checks the concurrent retry/reconnect/degradation
-# code at reduced test sizes (-short skips the long experiment sweeps).
-.PHONY: verify tier1 race cover bench
+# code at reduced test sizes (-short skips the long experiment sweeps)
+# and smoke-fuzzes the two wire decoders (frame and JGR1 gradient) so
+# every verify run spends a few seconds hunting parser panics beyond
+# the seeded corpus.
+.PHONY: verify tier1 race fuzz cover bench
 
 verify: tier1 race
 
 tier1:
 	go build ./... && go test ./...
 
-race:
+race: fuzz
 	go vet ./... && go test -race -short ./...
+
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s ./internal/transport
+	go test -run '^$$' -fuzz '^FuzzDecodeTrainGrad$$' -fuzztime 10s ./internal/livecluster
 
 # Per-package coverage for the fault-tolerance path: the wire protocol,
 # the live cluster (membership/failover), the injector, the checkpoint

@@ -24,6 +24,24 @@
 //	januslive -machines 3 -workers 1 -experts 9 -topk 3 -steps 8 \
 //	  -kill-machine 2 -kill-from 3 -fail-permanent -checkpoint-dir /tmp/janus-ckpt
 //
+// Partition drill: -partition-machine cuts one machine off from the
+// rest for the window -partition-from/-partition-to. The majority
+// quorum declares it dead and re-homes its experts; the minority
+// freezes its dead-man clocks instead of forking ownership. With
+// -partition-oneway the cut is asymmetric — the minority's writes still
+// arrive — and the membership-epoch fence rejects every one (disable it
+// with -no-fencing to watch the split brain it prevents):
+//
+//	januslive -machines 3 -workers 1 -experts 9 -topk 3 -steps 6 \
+//	  -partition-machine 2 -partition-from 2 -partition-to 4 -partition-oneway
+//
+// Gray failure: -slow-machine/-slow-delay make one machine answer
+// slowly without dying. Per-peer EWMA scoring flags it past -slow-after
+// and pulls hedge to the freshest local replica after -hedge-delay:
+//
+//	januslive -steps 4 -slow-machine 1 -slow-delay 20ms \
+//	  -slow-after 2ms -hedge-delay 5ms
+//
 // Training: -train switches from the forward-only iteration loop to the
 // real trainer (backward pass, pre-reduced gradient pushes, SGD merges
 // on the owners). -pipelined streams microbatches through the fetch →
@@ -68,6 +86,15 @@ func run() int {
 	pullTimeout := flag.Duration("pull-timeout", 500*time.Millisecond, "per-attempt pull/push deadline under faults")
 	retries := flag.Int("retries", 3, "attempts per pull/push under faults")
 	failPermanent := flag.Bool("fail-permanent", false, "treat the kill as a permanent machine loss: heartbeat membership, dead-man declaration, deterministic failover")
+	partMachine := flag.Int("partition-machine", -1, "machine to cut off from every other machine (-1 = none); implies failover membership")
+	partFrom := flag.Int("partition-from", 0, "first step (1-based) of the partition window")
+	partTo := flag.Int("partition-to", 0, "first step the partition is healed (0 = never)")
+	partOneWay := flag.Bool("partition-oneway", false, "asymmetric cut: the partitioned machine's writes still arrive (zombie writer), only responses and inbound traffic are lost")
+	noFencing := flag.Bool("no-fencing", false, "disable the membership-epoch fence on the wire (demonstrates the split brain fencing prevents)")
+	slowMachine := flag.Int("slow-machine", -1, "machine whose server answers slowly — a gray failure (-1 = none)")
+	slowDelay := flag.Duration("slow-delay", 20*time.Millisecond, "added latency per network op on the slow machine")
+	slowAfter := flag.Duration("slow-after", 0, "per-peer EWMA latency past which a peer is flagged slow (0 = scoring off)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "hedge an expert pull to the local replica after this delay when the owner is flagged slow (0 = off)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-consistent checkpoints (failover restores from here)")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "checkpoint cadence in steps")
 	deadman := flag.Int("deadman", janus.DefaultDeadManSteps, "consecutive missed heartbeat rounds before a machine is declared dead")
@@ -114,7 +141,7 @@ func run() int {
 		}()
 	}
 
-	faulted := *killMachine >= 0 || *drop > 0 || *delay > 0
+	faulted := *killMachine >= 0 || *drop > 0 || *delay > 0 || *partMachine >= 0 || *slowMachine >= 0
 	// buildCfg returns a fresh config with a fresh injector: injectors
 	// are stateful, so the pipelined run and its lockstep twin each get
 	// their own.
@@ -132,16 +159,34 @@ func run() int {
 			if *drop > 0 || *delay > 0 {
 				inj.AddRule(janus.FaultRule{Fault: janus.Fault{DropProb: *drop, Delay: *delay}})
 			}
+			if *partMachine >= 0 {
+				for m := 0; m < *machines; m++ {
+					if m == *partMachine {
+						continue
+					}
+					if *partOneWay {
+						inj.PartitionOneWay(janus.MachineLabel(m), janus.MachineLabel(*partMachine), *partFrom, *partTo)
+					} else {
+						inj.Partition(janus.MachineLabel(m), janus.MachineLabel(*partMachine), *partFrom, *partTo)
+					}
+				}
+			}
+			if *slowMachine >= 0 {
+				inj.Slow(janus.MachineLabel(*slowMachine), *slowDelay, 0, 1)
+			}
 			cfg.Injector = inj
 			cfg.StaleFallback = true
 			cfg.PullTimeout = *pullTimeout
 			cfg.PullRetries = *retries
 			cfg.RetryBackoff = 5 * time.Millisecond
 		}
-		if *failPermanent {
+		if *failPermanent || *partMachine >= 0 {
 			cfg.FailoverEnabled = true
 			cfg.DeadManSteps = *deadman
 		}
+		cfg.FencingDisabled = *noFencing
+		cfg.SlowAfter = *slowAfter
+		cfg.HedgeDelay = *hedgeDelay
 		if *checkpointDir != "" {
 			cfg.CheckpointDir = *checkpointDir
 			cfg.CheckpointEvery = *checkpointEvery
@@ -155,6 +200,21 @@ func run() int {
 		fmt.Printf("fault policy: kill-machine=%d window=[%d,%d) drop=%.2f delay=%v (stale-weights fallback on)\n",
 			*killMachine, *killFrom, *killTo, *drop, *delay)
 	}
+	if *partMachine >= 0 {
+		dir, fence := "two-way", "on"
+		if *partOneWay {
+			dir = "one-way (zombie writes arrive)"
+		}
+		if *noFencing {
+			fence = "OFF"
+		}
+		fmt.Printf("partition: machine %d cut off (%s) window=[%d,%d), epoch fencing %s\n",
+			*partMachine, dir, *partFrom, *partTo, fence)
+	}
+	if *slowMachine >= 0 {
+		fmt.Printf("gray failure: machine %d +%v/op, slow-after=%v hedge-delay=%v\n",
+			*slowMachine, *slowDelay, *slowAfter, *hedgeDelay)
+	}
 
 	if *train {
 		return runTrain(buildCfg, janus.LiveTrainOptions{
@@ -162,7 +222,7 @@ func run() int {
 			Pipelined: *pipelined, Depth: *depth, LR: float32(*lr),
 		})
 	}
-	return runForward(buildCfg(), *steps, faulted, *failPermanent, *machines)
+	return runForward(buildCfg(), *steps, faulted, *failPermanent || *partMachine >= 0, *machines)
 }
 
 // runTrain executes the trainer; a pipelined run is verified bitwise
@@ -277,6 +337,9 @@ func runForward(cfg janus.LiveConfig, steps int, faulted, failPermanent bool, ma
 			alive := ""
 			if failPermanent {
 				alive = fmt.Sprintf("  alive=%d/%d", res.AliveMachines, machines)
+				if res.PartitionedMachines > 0 {
+					alive += fmt.Sprintf(" parted=%d", res.PartitionedMachines)
+				}
 			}
 			fmt.Printf("step %2d: %6.1fms  %s%s  [%v]\n",
 				s, float64(time.Since(start).Microseconds())/1e3, mode, alive, res.Robust)

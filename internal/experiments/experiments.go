@@ -43,6 +43,7 @@ func Registry() []Experiment {
 		{"straggler", "Extension: straggler sensitivity under both paradigms (§3.2 claim)", func() (Result, error) { return Straggler() }},
 		{"faultsweep", "Extension: injected machine failure — data-centric degradation vs synchronous stall (§5.1/§6)", func() (Result, error) { return FaultSweep() }},
 		{"failover", "Extension: permanent machine loss — checkpointed failover vs unrecoverable stall (§3.2)", func() (Result, error) { return Failover() }},
+		{"partition", "Extension: asymmetric partition — quorum-gated failover and epoch fencing vs split brain", func() (Result, error) { return Partition() }},
 	}
 }
 

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover"}
+	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover", "partition"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry ids = %v", got)
@@ -398,6 +398,49 @@ func TestFailoverExperiment(t *testing.T) {
 	}
 	out := res.Render()
 	for _, frag := range []string{"STALLED", "re-homed", "restored from checkpoint"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+func TestPartitionExperiment(t *testing.T) {
+	res, err := Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != res.Steps {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), res.Steps)
+	}
+	// The headline differential: with fencing the zombie's writes leave
+	// no trace — bitwise identical to the run where they never arrived —
+	// and without fencing they provably corrupt the majority.
+	if res.DivergedFenced != 0 {
+		t.Errorf("fencing on: %d experts diverged from the single-owner reference", res.DivergedFenced)
+	}
+	if res.DivergedUnfenced == 0 {
+		t.Error("fencing off: zombie pushes left no divergence, the control proves nothing")
+	}
+	if res.FenceRejections == 0 {
+		t.Error("no stale-epoch requests fenced during the partition")
+	}
+	if res.QuorumStalls == 0 {
+		t.Error("minority never froze on lost quorum")
+	}
+	if res.Failovers != 1 {
+		t.Errorf("failovers = %d, want exactly 1 (quorum side only)", res.Failovers)
+	}
+	if res.HealedStep == 0 || res.HealedStep < res.PartTo {
+		t.Errorf("heal at step %d, want at/after the window end %d", res.HealedStep, res.PartTo)
+	}
+	for _, row := range res.Rows {
+		if row.Step >= res.HealedStep && (row.AliveMachines != res.Machines || row.Partitioned != 0 || row.Degraded) {
+			t.Errorf("step %d not clean after heal: %+v", row.Step, row)
+		}
+	}
+	out := res.Render()
+	for _, frag := range []string{"diverged with fencing ON", "stale-epoch", "froze"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("render missing %q", frag)
 		}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"janus/internal/faultinject"
+	"janus/internal/livecluster"
+)
+
+// PartitionRow is one training step of the asymmetric-partition drill
+// (the fenced one-way run — the scenario under test).
+type PartitionRow struct {
+	Step            int
+	WallMs          float64
+	AliveMachines   int
+	Partitioned     int
+	Degraded        bool
+	FenceRejections int64 // stale-epoch requests rejected this step
+	QuorumStalls    int64 // minority rounds frozen this step
+	DroppedGrads    int64
+}
+
+// PartitionResult quantifies the split-brain defence. Three seeded
+// trials of the same training schedule through a 2-vs-1 partition:
+//
+//   - fenced one-way: the minority's writes still arrive (zombie
+//     writer) but carry a stale membership epoch, so the majority
+//     fences every one;
+//   - two-way reference: zombie traffic physically cannot arrive —
+//     the single-owner ground truth;
+//   - unfenced one-way: the same zombie writes are accepted, showing
+//     what the fence prevents.
+//
+// The headline numbers are the per-expert weight divergences against
+// the reference after heal: 0 with fencing, >0 without.
+type PartitionResult struct {
+	Machines         int
+	Minority         int // the machine cut off from the majority
+	PartFrom, PartTo int // 1-based step window of the partition
+	Steps            int
+	Rows             []PartitionRow
+	Failovers        int64
+	RehomedExperts   int64
+	Restores         int64
+	FenceRejections  int64
+	QuorumStalls     int64
+	HealedStep       int // first step the full membership was back
+	NumExperts       int
+	DivergedFenced   int // experts differing from the reference, fencing on
+	DivergedUnfenced int // experts differing from the reference, fencing off
+}
+
+// partitionTrial is one seeded run of the drill schedule.
+type partitionTrial struct {
+	state  [][]byte
+	rows   []PartitionRow
+	res    *PartitionResult // totals filled from the cluster
+	healed int
+}
+
+func runPartitionTrial(steps, partFrom, partTo int, oneWay, fencingDisabled bool) (*partitionTrial, error) {
+	ckptDir, err := os.MkdirTemp("", "janus-partition-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(ckptDir)
+
+	const minority = 2
+	inj := faultinject.New(17)
+	if oneWay {
+		inj.PartitionOneWay(livecluster.MachineLabel(0), livecluster.MachineLabel(minority), partFrom, partTo)
+		inj.PartitionOneWay(livecluster.MachineLabel(1), livecluster.MachineLabel(minority), partFrom, partTo)
+	} else {
+		inj.Partition(livecluster.MachineLabel(0), livecluster.MachineLabel(minority), partFrom, partTo)
+		inj.Partition(livecluster.MachineLabel(1), livecluster.MachineLabel(minority), partFrom, partTo)
+	}
+	cfg := livecluster.Config{
+		Machines: 3, WorkersPerNode: 1,
+		NumExperts: 9, TopK: 3, Hidden: 16,
+		TokensPerWorker: 24, Seed: 42, Credits: 4,
+		Injector:         inj,
+		StaleFallback:    true,
+		PullTimeout:      120 * time.Millisecond,
+		PullRetries:      2,
+		RetryBackoff:     2 * time.Millisecond,
+		FailoverEnabled:  true,
+		DeadManSteps:     1,
+		HeartbeatTimeout: 150 * time.Millisecond,
+		CheckpointDir:    ckptDir,
+		CheckpointEvery:  1,
+		FencingDisabled:  fencingDisabled,
+	}
+	cl, err := livecluster.Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	tr := &partitionTrial{res: &PartitionResult{
+		Machines: cfg.Machines, Minority: minority,
+		PartFrom: partFrom, PartTo: partTo, Steps: steps,
+		NumExperts: cfg.NumExperts,
+	}}
+	for s := 1; s <= steps; s++ {
+		start := time.Now()
+		step, err := cl.Train(livecluster.TrainOptions{Steps: 1})
+		if err != nil {
+			return nil, fmt.Errorf("partition step %d: %w", s, err)
+		}
+		tr.rows = append(tr.rows, PartitionRow{
+			Step:            s,
+			WallMs:          float64(time.Since(start).Microseconds()) / 1e3,
+			AliveMachines:   step.AliveMachines,
+			Partitioned:     step.PartitionedMachines,
+			Degraded:        step.DegradedSteps > 0,
+			FenceRejections: step.Robust.FenceRejections,
+			QuorumStalls:    step.Robust.QuorumStalls,
+			DroppedGrads:    step.DroppedGrads,
+		})
+		if s >= partFrom && tr.healed == 0 &&
+			step.AliveMachines == cfg.Machines && step.PartitionedMachines == 0 {
+			tr.healed = s
+		}
+	}
+	tr.state, err = cl.ExpertState()
+	if err != nil {
+		return nil, err
+	}
+	totals := cl.RobustnessTotals()
+	tr.res.Failovers = totals.Failovers
+	tr.res.RehomedExperts = totals.RehomedExperts
+	tr.res.Restores = totals.Restores
+	tr.res.FenceRejections = totals.FenceRejections
+	tr.res.QuorumStalls = totals.QuorumStalls
+	return tr, nil
+}
+
+// Partition runs the asymmetric network-partition drill: six seeded
+// training steps with machine 2 cut off from the majority for steps
+// 2-3 while its own writes keep arriving. The fenced run must land
+// bitwise on the two-way reference (exactly one side made accepted
+// progress); the unfenced control shows the divergence the epoch fence
+// prevents.
+func Partition() (*PartitionResult, error) {
+	const (
+		steps    = 6
+		partFrom = 2
+		partTo   = 4
+	)
+	fenced, err := runPartitionTrial(steps, partFrom, partTo, true, false)
+	if err != nil {
+		return nil, err
+	}
+	reference, err := runPartitionTrial(steps, partFrom, partTo, false, false)
+	if err != nil {
+		return nil, err
+	}
+	unfenced, err := runPartitionTrial(steps, partFrom, partTo, true, true)
+	if err != nil {
+		return nil, err
+	}
+
+	res := fenced.res
+	res.Rows = fenced.rows
+	res.HealedStep = fenced.healed
+	for e := range fenced.state {
+		if !bytes.Equal(fenced.state[e], reference.state[e]) {
+			res.DivergedFenced++
+		}
+		if !bytes.Equal(unfenced.state[e], reference.state[e]) {
+			res.DivergedUnfenced++
+		}
+	}
+	// The differential is the experiment's contract, so violating it is
+	// an error, not a data point: with fencing the zombie must leave no
+	// trace, and without it the control must show the corruption the
+	// fence prevents (a control with no divergence means the zombie's
+	// writes never arrived and the drill proved nothing).
+	if res.DivergedFenced != 0 {
+		return nil, fmt.Errorf("partition: %d/%d experts diverged from the single-owner reference despite fencing",
+			res.DivergedFenced, res.NumExperts)
+	}
+	if res.DivergedUnfenced == 0 {
+		return nil, fmt.Errorf("partition: unfenced control shows no divergence; zombie writes never reached the majority")
+	}
+	return res, nil
+}
+
+func (r *PartitionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — asymmetric partition with quorum gating and epoch fencing (%d machines, machine %d cut off for steps %d-%d, zombie writes still arriving)\n",
+		r.Machines, r.Minority, r.PartFrom, r.PartTo-1)
+	fmt.Fprintf(&b, "%4s %9s %6s %7s %9s %7s %7s %6s\n",
+		"step", "wall(ms)", "alive", "parted", "degraded", "fenced", "stalls", "drops")
+	for _, row := range r.Rows {
+		deg := "no"
+		if row.Degraded {
+			deg = "yes"
+		}
+		fmt.Fprintf(&b, "%4d %9.1f %6d %7d %9s %7d %7d %6d\n",
+			row.Step, row.WallMs, row.AliveMachines, row.Partitioned, deg,
+			row.FenceRejections, row.QuorumStalls, row.DroppedGrads)
+	}
+	fmt.Fprintf(&b, "membership: 1 failover (quorum side), %d experts re-homed, %d restored from checkpoint, healed at step %d; minority froze %d rounds instead of forking ownership\n",
+		r.RehomedExperts, r.Restores, r.HealedStep, r.QuorumStalls)
+	fmt.Fprintf(&b, "epoch fence: %d stale-epoch requests rejected; final weights vs single-owner reference: %d/%d experts diverged with fencing ON, %d/%d with fencing OFF\n",
+		r.FenceRejections, r.DivergedFenced, r.NumExperts, r.DivergedUnfenced, r.NumExperts)
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +40,18 @@ type Fault struct {
 	// reads and writes fail immediately and freshly accepted
 	// connections are closed before serving, as if the process died.
 	Kill bool
+	// Block models a network partition in one direction: matched Writes
+	// are silently discarded and matched Reads stall until the rule
+	// deactivates (TCP retransmits deliver buffered data after heal) or
+	// the connection closes. Blocks never consume the Times budget —
+	// a partition is a link state, not a countable fault.
+	Block bool
+	// SlowProb turns Delay into a probabilistic gray failure: with
+	// probability SlowProb the operation is delayed by Delay plus a
+	// uniform draw in [0, DelayJitter). With SlowProb == 0 a plain
+	// Delay applies unconditionally, as before.
+	SlowProb    float64
+	DelayJitter time.Duration
 }
 
 // Rule activates a Fault for one labelled endpoint over a step window.
@@ -46,6 +59,11 @@ type Rule struct {
 	// Label selects which wrapped endpoint the rule applies to; ""
 	// matches every endpoint.
 	Label string
+	// From/To make the rule directional: it matches only operations
+	// travelling From → To between endpoints wrapped with WrapConnPair
+	// (a Write on a pair conn travels src → dst, a Read dst → src).
+	// Both must be set; directional rules ignore Label.
+	From, To string
 	// FromStep is the first step (inclusive) the rule is active.
 	// Steps are advanced by the harness via SetStep; step 0 (the
 	// default before any SetStep call) matches FromStep 0.
@@ -100,6 +118,27 @@ func (in *Injector) Kill(label string, from, to int) {
 	in.AddRule(Rule{Label: label, FromStep: from, ToStep: to, Fault: Fault{Kill: true}})
 }
 
+// Partition cuts the link between endpoints a and b in both directions
+// from step from (inclusive) until step to (exclusive; <=0 = forever).
+// Writes across the cut are silently lost and reads stall until heal.
+func (in *Injector) Partition(a, b string, from, to int) {
+	in.AddRule(Rule{From: a, To: b, FromStep: from, ToStep: to, Fault: Fault{Block: true}})
+	in.AddRule(Rule{From: b, To: a, FromStep: from, ToStep: to, Fault: Fault{Block: true}})
+}
+
+// PartitionOneWay cuts only the from → to direction: traffic the other
+// way still flows, which is the asymmetric (zombie-writer) scenario.
+func (in *Injector) PartitionOneWay(from, to string, fromStep, toStep int) {
+	in.AddRule(Rule{From: from, To: to, FromStep: fromStep, ToStep: toStep, Fault: Fault{Block: true}})
+}
+
+// Slow marks the labelled endpoint as a gray failure: with probability
+// prob every operation is delayed by delay plus seeded jitter in
+// [0, jitter). The rule is windowless and outcome-neutral.
+func (in *Injector) Slow(label string, delay, jitter time.Duration, prob float64) {
+	in.AddRule(Rule{Label: label, Fault: Fault{Delay: delay, DelayJitter: jitter, SlowProb: prob}})
+}
+
 // SetStep advances the harness's iteration counter; rules gate on it.
 func (in *Injector) SetStep(step int) {
 	in.mu.Lock()
@@ -115,9 +154,28 @@ func (in *Injector) Step() int {
 }
 
 func (rs *ruleState) active(label string, step int) bool {
+	if rs.From != "" || rs.To != "" {
+		return false // directional rules never match by label
+	}
 	if rs.Label != "" && rs.Label != label {
 		return false
 	}
+	return rs.inWindow(step)
+}
+
+// activeDir reports whether a directional rule covers an operation
+// travelling src → dst at the given step.
+func (rs *ruleState) activeDir(src, dst string, step int) bool {
+	if rs.From == "" && rs.To == "" {
+		return false
+	}
+	if src == "" || dst == "" || rs.From != src || rs.To != dst {
+		return false
+	}
+	return rs.inWindow(step)
+}
+
+func (rs *ruleState) inWindow(step int) bool {
 	if step < rs.FromStep {
 		return false
 	}
@@ -134,26 +192,41 @@ type decision struct {
 	drop    bool
 	corrupt bool
 	reset   bool
+	block   bool
 }
 
 // decide rolls the dice for one Read (write=false) or Write
-// (write=true) on the labelled endpoint.
-func (in *Injector) decide(label string, write bool) decision {
+// (write=true) on the labelled endpoint. opSrc/opDst name the
+// direction the operation's bytes travel (empty for non-pair conns).
+func (in *Injector) decide(label, opSrc, opDst string, write bool) decision {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	var d decision
 	for _, rs := range in.rules {
-		if !rs.active(label, in.step) {
+		if !rs.active(label, in.step) && !rs.activeDir(opSrc, opDst, in.step) {
 			continue
 		}
-		d.delay += rs.Fault.Delay
-		if d.kill || d.drop || d.corrupt || d.reset {
+		if rs.Fault.SlowProb > 0 {
+			if in.rng.Float64() < rs.Fault.SlowProb {
+				d.delay += rs.Fault.Delay
+				if rs.Fault.DelayJitter > 0 {
+					d.delay += time.Duration(in.rng.Int63n(int64(rs.Fault.DelayJitter)))
+				}
+			}
+		} else {
+			d.delay += rs.Fault.Delay
+		}
+		if d.kill || d.drop || d.corrupt || d.reset || d.block {
 			continue // fate already decided by an earlier rule
 		}
 		if rs.Fault.Kill {
 			if rs.consume() {
 				d.kill = true
 			}
+			continue
+		}
+		if rs.Fault.Block {
+			d.block = true // link state: no Times budget consumed
 			continue
 		}
 		if !write {
@@ -175,6 +248,23 @@ func (in *Injector) decide(label string, write bool) decision {
 		}
 	}
 	return d
+}
+
+// blockActive reports whether a Block rule still covers the opSrc →
+// opDst direction, without rolling any dice (used by the read-side
+// stall loop to notice heal).
+func (in *Injector) blockActive(label, opSrc, opDst string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		if !rs.Fault.Block {
+			continue
+		}
+		if rs.active(label, in.step) || rs.activeDir(opSrc, opDst, in.step) {
+			return true
+		}
+	}
+	return false
 }
 
 func (rs *ruleState) consume() bool {
@@ -199,7 +289,7 @@ func (in *Injector) OutcomeNeutral() bool {
 	defer in.mu.Unlock()
 	for _, rs := range in.rules {
 		f := rs.Fault
-		if f.Kill || f.DropProb > 0 || f.CorruptProb > 0 || f.ResetProb > 0 {
+		if f.Kill || f.DropProb > 0 || f.CorruptProb > 0 || f.ResetProb > 0 || f.Block {
 			return false
 		}
 		if rs.FromStep > 0 || rs.ToStep > 0 || rs.Times > 0 {
@@ -226,6 +316,13 @@ func (in *Injector) killActive(label string) bool {
 // given endpoint label.
 func (in *Injector) WrapConn(conn net.Conn, label string) net.Conn {
 	return &faultConn{Conn: conn, in: in, label: label}
+}
+
+// WrapConnPair wraps conn with a direction-aware label pair on top of
+// the usual endpoint label: Writes travel src → dst, Reads dst → src,
+// which is what directional (From/To) rules match against.
+func (in *Injector) WrapConnPair(conn net.Conn, label, src, dst string) net.Conn {
+	return &faultConn{Conn: conn, in: in, label: label, src: src, dst: dst}
 }
 
 // WrapListener returns ln with accepted connections wrapped under
@@ -258,12 +355,23 @@ func (l *faultListener) Accept() (net.Conn, error) {
 
 type faultConn struct {
 	net.Conn
-	in    *Injector
-	label string
+	in       *Injector
+	label    string
+	src, dst string // pair direction labels; empty for plain WrapConn
+	closed   atomic.Bool
 }
 
+func (c *faultConn) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+// blockPollInterval paces the read-side stall loop while a Block rule
+// covers the inbound direction.
+const blockPollInterval = time.Millisecond
+
 func (c *faultConn) Read(b []byte) (int, error) {
-	d := c.in.decide(c.label, false)
+	d := c.in.decide(c.label, c.dst, c.src, false)
 	if d.delay > 0 {
 		time.Sleep(d.delay)
 	}
@@ -271,11 +379,22 @@ func (c *faultConn) Read(b []byte) (int, error) {
 		c.Conn.Close()
 		return 0, errors.Join(ErrInjected, errors.New("endpoint killed"))
 	}
+	if d.block {
+		// Inbound direction is partitioned: stall until the rule
+		// deactivates (heal) or the connection is torn down, then let
+		// the buffered bytes through — TCP retransmit semantics.
+		for c.in.blockActive(c.label, c.dst, c.src) {
+			if c.closed.Load() {
+				return 0, errors.Join(ErrInjected, errors.New("partitioned connection closed"))
+			}
+			time.Sleep(blockPollInterval)
+		}
+	}
 	return c.Conn.Read(b)
 }
 
 func (c *faultConn) Write(b []byte) (int, error) {
-	d := c.in.decide(c.label, true)
+	d := c.in.decide(c.label, c.src, c.dst, true)
 	if d.delay > 0 {
 		time.Sleep(d.delay)
 	}
@@ -283,7 +402,7 @@ func (c *faultConn) Write(b []byte) (int, error) {
 	case d.kill:
 		c.Conn.Close()
 		return 0, errors.Join(ErrInjected, errors.New("endpoint killed"))
-	case d.drop:
+	case d.drop, d.block:
 		return len(b), nil // silently lost
 	case d.corrupt:
 		buf := make([]byte, len(b))

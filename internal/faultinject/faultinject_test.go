@@ -178,7 +178,7 @@ func TestDeterministicDecisions(t *testing.T) {
 		in.AddRule(Rule{Fault: Fault{DropProb: 0.5}})
 		var outcomes []bool
 		for i := 0; i < 64; i++ {
-			d := in.decide("x", true)
+			d := in.decide("x", "", "", true)
 			outcomes = append(outcomes, d.drop)
 		}
 		return outcomes
@@ -209,7 +209,7 @@ func TestRuleWindowBoundarySteps(t *testing.T) {
 	}
 	for _, c := range cases {
 		in.SetStep(c.step)
-		if got := in.decide("x", true).kill; got != c.kill {
+		if got := in.decide("x", "", "", true).kill; got != c.kill {
 			t.Errorf("step %d: kill = %v, want %v", c.step, got, c.kill)
 		}
 		if got := in.killActive("x"); got != c.kill {
@@ -218,7 +218,7 @@ func TestRuleWindowBoundarySteps(t *testing.T) {
 	}
 	// A label the rule doesn't name is never touched.
 	in.SetStep(3)
-	if in.decide("y", true).kill {
+	if in.decide("y", "", "", true).kill {
 		t.Error("kill leaked to an unlabelled endpoint")
 	}
 }
@@ -230,7 +230,7 @@ func TestRuleWindowOpenEnded(t *testing.T) {
 	for _, step := range []int{1, 2, 100, 1 << 20} {
 		in.SetStep(step)
 		want := step >= 2
-		if got := in.decide("x", true).kill; got != want {
+		if got := in.decide("x", "", "", true).kill; got != want {
 			t.Errorf("step %d: kill = %v, want %v", step, got, want)
 		}
 	}
@@ -243,17 +243,17 @@ func TestTimesBudgetExhaustsMidWindow(t *testing.T) {
 	in := New(1)
 	in.AddRule(Rule{Label: "x", FromStep: 2, ToStep: 10, Times: 2, Fault: Fault{Kill: true}})
 	in.SetStep(5) // well inside the window
-	if !in.decide("x", true).kill || !in.decide("x", true).kill {
+	if !in.decide("x", "", "", true).kill || !in.decide("x", "", "", true).kill {
 		t.Fatal("budgeted kills did not fire inside the window")
 	}
-	if in.decide("x", true).kill {
+	if in.decide("x", "", "", true).kill {
 		t.Fatal("kill fired past its Times budget")
 	}
 	if in.killActive("x") {
 		t.Fatal("killActive still true after the budget ran out")
 	}
 	in.SetStep(7) // still inside the window: exhaustion is permanent
-	if in.decide("x", true).kill {
+	if in.decide("x", "", "", true).kill {
 		t.Fatal("exhausted budget revived on a later step")
 	}
 }

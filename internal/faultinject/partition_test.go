@@ -1,0 +1,174 @@
+package faultinject
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory conn with the a-side
+// wrapped as a directional pair conn (writes travel a → b).
+func pipePair(in *Injector) (wrapped, peer net.Conn) {
+	ca, cb := net.Pipe()
+	return in.WrapConnPair(ca, "a.client", "a", "b"), cb
+}
+
+// readWithin reads one byte from c, failing if it does not arrive
+// inside the budget.
+func readWithin(t *testing.T, c net.Conn, budget time.Duration) byte {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(budget))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("read did not complete within %v: %v", budget, err)
+	}
+	return buf[0]
+}
+
+// expectNoData asserts nothing arrives on c inside the budget.
+func expectNoData(t *testing.T, c net.Conn, budget time.Duration) {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(budget))
+	buf := make([]byte, 1)
+	if n, err := c.Read(buf); err == nil {
+		t.Fatalf("read %d bytes across an active partition", n)
+	}
+}
+
+// A symmetric partition drops writes in the covered window and lets
+// them through again outside it — including the boundary steps: active
+// at FromStep, inactive again at ToStep.
+func TestPartitionBoundarySteps(t *testing.T) {
+	in := New(1)
+	in.Partition("a", "b", 2, 4)
+	wrapped, peer := pipePair(in)
+	defer wrapped.Close()
+	defer peer.Close()
+
+	send := func() {
+		go wrapped.Write([]byte{0x42}) // net.Pipe writes rendezvous with reads
+	}
+	in.SetStep(1)
+	send()
+	readWithin(t, peer, time.Second)
+
+	for _, step := range []int{2, 3} {
+		in.SetStep(step)
+		send()
+		expectNoData(t, peer, 30*time.Millisecond)
+	}
+
+	in.SetStep(4)
+	send()
+	readWithin(t, peer, time.Second)
+}
+
+// A one-way partition is asymmetric: the blocked direction loses
+// writes while the reverse direction keeps flowing. The wrapped end's
+// reads carry b → a traffic, which the a → b rule must not touch.
+func TestPartitionOneWayIsAsymmetric(t *testing.T) {
+	in := New(2)
+	in.PartitionOneWay("a", "b", 0, 0)
+	wrapped, peer := pipePair(in)
+	defer wrapped.Close()
+	defer peer.Close()
+
+	go wrapped.Write([]byte{0x01})
+	expectNoData(t, peer, 30*time.Millisecond)
+
+	go peer.Write([]byte{0x02})
+	if got := readWithin(t, wrapped, time.Second); got != 0x02 {
+		t.Fatalf("reverse direction delivered %#x, want 0x02", got)
+	}
+}
+
+// The read side of a partition stalls buffered traffic until the rule
+// heals, then delivers it — TCP retransmit semantics — instead of
+// surfacing an error the transport would misread as a dead peer.
+func TestPartitionReadStallsUntilHeal(t *testing.T) {
+	in := New(3)
+	in.AddRule(Rule{From: "b", To: "a", FromStep: 1, ToStep: 3, Fault: Fault{Block: true}})
+	wrapped, peer := pipePair(in)
+	defer wrapped.Close()
+	defer peer.Close()
+
+	in.SetStep(1)
+	go peer.Write([]byte{0x07})
+	got := make(chan byte, 1)
+	go func() {
+		buf := make([]byte, 1)
+		if _, err := wrapped.Read(buf); err == nil {
+			got <- buf[0]
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("read completed across an active inbound partition")
+	case <-time.After(30 * time.Millisecond):
+	}
+	in.SetStep(3) // heal
+	select {
+	case b := <-got:
+		if b != 0x07 {
+			t.Fatalf("post-heal read delivered %#x, want 0x07", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("buffered byte not delivered after heal")
+	}
+}
+
+// Closing a partitioned conn unblocks its stalled reader with an error
+// instead of leaking the goroutine until the window expires.
+func TestPartitionedCloseUnblocksReader(t *testing.T) {
+	in := New(4)
+	in.PartitionOneWay("b", "a", 0, 0)
+	wrapped, peer := pipePair(in)
+	defer peer.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	wrapped.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("stalled read returned no error after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled read not unblocked by close")
+	}
+}
+
+// SlowProb with probability 1 delays every operation by at least the
+// base delay (plus jitter), and the rule stays outcome-neutral — the
+// overlap scheduler may keep free-running under a gray failure.
+func TestSlowDelaysAndStaysOutcomeNeutral(t *testing.T) {
+	in := New(5)
+	in.Slow("s", 20*time.Millisecond, 5*time.Millisecond, 1)
+	if !in.OutcomeNeutral() {
+		t.Fatal("windowless Slow rule reported outcome-changing")
+	}
+	ca, cb := net.Pipe()
+	wrapped := in.WrapConn(ca, "s")
+	defer wrapped.Close()
+	defer cb.Close()
+	go func() {
+		cb.Read(make([]byte, 1))
+	}()
+	start := time.Now()
+	if _, err := wrapped.Write([]byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("slow write took %v, want >= 20ms", d)
+	}
+
+	// A partition, by contrast, changes outcomes.
+	in.Partition("a", "b", 0, 0)
+	if in.OutcomeNeutral() {
+		t.Fatal("partition rule reported outcome-neutral")
+	}
+}

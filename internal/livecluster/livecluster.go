@@ -92,6 +92,25 @@ type Config struct {
 	// CheckpointKeep is how many committed versions to retain
 	// (0 = DefaultCheckpointKeep).
 	CheckpointKeep int
+
+	// Partition-tolerance knobs (see failover.go). With failover on,
+	// membership is quorum-gated and every request is epoch-fenced by
+	// default; these knobs tune or disable the protections.
+
+	// FencingDisabled turns off the wire-level epoch fence (requests
+	// from machines with a stale membership epoch are then accepted).
+	// Exists for the split-brain differential experiment; leave false.
+	FencingDisabled bool
+	// SlowAfter is the per-peer EWMA latency threshold past which a
+	// peer is flagged as a gray failure (0 = never flag).
+	SlowAfter time.Duration
+	// HedgeDelay, when positive, arms hedged pulls: a pull whose target
+	// is flagged slow is raced against this deterministic delay, and if
+	// the wire has not answered in time the freshest local replica is
+	// served instead (forward path only; versioned training pulls are
+	// never hedged). The wire result still refreshes the replica cache
+	// in the background.
+	HedgeDelay time.Duration
 }
 
 // MachineLabel is the fault-injection label of machine m's endpoints.
@@ -154,6 +173,10 @@ type Result struct {
 	// alive at the end of the iteration (equals Machines when failover
 	// is disabled or nothing died).
 	AliveMachines int
+	// PartitionedMachines counts machines outside the authoritative
+	// side at the end of the iteration: without quorum in their own
+	// membership view, or frozen by the epoch fence.
+	PartitionedMachines int
 	// Robust aggregates the client-side retry/timeout/reconnect events
 	// of this iteration (deltas, summed over all machines' clients).
 	Robust metrics.RobustnessSnapshot
@@ -201,13 +224,12 @@ type Cluster struct {
 	// transport clients and both are summed into snapshots.
 	robust metrics.Robustness
 
-	// Membership view (guarded by viewMu; see failover.go).
+	// Membership views, one per machine (guarded by viewMu; see
+	// failover.go): under a partition the sides legitimately disagree,
+	// and the quorum rule decides which side may act on its view.
 	viewMu           sync.Mutex
-	owner            []int  // expert -> current owning machine
-	alive            []bool // per machine
-	missed           []int  // consecutive missed heartbeat rounds
-	epoch            int    // bumps on every ownership transition
-	pendingStaleness int    // staleness of replica-recovered experts, folded into the next Result
+	views            []*memberView
+	pendingStaleness int // staleness of replica-recovered experts, folded into the next Result
 
 	// train is the pipelined trainer's state (nil until Train runs).
 	train *trainState
@@ -429,12 +451,31 @@ func Start(cfg Config) (*Cluster, error) {
 		cl.addrs = append(cl.addrs, addr)
 		cl.clients = append(cl.clients, cl.newClient(m))
 		cl.stale = append(cl.stale, make(map[int]*staleEntry))
-		cl.alive = append(cl.alive, true)
-		cl.missed = append(cl.missed, 0)
 	}
-	cl.owner = make([]int, cfg.NumExperts)
-	for e := range cl.owner {
-		cl.owner[e] = cl.homeMachine(e)
+	cl.views = make([]*memberView, cfg.Machines)
+	for m := range cl.views {
+		v := &memberView{
+			self:   m,
+			alive:  make([]bool, cfg.Machines),
+			missed: make([]int, cfg.Machines),
+			owner:  make([]int, cfg.NumExperts),
+			quorum: true,
+		}
+		for i := range v.alive {
+			v.alive[i] = true
+		}
+		for e := range v.owner {
+			v.owner[e] = cl.homeMachine(e)
+		}
+		cl.views[m] = v
+	}
+	if cfg.FailoverEnabled && !cfg.FencingDisabled {
+		// Epoch fencing on the wire: each server rejects requests whose
+		// membership epoch lags its own machine's view, so a zombie
+		// ex-owner's pushes can never be merged after failover.
+		for m, srv := range cl.servers {
+			srv.SetEpochGate(&epochGate{cl: cl, m: m})
+		}
 	}
 
 	// Precompute everything that is invariant across iterations: token
@@ -498,9 +539,12 @@ func (cl *Cluster) newClient(m int) *transport.Client {
 		MaxAttempts:    cfg.PullRetries,
 		BackoffBase:    cfg.RetryBackoff,
 		Seed:           cfg.Seed + int64(m),
+		MachineID:      uint32(m),
+		SlowAfter:      cfg.SlowAfter,
 	}
 	if inj := cfg.Injector; inj != nil {
 		label := MachineLabel(m) + ".client"
+		src := MachineLabel(m)
 		timeout := cfg.PullTimeout
 		if timeout <= 0 {
 			timeout = transport.DefaultRequestTimeout
@@ -510,10 +554,38 @@ func (cl *Cluster) newClient(m int) *transport.Client {
 			if err != nil {
 				return nil, err
 			}
+			// Pair-wrapped so directional rules (one-way partitions)
+			// can match the src→dst direction of this dial.
+			if dst := cl.machineOfAddr(addr); dst >= 0 {
+				return inj.WrapConnPair(conn, label, src, MachineLabel(dst)), nil
+			}
 			return inj.WrapConn(conn, label), nil
 		}
 	}
 	return transport.NewClientOptions(opts)
+}
+
+// machineOfAddr maps a server address back to its machine index (-1 if
+// unknown). Addresses are fixed once Start returns, and dials only
+// happen afterwards.
+func (cl *Cluster) machineOfAddr(addr string) int {
+	for m, a := range cl.addrs {
+		if a == addr {
+			return m
+		}
+	}
+	return -1
+}
+
+// peerSlow reports whether any peer of machine m is currently flagged
+// as a gray failure by the client's EWMA latency/loss score.
+func (cl *Cluster) peerSlow(m int) bool {
+	for t, addr := range cl.addrs {
+		if t != m && cl.clients[m].PeerSlow(addr) {
+			return true
+		}
+	}
+	return false
 }
 
 // Close shuts down all servers and clients.
@@ -593,9 +665,11 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 	var wg sync.WaitGroup
 	for m := 0; m < cfg.Machines; m++ {
 		m := m
-		if !cl.isAlive(m) {
-			// A permanently lost machine computes nothing: its workers
-			// died with it. Their output slots stay nil.
+		if !cl.machineRuns(m) {
+			// Frozen by the epoch fence: the cluster failed this machine
+			// over and has not readmitted it, so it computes nothing.
+			// (A machine that merely lost quorum keeps computing in
+			// degraded mode — its pushes are fenced on the wire.)
 			continue
 		}
 		wg.Add(1)
@@ -616,7 +690,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 			cache := make(map[int]*cacheEntry)
 			retrying := make(map[int]bool)
 			fetch := func(e int) (*moe.Expert, error) {
-				owner := cl.currentOwner(e)
+				owner := cl.ownerFor(m, e)
 				if owner == m {
 					return cl.localExpert(m, e)
 				}
@@ -647,26 +721,85 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 				cache[e] = ent
 				cacheMu.Unlock()
 
-				// Failover-aware pull: the target follows the current
+				// Failover-aware pull: the target follows this machine's
 				// ownership view, and a RemoteError from a machine that
 				// turns out not to own the expert triggers a bounded
 				// re-resolve against the (possibly updated) view.
+				pullWire := func() ([]byte, error) {
+					owner := owner
+					var payload []byte
+					var err error
+					for resolve := 0; resolve < 3; resolve++ {
+						payload, err = cl.clients[m].Pull(stepCtx,
+							cl.addrs[owner], transport.ExpertID{Expert: uint32(e)})
+						var re *transport.RemoteError
+						if err == nil || !errors.As(err, &re) {
+							break
+						}
+						next := cl.ownerFor(m, e)
+						if next == owner || next == m {
+							break // view agrees with the responder (or moved here)
+						}
+						owner = next
+					}
+					return payload, err
+				}
+
 				var payload []byte
 				var err error
-				for resolve := 0; resolve < 3; resolve++ {
-					payload, err = cl.clients[m].Pull(stepCtx,
-						cl.addrs[owner], transport.ExpertID{Expert: uint32(e)})
-					var re *transport.RemoteError
-					if err == nil || !errors.As(err, &re) {
-						break
+				pulled, hedged := false, false
+				if cfg.HedgeDelay > 0 && cl.clients[m].PeerSlow(cl.addrs[owner]) {
+					cl.staleMu.Lock()
+					old := cl.stale[m][e]
+					cl.staleMu.Unlock()
+					if old != nil {
+						// Gray-failure hedge: the owner is flagged slow and a
+						// local replica exists, so race the wire pull against
+						// a deterministic delay and serve the replica if the
+						// wire has not answered in time. The slow pull still
+						// refreshes the replica cache in the background.
+						pulled = true
+						cl.clients[m].Robust.AddHedgedPull()
+						type pullOut struct {
+							payload []byte
+							err     error
+						}
+						ch := make(chan pullOut, 1)
+						go func() {
+							p, perr := pullWire()
+							ch <- pullOut{p, perr}
+						}()
+						timer := time.NewTimer(cfg.HedgeDelay)
+						select {
+						case r := <-ch:
+							timer.Stop()
+							payload, err = r.payload, r.err
+						case <-timer.C:
+							cl.clients[m].Robust.AddHedgeWon()
+							hedged = true
+							ent.ex = old.ex
+							go func() {
+								r := <-ch
+								if r.err != nil {
+									return
+								}
+								if ex2, derr := decodeExpert(r.payload); derr == nil {
+									cl.staleMu.Lock()
+									if cur := cl.stale[m][e]; cur == nil || cur.step <= step {
+										cl.stale[m][e] = &staleEntry{ex: ex2, payload: r.payload, step: step}
+									}
+									cl.staleMu.Unlock()
+								}
+							}()
+						}
 					}
-					next := cl.currentOwner(e)
-					if next == owner || next == m {
-						break // view agrees with the responder (or moved here)
-					}
-					owner = next
 				}
-				if err == nil {
+				if !pulled {
+					payload, err = pullWire()
+				}
+				if hedged {
+					// The replica is already in ent.ex; skip decode/fallback.
+				} else if err == nil {
 					// Decode is a pure function of the wire bytes, so if the
 					// payload is byte-identical to the last fetch's, the
 					// previously decoded copy is exactly what decode would
@@ -680,14 +813,26 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 						ent.ex, ent.err = decodeExpert(payload)
 					}
 				} else {
+					var fe *transport.FencedEpochError
+					if errors.As(err, &fe) {
+						// Our membership epoch is stale: the cluster moved on
+						// without us. Record it (freezes this machine unless
+						// readmitted) and degrade this fetch like any other
+						// unreachable-owner case.
+						cl.noteFenced(m, fe)
+					}
 					ent.err = err
 				}
 				if ent.err == nil {
 					// Refresh the machine's last-known copy (the §5.1.2
-					// Cache Manager's durable layer).
-					cl.staleMu.Lock()
-					cl.stale[m][e] = &staleEntry{ex: ent.ex, payload: payload, step: step}
-					cl.staleMu.Unlock()
+					// Cache Manager's durable layer). A hedge-served replica
+					// skips this: its cache entry is refreshed by the
+					// background pull instead.
+					if !hedged {
+						cl.staleMu.Lock()
+						cl.stale[m][e] = &staleEntry{ex: ent.ex, payload: payload, step: step}
+						cl.staleMu.Unlock()
+					}
 				} else if cfg.StaleFallback {
 					// Owner unreachable past the retry budget: degrade to
 					// the last-known copy instead of aborting the step.
@@ -712,7 +857,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 			// the fetch latency stops serialising the forward pass.
 			var pwg sync.WaitGroup
 			for _, e := range cl.needs[m] {
-				if cl.currentOwner(e) == m {
+				if cl.ownerFor(m, e) == m {
 					continue
 				}
 				e := e
@@ -746,7 +891,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 			// to distinct owners are independent, so they run overlapped.
 			var gwg sync.WaitGroup
 			for e := 0; e < cfg.NumExperts; e++ {
-				owner := cl.currentOwner(e)
+				owner := cl.ownerFor(m, e)
 				if owner == m {
 					continue
 				}
@@ -758,10 +903,15 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 					binary.LittleEndian.PutUint64(grad, uint64(e))
 					if err := cl.clients[m].PushGradient(stepCtx, cl.addrs[owner],
 						transport.ExpertID{Expert: uint32(e)}, grad); err != nil {
+						var fe *transport.FencedEpochError
+						if errors.As(err, &fe) {
+							cl.noteFenced(m, fe)
+						}
 						if cfg.StaleFallback {
-							// Owner unreachable: the contribution is dropped
-							// this step (it would be retried from fresh
-							// activations next step in a real trainer).
+							// Owner unreachable (or fenced us out): the
+							// contribution is dropped this step (it would be
+							// retried from fresh activations next step in a
+							// real trainer).
 							degMu.Lock()
 							droppedGrads++
 							degMu.Unlock()
@@ -777,6 +927,20 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return Result{}, firstErr
+	}
+	// A machine outside the authoritative view may still have computed
+	// (a zombie ex-member, or a fenced machine that froze mid-step); its
+	// workers' outputs are discarded — the cluster's answer is the
+	// authoritative side's.
+	if cfg.FailoverEnabled {
+		for m := 0; m < cfg.Machines; m++ {
+			if cl.isAlive(m) {
+				continue
+			}
+			for lw := 0; lw < cfg.WorkersPerNode; lw++ {
+				outputs[m*cfg.WorkersPerNode+lw] = nil
+			}
+		}
 	}
 	if err := cl.maybeCheckpoint(step); err != nil {
 		return Result{}, err
@@ -795,9 +959,10 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 		PullsServed:       cl.pullsServed(),
 		StaleFetches:      staleFetches,
 		MaxStalenessSteps: maxStaleness,
-		DroppedGrads:      droppedGrads,
-		AliveMachines:     cl.AliveMachines(),
-		Robust:            cl.robustSnapshot().Sub(robustBefore),
+		DroppedGrads:        droppedGrads,
+		AliveMachines:       cl.AliveMachines(),
+		PartitionedMachines: cl.PartitionedMachines(),
+		Robust:              cl.robustSnapshot().Sub(robustBefore),
 	}
 	if staleFetches > 0 || droppedGrads > 0 {
 		res.DegradedSteps = 1
@@ -818,11 +983,15 @@ func (cl *Cluster) localExpert(m, e int) (*moe.Expert, error) {
 }
 
 // robustSnapshot sums all machine clients' robustness counters plus the
-// cluster-level failover/checkpoint counters.
+// cluster-level failover/checkpoint counters and the servers' fence
+// rejections.
 func (cl *Cluster) robustSnapshot() metrics.RobustnessSnapshot {
 	sum := cl.robust.Snapshot()
 	for _, c := range cl.clients {
 		sum = sum.Add(c.Robust.Snapshot())
+	}
+	for _, s := range cl.servers {
+		sum.FenceRejections += s.FencedRequests()
 	}
 	return sum
 }

@@ -72,8 +72,11 @@ type TrainResult struct {
 	MaxStalenessSteps int
 	DegradedSteps     int
 	AliveMachines     int
-	Robust            metrics.RobustnessSnapshot
-	Pipeline          metrics.PipelineSnapshot
+	// PartitionedMachines counts machines outside the authoritative
+	// membership side when the run finished (no quorum, or fenced out).
+	PartitionedMachines int
+	Robust              metrics.RobustnessSnapshot
+	Pipeline            metrics.PipelineSnapshot
 }
 
 // syncedTraining reports whether pipelined training must keep the
@@ -250,7 +253,7 @@ func (r *stepRun) fetchExpert(e int) (*moe.Expert, error) {
 	cl := r.cl
 	want := uint64(r.s - 1)
 	id := transport.ExpertID{Expert: uint32(e)}
-	if cl.currentOwner(e) == r.m {
+	if cl.ownerFor(r.m, e) == r.m {
 		return cl.stores[r.m].waitLocalAt(id, want)
 	}
 	r.fetchMu.Lock()
@@ -273,7 +276,7 @@ func (r *stepRun) fetchExpert(e int) (*moe.Expert, error) {
 func (r *stepRun) pullVersioned(e int, want uint64) (*moe.Expert, error) {
 	cl := r.cl
 	id := transport.ExpertID{Expert: uint32(e)}
-	owner := cl.currentOwner(e)
+	owner := cl.ownerFor(r.m, e)
 	var payload []byte
 	var err error
 	for resolve := 0; resolve < 3; resolve++ {
@@ -285,11 +288,17 @@ func (r *stepRun) pullVersioned(e int, want uint64) (*moe.Expert, error) {
 		if err == nil || !errors.As(err, &re) {
 			break
 		}
-		next := cl.currentOwner(e)
+		next := cl.ownerFor(r.m, e)
 		if next == owner {
 			break
 		}
 		owner = next
+	}
+	var fe *transport.FencedEpochError
+	if errors.As(err, &fe) {
+		// The cluster's membership epoch moved past ours: freeze or
+		// catch up (see noteFenced) and degrade this fetch.
+		cl.noteFenced(r.m, fe)
 	}
 	if err == nil {
 		cl.staleMu.Lock()
@@ -395,7 +404,7 @@ func (r *stepRun) foldPush(e int) {
 	}
 	id := transport.ExpertID{Expert: uint32(e)}
 	step := uint64(r.s)
-	owner := cl.currentOwner(e)
+	owner := cl.ownerFor(r.m, e)
 	var payload []byte
 	var err error
 	for resolve := 0; resolve < 3; resolve++ {
@@ -413,11 +422,20 @@ func (r *stepRun) foldPush(e int) {
 		if err == nil || !errors.As(err, &re) {
 			break
 		}
-		next := cl.currentOwner(e)
+		next := cl.ownerFor(r.m, e)
 		if next == owner {
 			break
 		}
 		owner = next
+	}
+	var fe *transport.FencedEpochError
+	if errors.As(err, &fe) {
+		// A fenced push is the split-brain guard working: the receiver
+		// refused a stale-epoch gradient. Never fatal — the contribution
+		// is dropped exactly like an unreachable-owner push.
+		cl.noteFenced(r.m, fe)
+		r.deg.noteDropped(r.s)
+		return
 	}
 	if err != nil {
 		if cl.cfg.StaleFallback {
@@ -466,7 +484,10 @@ func (cl *Cluster) trainSynced(opts TrainOptions, streamed bool) (TrainResult, e
 		var wg sync.WaitGroup
 		runs := make([]*stepRun, cfg.Machines)
 		for m := 0; m < cfg.Machines; m++ {
-			if !cl.isAlive(m) {
+			if !cl.machineRuns(m) {
+				// Fenced out of the cluster: frozen until readmitted. A
+				// machine that merely lost quorum keeps computing in
+				// degraded mode (its pushes are fenced on the wire).
 				continue
 			}
 			r := cl.newStepRun(opts, m, s, final, stepCtx, deg, setErr)
@@ -556,7 +577,17 @@ func (cl *Cluster) trainOverlap(opts TrainOptions) (TrainResult, error) {
 				if runCtx.Err() != nil {
 					return
 				}
-				if j := i - opts.Depth; j >= 0 {
+				depth := opts.Depth
+				if depth > 1 && cfg.SlowAfter > 0 && cl.peerSlow(m) {
+					// Gray failure: a peer is flagged slow, so shrink the
+					// in-flight window instead of queueing more work
+					// behind it — the pipeline slows but never stalls on
+					// a dead-man timeout. Scheduling-only: fold points
+					// and order are unchanged, so outputs stay bitwise.
+					depth = 1
+					st.pipe.AddDepthShrink()
+				}
+				if j := i - depth; j >= 0 {
 					// Backpressure: block until step j's pushes drained.
 					select {
 					case <-drained[j]:
@@ -614,6 +645,18 @@ func (cl *Cluster) trainOverlap(opts TrainOptions) (TrainResult, error) {
 }
 
 func (cl *Cluster) trainResult(opts TrainOptions, outputs []*tensor.Matrix, deg *runDeg, robustBefore metrics.RobustnessSnapshot, pipeBefore metrics.PipelineSnapshot, synced bool) TrainResult {
+	// Workers outside the authoritative membership side (zombies that
+	// kept computing without quorum) do not contribute outputs.
+	if cl.cfg.FailoverEnabled {
+		for m := 0; m < cl.cfg.Machines; m++ {
+			if cl.isAlive(m) {
+				continue
+			}
+			for lw := 0; lw < cl.cfg.WorkersPerNode; lw++ {
+				outputs[m*cl.cfg.WorkersPerNode+lw] = nil
+			}
+		}
+	}
 	deg.mu.Lock()
 	maxStale := deg.maxStaleness
 	if cl.pendingStaleness > maxStale {
@@ -621,16 +664,17 @@ func (cl *Cluster) trainResult(opts TrainOptions, outputs []*tensor.Matrix, deg 
 	}
 	cl.pendingStaleness = 0
 	res := TrainResult{
-		Steps:             opts.Steps,
-		FinalOutputs:      outputs,
-		Synced:            opts.Pipelined && synced,
-		StaleFetches:      deg.stale,
-		DroppedGrads:      deg.dropped,
-		MaxStalenessSteps: maxStale,
-		DegradedSteps:     len(deg.steps),
-		AliveMachines:     cl.AliveMachines(),
-		Robust:            cl.robustSnapshot().Sub(robustBefore),
-		Pipeline:          cl.train.pipe.Snapshot().Sub(pipeBefore),
+		Steps:               opts.Steps,
+		FinalOutputs:        outputs,
+		Synced:              opts.Pipelined && synced,
+		StaleFetches:        deg.stale,
+		DroppedGrads:        deg.dropped,
+		MaxStalenessSteps:   maxStale,
+		DegradedSteps:       len(deg.steps),
+		AliveMachines:       cl.AliveMachines(),
+		PartitionedMachines: cl.PartitionedMachines(),
+		Robust:              cl.robustSnapshot().Sub(robustBefore),
+		Pipeline:            cl.train.pipe.Snapshot().Sub(pipeBefore),
 	}
 	deg.mu.Unlock()
 	cl.degradedTotal += res.DegradedSteps

@@ -69,6 +69,9 @@ func isTrainGrad(payload []byte) bool {
 // copying the floats out (the transport recycles the payload buffer
 // after the store call returns).
 func decodeTrainGrad(payload []byte, h int) (step uint64, source int, g *moe.ExpertGrad, err error) {
+	if !isTrainGrad(payload) {
+		return 0, 0, nil, fmt.Errorf("livecluster: bad training gradient magic")
+	}
 	n1 := h * 4 * h
 	n2 := n1
 	if len(payload) != trainGradHeaderBytes+4*(n1+n2) {

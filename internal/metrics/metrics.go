@@ -110,6 +110,15 @@ type Robustness struct {
 	checkpoints     atomic.Int64
 	checkpointBytes atomic.Int64
 	checkpointNanos atomic.Int64
+
+	// Partition/gray-failure counters: requests rejected by epoch
+	// fencing, heartbeat rounds a machine froze for lack of quorum, and
+	// expert pulls hedged to a replica because the owner looked slow
+	// (with how many the hedge actually won).
+	fenceRejections atomic.Int64
+	quorumStalls    atomic.Int64
+	hedgedPulls     atomic.Int64
+	hedgesWon       atomic.Int64
 }
 
 // AddRetry records one retried request attempt.
@@ -149,6 +158,22 @@ func (r *Robustness) AddCheckpoint(bytes int64, elapsedNanos int64) {
 	r.checkpointNanos.Add(elapsedNanos)
 }
 
+// AddFenceRejection records one request rejected because its sender's
+// membership epoch was stale.
+func (r *Robustness) AddFenceRejection() { r.fenceRejections.Add(1) }
+
+// AddQuorumStall records one heartbeat round in which a machine could
+// not reach a majority and froze its membership transitions.
+func (r *Robustness) AddQuorumStall() { r.quorumStalls.Add(1) }
+
+// AddHedgedPull records one expert pull hedged to a local replica
+// because the owning peer was flagged slow.
+func (r *Robustness) AddHedgedPull() { r.hedgedPulls.Add(1) }
+
+// AddHedgeWon records one hedged pull whose replica answer was used
+// before the slow peer responded.
+func (r *Robustness) AddHedgeWon() { r.hedgesWon.Add(1) }
+
 // Snapshot returns a point-in-time copy of the counters.
 func (r *Robustness) Snapshot() RobustnessSnapshot {
 	return RobustnessSnapshot{
@@ -164,6 +189,10 @@ func (r *Robustness) Snapshot() RobustnessSnapshot {
 		Checkpoints:     r.checkpoints.Load(),
 		CheckpointBytes: r.checkpointBytes.Load(),
 		CheckpointNanos: r.checkpointNanos.Load(),
+		FenceRejections: r.fenceRejections.Load(),
+		QuorumStalls:    r.quorumStalls.Load(),
+		HedgedPulls:     r.hedgedPulls.Load(),
+		HedgesWon:       r.hedgesWon.Load(),
 	}
 }
 
@@ -182,6 +211,11 @@ type RobustnessSnapshot struct {
 	Checkpoints     int64
 	CheckpointBytes int64
 	CheckpointNanos int64
+
+	FenceRejections int64
+	QuorumStalls    int64
+	HedgedPulls     int64
+	HedgesWon       int64
 }
 
 // Sub returns the event counts accumulated since an earlier snapshot.
@@ -199,6 +233,10 @@ func (s RobustnessSnapshot) Sub(earlier RobustnessSnapshot) RobustnessSnapshot {
 		Checkpoints:     s.Checkpoints - earlier.Checkpoints,
 		CheckpointBytes: s.CheckpointBytes - earlier.CheckpointBytes,
 		CheckpointNanos: s.CheckpointNanos - earlier.CheckpointNanos,
+		FenceRejections: s.FenceRejections - earlier.FenceRejections,
+		QuorumStalls:    s.QuorumStalls - earlier.QuorumStalls,
+		HedgedPulls:     s.HedgedPulls - earlier.HedgedPulls,
+		HedgesWon:       s.HedgesWon - earlier.HedgesWon,
 	}
 }
 
@@ -217,6 +255,10 @@ func (s RobustnessSnapshot) Add(o RobustnessSnapshot) RobustnessSnapshot {
 		Checkpoints:     s.Checkpoints + o.Checkpoints,
 		CheckpointBytes: s.CheckpointBytes + o.CheckpointBytes,
 		CheckpointNanos: s.CheckpointNanos + o.CheckpointNanos,
+		FenceRejections: s.FenceRejections + o.FenceRejections,
+		QuorumStalls:    s.QuorumStalls + o.QuorumStalls,
+		HedgedPulls:     s.HedgedPulls + o.HedgedPulls,
+		HedgesWon:       s.HedgesWon + o.HedgesWon,
 	}
 }
 
@@ -230,6 +272,10 @@ func (s RobustnessSnapshot) String() string {
 		base += fmt.Sprintf(" failovers=%d rehomed=%d restores=%d checkpoints=%d ckpt-bytes=%d ckpt-ms=%.1f",
 			s.Failovers, s.RehomedExperts, s.Restores, s.Checkpoints,
 			s.CheckpointBytes, float64(s.CheckpointNanos)/1e6)
+	}
+	if s.FenceRejections != 0 || s.QuorumStalls != 0 || s.HedgedPulls != 0 || s.HedgesWon != 0 {
+		base += fmt.Sprintf(" fence-rejections=%d quorum-stalls=%d hedged-pulls=%d hedges-won=%d",
+			s.FenceRejections, s.QuorumStalls, s.HedgedPulls, s.HedgesWon)
 	}
 	return base
 }
@@ -248,6 +294,7 @@ type Pipeline struct {
 	versionWaitNanos atomic.Int64
 	merges           atomic.Int64
 	flushes          atomic.Int64
+	depthShrinks     atomic.Int64
 }
 
 // AddMicrobatch records one executed (worker, microbatch) piece.
@@ -274,6 +321,10 @@ func (p *Pipeline) AddMerge() { p.merges.Add(1) }
 // lockstep / step-synced trigger, which folds whatever arrived).
 func (p *Pipeline) AddFlush() { p.flushes.Add(1) }
 
+// AddDepthShrink records one overlap step that ran with a reduced
+// in-flight window because a peer was flagged slow (gray failure).
+func (p *Pipeline) AddDepthShrink() { p.depthShrinks.Add(1) }
+
 // Snapshot returns a point-in-time copy of the counters.
 func (p *Pipeline) Snapshot() PipelineSnapshot {
 	return PipelineSnapshot{
@@ -284,6 +335,7 @@ func (p *Pipeline) Snapshot() PipelineSnapshot {
 		VersionWaitNanos: p.versionWaitNanos.Load(),
 		Merges:           p.merges.Load(),
 		Flushes:          p.flushes.Load(),
+		DepthShrinks:     p.depthShrinks.Load(),
 	}
 }
 
@@ -296,6 +348,7 @@ type PipelineSnapshot struct {
 	VersionWaitNanos int64
 	Merges           int64
 	Flushes          int64
+	DepthShrinks     int64
 }
 
 // Sub returns the event counts accumulated since an earlier snapshot.
@@ -308,6 +361,7 @@ func (s PipelineSnapshot) Sub(earlier PipelineSnapshot) PipelineSnapshot {
 		VersionWaitNanos: s.VersionWaitNanos - earlier.VersionWaitNanos,
 		Merges:           s.Merges - earlier.Merges,
 		Flushes:          s.Flushes - earlier.Flushes,
+		DepthShrinks:     s.DepthShrinks - earlier.DepthShrinks,
 	}
 }
 
@@ -321,6 +375,7 @@ func (s PipelineSnapshot) Add(o PipelineSnapshot) PipelineSnapshot {
 		VersionWaitNanos: s.VersionWaitNanos + o.VersionWaitNanos,
 		Merges:           s.Merges + o.Merges,
 		Flushes:          s.Flushes + o.Flushes,
+		DepthShrinks:     s.DepthShrinks + o.DepthShrinks,
 	}
 }
 
@@ -328,9 +383,9 @@ func (s PipelineSnapshot) Add(o PipelineSnapshot) PipelineSnapshot {
 func (s PipelineSnapshot) IsZero() bool { return s == PipelineSnapshot{} }
 
 func (s PipelineSnapshot) String() string {
-	return fmt.Sprintf("microbatches=%d depth-stalls=%d depth-stall-ms=%.1f version-waits=%d version-wait-ms=%.1f merges=%d flushes=%d",
+	return fmt.Sprintf("microbatches=%d depth-stalls=%d depth-stall-ms=%.1f version-waits=%d version-wait-ms=%.1f merges=%d flushes=%d depth-shrinks=%d",
 		s.Microbatches, s.DepthStalls, float64(s.DepthStallNanos)/1e6,
-		s.VersionWaits, float64(s.VersionWaitNanos)/1e6, s.Merges, s.Flushes)
+		s.VersionWaits, float64(s.VersionWaitNanos)/1e6, s.Merges, s.Flushes, s.DepthShrinks)
 }
 
 // GiB converts bytes to binary gigabytes (the unit of Table 1).

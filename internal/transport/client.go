@@ -50,6 +50,17 @@ type Client struct {
 	clientID uint64
 	gradSeq  atomic.Uint64
 
+	// epoch is stamped into every outgoing request; the membership
+	// layer bumps it at each transition so fencing servers can tell a
+	// current member from a zombie. machineID identifies the sender.
+	epoch     atomic.Uint64
+	machineID uint32
+
+	// Per-peer EWMA latency/loss scores for gray-failure detection.
+	slowAfter time.Duration
+	scoreMu   sync.Mutex
+	scores    map[string]*peerScore
+
 	// Multiplexed in-flight accounting: how many pulls and gradient
 	// pushes currently hold the wire (across all peers), so the pipeline
 	// can observe how deep its overlap actually runs.
@@ -76,6 +87,27 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
 
+// ErrFencedEpoch is the sentinel wrapped by every epoch-fencing
+// rejection: the server's membership view has moved past the epoch the
+// request was stamped with. Terminal like RemoteError — retrying with
+// the same stale epoch can never succeed; the sender must reconcile
+// with the membership layer first.
+var ErrFencedEpoch = errors.New("transport: request fenced: stale membership epoch")
+
+// FencedEpochError reports an epoch-fencing rejection with the
+// server's current epoch and whether the server's membership view
+// already readmitted the sender (the post-heal rejoin signal).
+type FencedEpochError struct {
+	RemoteEpoch uint64
+	Readmitted  bool
+}
+
+func (e *FencedEpochError) Error() string {
+	return fmt.Sprintf("%v (server epoch %d, readmitted %v)", ErrFencedEpoch, e.RemoteEpoch, e.Readmitted)
+}
+
+func (e *FencedEpochError) Unwrap() error { return ErrFencedEpoch }
+
 // Options configures a Client beyond the credit window.
 type Options struct {
 	// Credits bounds in-flight pulls (<=0 means DefaultCredits).
@@ -98,6 +130,13 @@ type Options struct {
 	// (determinism is the default here — pass distinct seeds to
 	// decorrelate many clients).
 	Seed int64
+	// MachineID stamps every request's sender field, letting a fencing
+	// server report whether this machine has been readmitted.
+	MachineID uint32
+	// SlowAfter flags a peer as a gray failure when its EWMA request
+	// latency exceeds this bound (or its EWMA loss rate exceeds 1/2).
+	// Zero disables peer scoring.
+	SlowAfter time.Duration
 }
 
 // Defaults for Options fields left zero.
@@ -148,6 +187,9 @@ func NewClientOptions(opts Options) *Client {
 		inflight:    make(map[pullKey]*pullCall),
 		rng:         rand.New(rand.NewSource(opts.Seed)),
 		clientID:    clientSeq.Add(1),
+		machineID:   opts.MachineID,
+		slowAfter:   opts.SlowAfter,
+		scores:      make(map[string]*peerScore),
 	}
 	for i := 0; i < opts.Credits; i++ {
 		c.credits <- struct{}{}
@@ -158,6 +200,87 @@ func NewClientOptions(opts Options) *Client {
 		}
 	}
 	return c
+}
+
+// SetEpoch installs the membership epoch stamped into every
+// subsequent request. The membership layer calls this at each
+// transition (failover, rejoin, reconcile).
+func (c *Client) SetEpoch(e uint64) { c.epoch.Store(e) }
+
+// Epoch returns the membership epoch currently stamped on requests.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// peerScore is the EWMA latency/loss record of one peer address.
+type peerScore struct {
+	lat  float64 // EWMA of successful round-trip latency, nanoseconds
+	loss float64 // EWMA of the per-attempt failure indicator
+	init bool
+}
+
+// scoreAlpha weighs the newest observation in the EWMA scores.
+const scoreAlpha = 0.3
+
+// noteAttempt folds one request attempt into addr's score. Failed
+// attempts count toward loss only; latency tracks successes so a
+// timeout's deadline does not masquerade as a measured round trip.
+func (c *Client) noteAttempt(addr string, d time.Duration, failed bool) {
+	if c.slowAfter <= 0 {
+		return
+	}
+	c.scoreMu.Lock()
+	defer c.scoreMu.Unlock()
+	s := c.scores[addr]
+	if s == nil {
+		s = &peerScore{}
+		c.scores[addr] = s
+	}
+	fail := 0.0
+	if failed {
+		fail = 1.0
+	}
+	if !s.init {
+		s.init = true
+		s.loss = fail
+		if !failed {
+			s.lat = float64(d)
+		}
+		return
+	}
+	s.loss = (1-scoreAlpha)*s.loss + scoreAlpha*fail
+	if !failed {
+		if s.lat == 0 {
+			s.lat = float64(d)
+		} else {
+			s.lat = (1-scoreAlpha)*s.lat + scoreAlpha*float64(d)
+		}
+	}
+}
+
+// PeerSlow reports whether addr is flagged as a gray failure: scoring
+// enabled and its EWMA latency above the SlowAfter bound or its EWMA
+// loss rate above 1/2.
+func (c *Client) PeerSlow(addr string) bool {
+	if c.slowAfter <= 0 {
+		return false
+	}
+	c.scoreMu.Lock()
+	defer c.scoreMu.Unlock()
+	s := c.scores[addr]
+	if s == nil || !s.init {
+		return false
+	}
+	return s.lat > float64(c.slowAfter) || s.loss > 0.5
+}
+
+// PeerLatencyEWMA returns addr's smoothed request latency (0 if the
+// peer has no successful samples yet or scoring is disabled).
+func (c *Client) PeerLatencyEWMA(addr string) time.Duration {
+	c.scoreMu.Lock()
+	defer c.scoreMu.Unlock()
+	if s := c.scores[addr]; s != nil {
+		return time.Duration(s.lat)
+	}
+	return 0
 }
 
 type pullKey struct {
@@ -350,6 +473,14 @@ func (p *peerConn) roundTrip(ctx context.Context, f frame, counters *Counters) (
 			resp.recycle()
 			return frame{}, &RemoteError{Msg: msg}
 		}
+		if resp.typ == msgFenced {
+			fe := &FencedEpochError{RemoteEpoch: resp.epoch}
+			if len(resp.payload) >= 1 {
+				fe.Readmitted = resp.payload[0]&pongFlagReadmitted != 0
+			}
+			resp.recycle()
+			return frame{}, fe
+		}
 		return resp, nil
 	case <-ctx.Done():
 		p.mu.Lock()
@@ -387,17 +518,33 @@ func (c *Client) do(ctx context.Context, addr string, req frame) (frame, error) 
 		actx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 		p, err := c.peer(addr)
 		if err == nil {
+			// Stamp the sender identity and the freshest membership
+			// epoch per attempt — a reconcile between retries must not
+			// leave the request carrying a fenceable stale epoch.
+			req.epoch = c.epoch.Load()
+			req.sender = c.machineID
 			var resp frame
 			resp, err = p.roundTrip(actx, req, &c.Counters)
 			if err == nil {
 				cancel()
+				c.noteAttempt(addr, time.Since(attemptStart), false)
 				return resp, nil
 			}
 			var re *RemoteError
 			if errors.As(err, &re) {
 				cancel()
+				c.noteAttempt(addr, time.Since(attemptStart), false)
 				return frame{}, err
 			}
+			var fe *FencedEpochError
+			if errors.As(err, &fe) {
+				// Fencing is terminal: the server answered, it just
+				// refuses our epoch. The connection stays healthy.
+				cancel()
+				c.noteAttempt(addr, time.Since(attemptStart), false)
+				return frame{}, err
+			}
+			c.noteAttempt(addr, time.Since(attemptStart), true)
 			evictConn := true
 			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 				c.Robust.AddTimeout()
@@ -415,6 +562,9 @@ func (c *Client) do(ctx context.Context, addr string, req frame) (frame, error) 
 				// its deadline): evict so the next attempt re-dials.
 				c.evict(addr, p, fmt.Errorf("transport: evicted after: %w", err))
 			}
+		} else {
+			// A failed dial is a lost attempt for the peer score.
+			c.noteAttempt(addr, time.Since(attemptStart), true)
 		}
 		cancel()
 		if errors.Is(err, ErrClosed) {
@@ -557,6 +707,16 @@ func (c *Client) PushGradient(ctx context.Context, addr string, id ExpertID, pay
 	return nil
 }
 
+// PingInfo is what a heartbeat learns about the probed peer: the
+// membership epoch its server answers with and whether that server's
+// view considers this client's machine alive (the readmission signal a
+// fenced machine waits for after a partition heals). A FENCED answer
+// fills both fields alongside the returned error.
+type PingInfo struct {
+	Epoch      uint64
+	Readmitted bool
+}
+
 // Ping probes addr's liveness with a single attempt — no retries and
 // no backoff, because a heartbeat's whole job is to report the current
 // state quickly; the caller's dead-man counter supplies the tolerance
@@ -564,7 +724,7 @@ func (c *Client) PushGradient(ctx context.Context, addr string, id ExpertID, pay
 // the ctx deadline, whichever is sooner), piggybacks on the same
 // pipelined connection as pulls, and evicts the connection on failure
 // so the next probe re-dials.
-func (c *Client) Ping(ctx context.Context, addr string) error {
+func (c *Client) Ping(ctx context.Context, addr string) (PingInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -572,20 +732,37 @@ func (c *Client) Ping(ctx context.Context, addr string) error {
 	defer cancel()
 	p, err := c.peer(addr)
 	if err != nil {
-		return err
+		c.noteAttempt(addr, 0, true) // unreachable: score it as loss
+		return PingInfo{}, err
 	}
-	resp, err := p.roundTrip(actx, frame{typ: msgPing}, &c.Counters)
+	start := time.Now()
+	req := frame{typ: msgPing, epoch: c.epoch.Load(), sender: c.machineID}
+	resp, err := p.roundTrip(actx, req, &c.Counters)
 	if err != nil {
+		var fe *FencedEpochError
+		if errors.As(err, &fe) {
+			// The peer is alive — it answered — but our epoch is stale.
+			c.noteAttempt(addr, time.Since(start), false)
+			return PingInfo{Epoch: fe.RemoteEpoch, Readmitted: fe.Readmitted}, err
+		}
 		var re *RemoteError
 		if !errors.As(err, &re) {
 			c.evict(addr, p, fmt.Errorf("transport: evicted after: %w", err))
 		}
-		return err
+		c.noteAttempt(addr, time.Since(start), true)
+		return PingInfo{}, err
 	}
+	c.noteAttempt(addr, time.Since(start), false)
 	if resp.typ != msgPong {
-		return fmt.Errorf("transport: unexpected response type %#x", resp.typ)
+		resp.recycle()
+		return PingInfo{}, fmt.Errorf("transport: unexpected response type %#x", resp.typ)
 	}
-	return nil
+	info := PingInfo{Epoch: resp.epoch, Readmitted: true}
+	if len(resp.payload) >= 1 {
+		info.Readmitted = resp.payload[0]&pongFlagReadmitted != 0
+	}
+	resp.recycle()
+	return info, nil
 }
 
 // Close tears down all peer connections. In-flight calls fail, and

@@ -242,9 +242,11 @@ func TestGradDedupOnWire(t *testing.T) {
 		binary.BigEndian.PutUint32(buf[0:4], n)
 		buf[4] = msgGrad
 		binary.BigEndian.PutUint64(buf[5:13], reqID)
-		binary.BigEndian.PutUint32(buf[13:17], id.Block)
-		binary.BigEndian.PutUint32(buf[17:21], id.Expert)
-		copy(buf[21:], payload)
+		// epoch [13:21] stays zero: no gate is installed on this server.
+		binary.BigEndian.PutUint32(buf[21:25], 0) // sender
+		binary.BigEndian.PutUint32(buf[25:29], id.Block)
+		binary.BigEndian.PutUint32(buf[29:33], id.Expert)
+		copy(buf[33:], payload)
 		if _, err := conn.Write(buf); err != nil {
 			t.Fatal(err)
 		}

@@ -35,8 +35,14 @@ const (
 	msgPing    = 0x05 // client -> server: liveness probe (heartbeat)
 	msgPong    = 0x06 // server -> client: liveness answer
 	msgPullV   = 0x07 // client -> server: request expert bytes at a version
+	msgFenced  = 0x08 // server -> client: request rejected, sender's epoch is stale
 	msgError   = 0x7F // server -> client: request failed
 )
+
+// pongFlagReadmitted is set in a PONG/FENCED payload when the server's
+// membership view considers the probing machine alive — the signal a
+// previously fenced machine uses to rejoin after a partition heals.
+const pongFlagReadmitted = 0x01
 
 // maxFrameBytes bounds a frame so a corrupt length prefix cannot make
 // a reader allocate unbounded memory. Experts in this repository are at
@@ -56,11 +62,15 @@ func (id ExpertID) String() string { return fmt.Sprintf("b%d/e%d", id.Block, id.
 //	uint32 length (of everything after this field)
 //	uint8  type
 //	uint64 request id
+//	uint64 membership epoch (sender's view on requests, server's on responses)
+//	uint32 sender machine id
 //	uint32 block, uint32 expert
 //	payload bytes
 type frame struct {
 	typ     byte
 	reqID   uint64
+	epoch   uint64
+	sender  uint32
 	id      ExpertID
 	payload []byte
 	// buf is the pooled backing store of payload, set only when the
@@ -70,7 +80,7 @@ type frame struct {
 	buf *[]byte
 }
 
-const frameHeaderBytes = 1 + 8 + 4 + 4
+const frameHeaderBytes = 1 + 8 + 8 + 4 + 4 + 4
 
 // frameBufPool recycles frame read buffers. Header-only frames (PULL,
 // PING, PONG, GRADACK) return their buffer inside readFrame; GRAD
@@ -109,8 +119,10 @@ func writeFrame(w *bufio.Writer, f frame) error {
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameHeaderBytes+len(f.payload)))
 	hdr[4] = f.typ
 	binary.BigEndian.PutUint64(hdr[5:13], f.reqID)
-	binary.BigEndian.PutUint32(hdr[13:17], f.id.Block)
-	binary.BigEndian.PutUint32(hdr[17:21], f.id.Expert)
+	binary.BigEndian.PutUint64(hdr[13:21], f.epoch)
+	binary.BigEndian.PutUint32(hdr[21:25], f.sender)
+	binary.BigEndian.PutUint32(hdr[25:29], f.id.Block)
+	binary.BigEndian.PutUint32(hdr[29:33], f.id.Expert)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -138,11 +150,13 @@ func readFrame(r *bufio.Reader) (frame, error) {
 		return frame{}, err
 	}
 	f := frame{
-		typ:   buf[0],
-		reqID: binary.BigEndian.Uint64(buf[1:9]),
+		typ:    buf[0],
+		reqID:  binary.BigEndian.Uint64(buf[1:9]),
+		epoch:  binary.BigEndian.Uint64(buf[9:17]),
+		sender: binary.BigEndian.Uint32(buf[17:21]),
 		id: ExpertID{
-			Block:  binary.BigEndian.Uint32(buf[9:13]),
-			Expert: binary.BigEndian.Uint32(buf[13:17]),
+			Block:  binary.BigEndian.Uint32(buf[21:25]),
+			Expert: binary.BigEndian.Uint32(buf[25:29]),
 		},
 	}
 	if n > frameHeaderBytes {
@@ -220,6 +234,17 @@ type gradEntry struct {
 	err  error
 }
 
+// EpochGate is the server's hook into a membership layer. When set,
+// every request carrying an epoch older than Epoch() is rejected with
+// a FENCED response instead of touching the store — a zombie ex-owner
+// that missed a failover can therefore never merge stale gradients.
+// MachineAlive feeds the readmission bit in PONG/FENCED responses so a
+// fenced machine learns when the membership view has taken it back.
+type EpochGate interface {
+	Epoch() uint64
+	MachineAlive(machine uint32) bool
+}
+
 // Server answers pull and gradient requests for the experts in a Store.
 type Server struct {
 	store Store
@@ -233,6 +258,8 @@ type Server struct {
 	grads    atomic.Int64
 	gradDups atomic.Int64
 	pings    atomic.Int64
+	fenced   atomic.Int64
+	gate     atomic.Value // EpochGate
 	Counters Counters
 
 	gradMu    sync.Mutex
@@ -289,6 +316,23 @@ func (s *Server) GradsDeduped() int64 { return s.gradDups.Load() }
 // PingsServed returns how many heartbeat probes this server answered.
 func (s *Server) PingsServed() int64 { return s.pings.Load() }
 
+// SetEpochGate arms (or, with nil semantics unavailable, replaces)
+// epoch fencing: requests older than the gate's epoch are rejected.
+// Servers without a gate accept every epoch, which keeps the plain
+// transport protocol unchanged.
+func (s *Server) SetEpochGate(g EpochGate) { s.gate.Store(g) }
+
+func (s *Server) epochGate() EpochGate {
+	if g, ok := s.gate.Load().(EpochGate); ok {
+		return g
+	}
+	return nil
+}
+
+// FencedRequests returns how many requests this server rejected for
+// carrying a stale membership epoch.
+func (s *Server) FencedRequests() int64 { return s.fenced.Load() }
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
@@ -343,23 +387,43 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		s.Counters.addReceived(4 + frameHeaderBytes + len(f.payload))
+
+		// Epoch fence: a request stamped with a membership epoch older
+		// than the gate's is answered FENCED before it can touch the
+		// store. The response carries the server's epoch plus the
+		// readmission bit, so a healed ex-member can catch up.
+		gate := s.epochGate()
+		var epoch uint64
+		if gate != nil {
+			epoch = gate.Epoch()
+			if f.epoch < epoch {
+				s.fenced.Add(1)
+				var flags byte
+				if gate.MachineAlive(f.sender) {
+					flags = pongFlagReadmitted
+				}
+				f.recycle()
+				respond(frame{typ: msgFenced, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte{flags}})
+				continue
+			}
+		}
 		switch f.typ {
 		case msgPull:
 			s.pulls.Add(1)
 			handlers.Add(1)
-			go func(f frame) {
+			go func(f frame, epoch uint64) {
 				defer handlers.Done()
 				payload, err := s.store.ExpertBytes(f.id)
-				resp := frame{typ: msgExpert, reqID: f.reqID, id: f.id, payload: payload}
+				resp := frame{typ: msgExpert, reqID: f.reqID, epoch: epoch, id: f.id, payload: payload}
 				if err != nil {
-					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}
+					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
 				}
 				respond(resp)
-			}(f)
+			}(f, epoch)
 		case msgPullV:
 			s.pulls.Add(1)
 			if len(f.payload) < versionedPullBytes {
-				respond(frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte("transport: short versioned pull")})
+				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: short versioned pull")})
 				f.recycle()
 				continue
 			}
@@ -367,39 +431,44 @@ func (s *Server) serveConn(conn net.Conn) {
 			f.recycle()
 			vs, ok := s.store.(VersionedStore)
 			if !ok {
-				respond(frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte("transport: store is not versioned")})
+				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store is not versioned")})
 				continue
 			}
 			handlers.Add(1)
-			go func(f frame) {
+			go func(f frame, epoch uint64) {
 				defer handlers.Done()
 				payload, err := vs.ExpertBytesAt(f.id, version)
-				resp := frame{typ: msgExpert, reqID: f.reqID, id: f.id, payload: payload}
+				resp := frame{typ: msgExpert, reqID: f.reqID, epoch: epoch, id: f.id, payload: payload}
 				if err != nil {
-					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}
+					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
 				}
 				respond(resp)
-			}(f)
+			}(f, epoch)
 		case msgGrad:
 			handlers.Add(1)
-			go func(f frame) {
+			go func(f frame, epoch uint64) {
 				defer handlers.Done()
 				err := s.applyGradient(f)
 				// The store has consumed (or rejected) the payload and
 				// may not retain it, so the read buffer can go back.
 				f.recycle()
-				resp := frame{typ: msgGradAck, reqID: f.reqID, id: f.id}
+				resp := frame{typ: msgGradAck, reqID: f.reqID, epoch: epoch, id: f.id}
 				if err != nil {
-					resp = frame{typ: msgError, reqID: f.reqID, id: f.id, payload: []byte(err.Error())}
+					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
 				}
 				respond(resp)
-			}(f)
+			}(f, epoch)
 		case msgPing:
 			// Heartbeats piggyback on the data connection and never
 			// touch the store; answer inline so liveness is observed
-			// even while store handlers are busy.
+			// even while store handlers are busy. The PONG carries the
+			// server's epoch and whether it considers the prober alive.
 			s.pings.Add(1)
-			respond(frame{typ: msgPong, reqID: f.reqID})
+			flags := byte(pongFlagReadmitted)
+			if gate != nil && !gate.MachineAlive(f.sender) {
+				flags = 0
+			}
+			respond(frame{typ: msgPong, reqID: f.reqID, epoch: epoch, payload: []byte{flags}})
 		default:
 			return // protocol violation: drop the connection
 		}

@@ -360,7 +360,7 @@ func TestPingRoundTripAndFailure(t *testing.T) {
 	defer c.Close()
 
 	for i := 0; i < 3; i++ {
-		if err := c.Ping(ctx, addr); err != nil {
+		if _, err := c.Ping(ctx, addr); err != nil {
 			t.Fatalf("ping %d: %v", i, err)
 		}
 	}
@@ -371,13 +371,13 @@ func TestPingRoundTripAndFailure(t *testing.T) {
 	// A ping is a liveness probe, not a request: it gets exactly one
 	// attempt, so a dead server surfaces as an error immediately.
 	srv.Close()
-	if err := c.Ping(ctx, addr); err == nil {
+	if _, err := c.Ping(ctx, addr); err == nil {
 		t.Fatal("ping of a closed server succeeded")
 	}
 	// And an expired context fails without touching the wire.
 	cctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := c.Ping(cctx, addr); err == nil {
+	if _, err := c.Ping(cctx, addr); err == nil {
 		t.Fatal("ping with cancelled context succeeded")
 	}
 }

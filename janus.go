@@ -36,6 +36,7 @@ import (
 	"janus/internal/metrics"
 	"janus/internal/topology"
 	"janus/internal/trainrun"
+	"janus/internal/transport"
 )
 
 // Model is a model configuration: training shape (B, S, topK, H) and
@@ -290,6 +291,13 @@ var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
 // DefaultDeadManSteps is the live cluster's default consecutive-miss
 // heartbeat budget before a machine is declared permanently dead.
 const DefaultDeadManSteps = livecluster.DefaultDeadManSteps
+
+// ErrFencedEpoch reports that a request was rejected because its
+// sender's membership epoch is older than the receiver's — the
+// split-brain guard: a partitioned ex-owner's writes are refused
+// instead of merged. Match with errors.Is; the full rejection (remote
+// epoch, readmission state) is carried by transport.FencedEpochError.
+var ErrFencedEpoch = transport.ErrFencedEpoch
 
 // TrainRunConfig describes a multi-iteration training run with a gate
 // whose routing drifts over the run (§3.1's averaged-profile
