@@ -1,9 +1,10 @@
 # Verify tiers. Tier 1 is the seed contract (ROADMAP.md); the race
 # tier vets and race-checks the concurrent retry/reconnect/degradation
 # code at reduced test sizes (-short skips the long experiment sweeps)
-# and smoke-fuzzes the two wire decoders (frame and JGR1 gradient) so
-# every verify run spends a few seconds hunting parser panics beyond
-# the seeded corpus.
+# and smoke-fuzzes the wire decoders (frame, JGR1 gradient, the JOIN
+# admit payload, and the checkpoint migration stream) so every verify
+# run spends a few seconds hunting parser panics beyond the seeded
+# corpus.
 .PHONY: verify tier1 race fuzz cover bench
 
 verify: tier1 race
@@ -16,7 +17,9 @@ race: fuzz
 
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s ./internal/transport
+	go test -run '^$$' -fuzz '^FuzzDecodeAdmit$$' -fuzztime 10s ./internal/transport
 	go test -run '^$$' -fuzz '^FuzzDecodeTrainGrad$$' -fuzztime 10s ./internal/livecluster
+	go test -run '^$$' -fuzz '^FuzzDecodeStream$$' -fuzztime 10s ./internal/checkpoint
 
 # Per-package coverage for the fault-tolerance path: the wire protocol,
 # the live cluster (membership/failover), the injector, the checkpoint

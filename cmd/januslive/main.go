@@ -42,6 +42,17 @@
 //	januslive -steps 4 -slow-machine 1 -slow-delay 20ms \
 //	  -slow-after 2ms -hedge-delay 5ms
 //
+// Elastic membership: -join-machine M admits a brand-new machine into
+// the running cluster after step -join-at, seeded through member M —
+// no restart, the heartbeat absorbs it within two rounds. -rebalance N
+// runs the popularity-weighted rebalancer every N steps, migrating the
+// hottest experts onto the least-loaded machines through the fenced
+// three-phase handoff (with -train the joined machine hosts migrated
+// experts while the weights stay bitwise identical to a static run):
+//
+//	januslive -machines 3 -workers 1 -experts 9 -topk 3 -train \
+//	  -steps 8 -join-machine 0 -join-at 2 -rebalance 4
+//
 // Training: -train switches from the forward-only iteration loop to the
 // real trainer (backward pass, pre-reduced gradient pushes, SGD merges
 // on the owners). -pipelined streams microbatches through the fetch →
@@ -98,6 +109,9 @@ func run() int {
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for crash-consistent checkpoints (failover restores from here)")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "checkpoint cadence in steps")
 	deadman := flag.Int("deadman", janus.DefaultDeadManSteps, "consecutive missed heartbeat rounds before a machine is declared dead")
+	joinSeed := flag.Int("join-machine", -1, "seed member a brand-new machine dials to join the running cluster (-1 = no join); implies failover membership")
+	joinAt := flag.Int("join-at", 1, "step (1-based) after which the new machine joins")
+	rebalance := flag.Int("rebalance", 0, "run the popularity-weighted expert rebalancer every N steps (0 = off); implies failover membership")
 	train := flag.Bool("train", false, "run the real trainer (backward + SGD merges) instead of forward-only iterations")
 	pipelined := flag.Bool("pipelined", false, "with -train: stream microbatches and overlap steps (verified bitwise against a lockstep twin)")
 	microbatches := flag.Int("microbatches", 1, "with -train: contiguous token microbatches per worker batch")
@@ -180,7 +194,7 @@ func run() int {
 			cfg.PullRetries = *retries
 			cfg.RetryBackoff = 5 * time.Millisecond
 		}
-		if *failPermanent || *partMachine >= 0 {
+		if *failPermanent || *partMachine >= 0 || *joinSeed >= 0 || *rebalance > 0 {
 			cfg.FailoverEnabled = true
 			cfg.DeadManSteps = *deadman
 		}
@@ -215,15 +229,42 @@ func run() int {
 		fmt.Printf("gray failure: machine %d +%v/op, slow-after=%v hedge-delay=%v\n",
 			*slowMachine, *slowDelay, *slowAfter, *hedgeDelay)
 	}
+	if *joinSeed >= 0 || *rebalance > 0 {
+		ev := ""
+		if *joinSeed >= 0 {
+			ev = fmt.Sprintf("machine %d joins live via member %d after step %d", *machines, *joinSeed, *joinAt)
+		}
+		if *rebalance > 0 {
+			if ev != "" {
+				ev += "; "
+			}
+			ev += fmt.Sprintf("rebalance every %d steps", *rebalance)
+		}
+		fmt.Println("elastic membership:", ev)
+	}
 
 	if *train {
-		return runTrain(buildCfg, janus.LiveTrainOptions{
+		opts := janus.LiveTrainOptions{
 			Steps: *steps, Microbatches: *microbatches,
 			Pipelined: *pipelined, Depth: *depth, LR: float32(*lr),
-		})
+			RebalanceEvery: *rebalance,
+		}
+		if *joinSeed >= 0 {
+			opts.JoinAfterStep = *joinAt
+			opts.JoinSeed = *joinSeed
+		}
+		return runTrain(buildCfg, opts)
 	}
-	return runForward(buildCfg(), *steps, faulted, *failPermanent || *partMachine >= 0, *machines)
+	return runForward(buildCfg(), *steps, faulted, *failPermanent || *partMachine >= 0, *machines,
+		elasticPlan{joinSeed: *joinSeed, joinAt: *joinAt, rebalanceEvery: *rebalance})
 }
+
+// elasticPlan is the forward-mode membership-event schedule.
+type elasticPlan struct {
+	joinSeed, joinAt, rebalanceEvery int
+}
+
+func (p elasticPlan) active() bool { return p.joinSeed >= 0 || p.rebalanceEvery > 0 }
 
 // runTrain executes the trainer; a pipelined run is verified bitwise
 // against a lockstep twin cluster driven by an identical fault policy.
@@ -257,6 +298,15 @@ func runTrain(buildCfg func() janus.LiveConfig, opts janus.LiveTrainOptions) int
 		fmt.Printf("degraded: %d/%d steps (stale=%d max-staleness=%d dropped-grads=%d) alive=%d\n",
 			res.DegradedSteps, res.Steps, res.StaleFetches, res.MaxStalenessSteps,
 			res.DroppedGrads, res.AliveMachines)
+	}
+	if opts.JoinAfterStep > 0 || opts.RebalanceEvery > 0 {
+		if err := cl.ViewConsistency(); err != nil {
+			fmt.Fprintln(os.Stderr, "januslive:", err)
+			return 1
+		}
+		tot := cl.RobustnessTotals()
+		fmt.Printf("elastic: %d join(s), %d migration(s), %d rollback(s), epoch %d, owners %v (views consistent)\n",
+			tot.Joins, tot.Migrations, tot.MigrationRollbacks, cl.Epoch(), cl.OwnerView())
 	}
 
 	if !opts.Pipelined {
@@ -308,7 +358,7 @@ func runTrain(buildCfg func() janus.LiveConfig, opts janus.LiveTrainOptions) int
 	return 0
 }
 
-func runForward(cfg janus.LiveConfig, steps int, faulted, failPermanent bool, machines int) int {
+func runForward(cfg janus.LiveConfig, steps int, faulted, failPermanent bool, machines int, plan elasticPlan) int {
 	cl, err := janus.StartLiveCluster(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "januslive:", err)
@@ -325,6 +375,30 @@ func runForward(cfg janus.LiveConfig, steps int, faulted, failPermanent bool, ma
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "januslive: step %d: %v\n", s, err)
 			return 1
+		}
+		if plan.joinSeed >= 0 && s == plan.joinAt {
+			j, err := cl.Join(plan.joinSeed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "januslive: join after step %d: %v\n", s, err)
+				return 1
+			}
+			fmt.Printf("step %2d: machine %d joined live via member %d\n", s, j, plan.joinSeed)
+		}
+		if plan.rebalanceEvery > 0 && s%plan.rebalanceEvery == 0 {
+			n, err := cl.Rebalance(1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "januslive: rebalance after step %d: %v\n", s, err)
+				return 1
+			}
+			if n > 0 {
+				fmt.Printf("step %2d: rebalanced %d expert(s), owners now %v\n", s, n, cl.OwnerView())
+			}
+		}
+		if plan.active() {
+			if err := cl.ViewConsistency(); err != nil {
+				fmt.Fprintln(os.Stderr, "januslive:", err)
+				return 1
+			}
 		}
 		last = res
 		degradedTotal += res.DegradedSteps
@@ -374,6 +448,11 @@ func runForward(cfg janus.LiveConfig, steps int, faulted, failPermanent bool, ma
 	if failPermanent {
 		fmt.Printf("membership:             %d/%d machines alive after the run\n",
 			last.AliveMachines, machines)
+	}
+	if plan.active() {
+		tot := cl.RobustnessTotals()
+		fmt.Printf("elastic:                %d join(s), %d migration(s), %d rollback(s), epoch %d, owners %v (views consistent)\n",
+			tot.Joins, tot.Migrations, tot.MigrationRollbacks, cl.Epoch(), cl.OwnerView())
 	}
 	if maxDiff != 0 {
 		fmt.Fprintln(os.Stderr, "januslive: outputs differ from reference")

@@ -329,6 +329,159 @@ func LoadLatest(dir string) (*Snapshot, int, error) {
 	return nil, 0, ErrNoCheckpoint
 }
 
+const (
+	// maxStreamBytes bounds the stream body a reader will accept, so a
+	// corrupt length field cannot force an unbounded allocation.
+	maxStreamBytes = 64 << 20
+)
+
+// streamMagic starts every wire-encoded snapshot stream.
+var streamMagic = []byte("JSTRM1\n")
+
+// EncodeStream serializes snap into the self-verifying wire form used
+// to ship expert weights between machines during live migration:
+// magic, CRC32 of the body, body length, body. The body is the step,
+// the experts in ascending id order (id, length, bytes each), then an
+// optional dense section. The same integrity discipline as the on-disk
+// manifest applies — a receiver either decodes the exact snapshot that
+// was sent or rejects the stream.
+func EncodeStream(snap *Snapshot) ([]byte, error) {
+	if snap == nil {
+		return nil, errors.New("checkpoint: nil snapshot")
+	}
+	if snap.Step < 0 {
+		return nil, fmt.Errorf("checkpoint: negative step %d", snap.Step)
+	}
+	ids := make([]uint32, 0, len(snap.Experts))
+	n := 8 + 4 + 1 + 4
+	for id, data := range snap.Experts {
+		ids = append(ids, id)
+		n += 8 + len(data)
+	}
+	n += len(snap.Dense)
+	if n > maxStreamBytes {
+		return nil, fmt.Errorf("checkpoint: stream body %d bytes exceeds limit", n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	body := make([]byte, 0, n)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], uint64(snap.Step))
+	body = append(body, u64[:]...)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(ids)))
+	body = append(body, u32[:]...)
+	for _, id := range ids {
+		data := snap.Experts[id]
+		binary.LittleEndian.PutUint32(u32[:], id)
+		body = append(body, u32[:]...)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(data)))
+		body = append(body, u32[:]...)
+		body = append(body, data...)
+	}
+	if snap.Dense != nil {
+		body = append(body, 1)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(snap.Dense)))
+		body = append(body, u32[:]...)
+		body = append(body, snap.Dense...)
+	} else {
+		body = append(body, 0)
+		binary.LittleEndian.PutUint32(u32[:], 0)
+		body = append(body, u32[:]...)
+	}
+
+	buf := make([]byte, 0, len(streamMagic)+8+len(body))
+	buf = append(buf, streamMagic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, body...)
+	return buf, nil
+}
+
+// DecodeStream verifies and decodes a wire-encoded snapshot stream.
+// Any truncation, trailing garbage, or bit flip fails the magic,
+// length, or CRC check; duplicate or descending expert ids are
+// rejected so the encoding is canonical.
+func DecodeStream(raw []byte) (*Snapshot, error) {
+	if len(raw) < len(streamMagic)+8 {
+		return nil, fmt.Errorf("checkpoint: stream truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(streamMagic)]) != string(streamMagic) {
+		return nil, errors.New("checkpoint: bad stream magic")
+	}
+	wantCRC := binary.LittleEndian.Uint32(raw[len(streamMagic) : len(streamMagic)+4])
+	bodyLen := binary.LittleEndian.Uint32(raw[len(streamMagic)+4 : len(streamMagic)+8])
+	body := raw[len(streamMagic)+8:]
+	if bodyLen > maxStreamBytes || int(bodyLen) != len(body) {
+		return nil, fmt.Errorf("checkpoint: stream body %d bytes, header says %d", len(body), bodyLen)
+	}
+	if crc := crc32.ChecksumIEEE(body); crc != wantCRC {
+		return nil, fmt.Errorf("checkpoint: stream CRC mismatch (%08x != %08x)", crc, wantCRC)
+	}
+	if len(body) < 8+4 {
+		return nil, errors.New("checkpoint: stream body truncated")
+	}
+	step := binary.LittleEndian.Uint64(body)
+	if step > uint64(1)<<62 {
+		return nil, fmt.Errorf("checkpoint: stream step %d out of range", step)
+	}
+	nExperts := binary.LittleEndian.Uint32(body[8:])
+	off := 12
+	// Each expert needs at least its 8-byte header; reject counts the
+	// remaining bytes cannot possibly satisfy before allocating.
+	if int64(nExperts)*8 > int64(len(body)-off) {
+		return nil, fmt.Errorf("checkpoint: stream claims %d experts in %d bytes", nExperts, len(body)-off)
+	}
+	snap := &Snapshot{Step: int(step), Experts: make(map[uint32][]byte, nExperts)}
+	prev := -1
+	for i := uint32(0); i < nExperts; i++ {
+		if len(body)-off < 8 {
+			return nil, errors.New("checkpoint: stream expert header truncated")
+		}
+		id := binary.LittleEndian.Uint32(body[off:])
+		size := binary.LittleEndian.Uint32(body[off+4:])
+		off += 8
+		if int(id) <= prev {
+			return nil, fmt.Errorf("checkpoint: stream expert ids not strictly ascending at %d", id)
+		}
+		prev = int(id)
+		if uint32(len(body)-off) < size {
+			return nil, fmt.Errorf("checkpoint: stream expert %d truncated (%d of %d bytes)", id, len(body)-off, size)
+		}
+		data := make([]byte, size)
+		copy(data, body[off:off+int(size)])
+		snap.Experts[id] = data
+		off += int(size)
+	}
+	if len(body)-off < 5 {
+		return nil, errors.New("checkpoint: stream dense header truncated")
+	}
+	hasDense := body[off]
+	denseLen := binary.LittleEndian.Uint32(body[off+1:])
+	off += 5
+	switch hasDense {
+	case 0:
+		if denseLen != 0 {
+			return nil, errors.New("checkpoint: stream dense length set without dense payload")
+		}
+	case 1:
+		if uint32(len(body)-off) < denseLen {
+			return nil, fmt.Errorf("checkpoint: stream dense truncated (%d of %d bytes)", len(body)-off, denseLen)
+		}
+		snap.Dense = make([]byte, denseLen)
+		copy(snap.Dense, body[off:off+int(denseLen)])
+		off += int(denseLen)
+	default:
+		return nil, fmt.Errorf("checkpoint: stream bad dense flag %d", hasDense)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("checkpoint: stream has %d trailing bytes", len(body)-off)
+	}
+	return snap, nil
+}
+
 // Prune removes committed versions older than the newest keep ones
 // (and any leftover temp directories). keep < 1 is treated as 1.
 func Prune(dir string, keep int) error {

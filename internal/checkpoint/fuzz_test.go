@@ -1,0 +1,33 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeStream drives the wire-snapshot decoder with arbitrary
+// bytes: it must never panic or over-allocate, and anything it accepts
+// must re-encode to the identical canonical byte stream.
+func FuzzDecodeStream(f *testing.F) {
+	if raw, err := EncodeStream(streamFixture()); err == nil {
+		f.Add(raw)
+	}
+	if raw, err := EncodeStream(&Snapshot{Experts: map[uint32][]byte{}}); err == nil {
+		f.Add(raw)
+	}
+	f.Add([]byte("JSTRM1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		snap, err := DecodeStream(raw)
+		if err != nil {
+			return
+		}
+		re, err := EncodeStream(snap)
+		if err != nil {
+			t.Fatalf("accepted stream failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, raw) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d bytes out", len(raw), len(re))
+		}
+	})
+}

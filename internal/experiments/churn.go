@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"janus/internal/faultinject"
+	"janus/internal/livecluster"
+	"janus/internal/tensor"
+)
+
+// ChurnRow is one training step of the elastic-membership drill.
+type ChurnRow struct {
+	Step       int
+	WallMs     float64
+	Members    int // machines in the membership (grows on join)
+	Alive      int
+	Epoch      int
+	Migrations int64 // cumulative completed handoffs
+	Event      string
+}
+
+// ChurnResult quantifies churn survival: one seeded training run takes
+// a live machine join, a gray flap on the newcomer, a gray-slow member,
+// and three fenced expert migrations (two onto the joiner) — and must
+// land bitwise on an undisturbed static-placement twin. The bitwise
+// gate proves no gradient was lost and no weight forked; the per-step
+// view check proves ownership never forked either.
+type ChurnResult struct {
+	Machines         int
+	Steps            int
+	NumExperts       int
+	Rows             []ChurnRow
+	Joins            int64
+	Migrations       int64
+	Rollbacks        int64
+	FinalEpoch       int
+	Owners           []int              // final expert -> machine placement
+	PlannedRebalance []livecluster.Move // the popularity-weighted plan at the end
+	Diverged         int                // experts differing bitwise from the static twin (must be 0)
+}
+
+// churnSchedule is the drill's fixed seeded event script.
+var churnSchedule = struct {
+	steps, joinAfter                   int
+	flapFrom, flapTo, flapDown, flapUp int
+	migrations                         []livecluster.TrainMigration
+}{
+	steps:     10,
+	joinAfter: 2,
+	// The joiner flaps grayly while it still hosts nothing: its pongs
+	// vanish every other step, staying under the dead-man budget, so
+	// membership must ride it out without a failover.
+	flapFrom: 3, flapTo: 7, flapDown: 1, flapUp: 1,
+	migrations: []livecluster.TrainMigration{
+		{AfterStep: 7, Expert: 0, To: 3},
+		{AfterStep: 8, Expert: 4, To: 3},
+		{AfterStep: 9, Expert: 8, To: 0},
+	},
+}
+
+func churnCfg(inj *faultinject.Injector) livecluster.Config {
+	return livecluster.Config{
+		Machines: 3, WorkersPerNode: 1,
+		NumExperts: 9, TopK: 3, Hidden: 16,
+		TokensPerWorker: 24, Seed: 42, Credits: 4,
+		Injector:         inj,
+		PullTimeout:      300 * time.Millisecond,
+		PullRetries:      3,
+		RetryBackoff:     2 * time.Millisecond,
+		FailoverEnabled:  true,
+		DeadManSteps:     2,
+		HeartbeatTimeout: 200 * time.Millisecond,
+	}
+}
+
+// Churn runs the elastic-membership drill. Every invariant is a gate,
+// not a data point: a forked view, a lost migration, or a single
+// diverged byte against the static twin fails the experiment.
+func Churn() (*ChurnResult, error) {
+	sched := churnSchedule
+
+	// The static twin: same model, same schedule length, no injector,
+	// no membership events — the single-placement ground truth.
+	ref, err := livecluster.Start(churnCfg(nil))
+	if err != nil {
+		return nil, err
+	}
+	defer ref.Close()
+	refRes, err := ref.Train(livecluster.TrainOptions{Steps: sched.steps, LR: 0.05})
+	if err != nil {
+		return nil, fmt.Errorf("churn twin: %w", err)
+	}
+	refState, err := ref.ExpertState()
+	if err != nil {
+		return nil, err
+	}
+
+	inj := faultinject.New(23)
+	inj.Slow(livecluster.MachineLabel(1), 2*time.Millisecond, time.Millisecond, 1)
+	inj.Flap(livecluster.MachineLabel(3), sched.flapFrom, sched.flapTo, sched.flapDown, sched.flapUp)
+	cl, err := livecluster.Start(churnCfg(inj))
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	res := &ChurnResult{
+		Machines: 3, Steps: sched.steps, NumExperts: 9,
+	}
+	var outputs []*tensor.Matrix
+	for s := 1; s <= sched.steps; s++ {
+		opts := livecluster.TrainOptions{Steps: 1, LR: 0.05}
+		event := ""
+		if s == sched.joinAfter {
+			opts.JoinAfterStep = s
+			event = "join machine 3"
+		}
+		for _, mg := range sched.migrations {
+			if mg.AfterStep == s {
+				opts.Migrations = append(opts.Migrations, mg)
+				event = fmt.Sprintf("migrate expert %d -> machine %d", mg.Expert, mg.To)
+			}
+		}
+		if s >= sched.flapFrom && s < sched.flapTo && event == "" {
+			event = "machine 3 flapping"
+		}
+		start := time.Now()
+		step, err := cl.Train(opts)
+		if err != nil {
+			return nil, fmt.Errorf("churn step %d: %w", s, err)
+		}
+		if err := cl.ViewConsistency(); err != nil {
+			return nil, fmt.Errorf("churn step %d: %w", s, err)
+		}
+		tot := cl.RobustnessTotals()
+		res.Rows = append(res.Rows, ChurnRow{
+			Step:       s,
+			WallMs:     float64(time.Since(start).Microseconds()) / 1e3,
+			Alive:      step.AliveMachines,
+			Epoch:      cl.Epoch(),
+			Migrations: tot.Migrations,
+			Event:      event,
+		})
+		if s == sched.steps {
+			outputs = step.FinalOutputs
+		}
+	}
+	// Members per row: before the join the membership is the seed size.
+	for i := range res.Rows {
+		if res.Rows[i].Step <= sched.joinAfter {
+			res.Rows[i].Members = res.Machines
+		} else {
+			res.Rows[i].Members = res.Machines + 1
+		}
+	}
+
+	totals := cl.RobustnessTotals()
+	res.Joins = totals.Joins
+	res.Migrations = totals.Migrations
+	res.Rollbacks = totals.MigrationRollbacks
+	res.FinalEpoch = cl.Epoch()
+	res.Owners = cl.OwnerView()
+	res.PlannedRebalance = cl.PlanRebalance(2)
+
+	if res.Joins != 1 {
+		return nil, fmt.Errorf("churn: %d joins recorded, want 1", res.Joins)
+	}
+	if res.Migrations != int64(len(sched.migrations)) || res.Rollbacks != 0 {
+		return nil, fmt.Errorf("churn: %d migrations / %d rollbacks, want %d/0",
+			res.Migrations, res.Rollbacks, len(sched.migrations))
+	}
+	for _, mg := range sched.migrations {
+		if res.Owners[mg.Expert] != mg.To {
+			return nil, fmt.Errorf("churn: expert %d landed on machine %d, want %d",
+				mg.Expert, res.Owners[mg.Expert], mg.To)
+		}
+	}
+	state, err := cl.ExpertState()
+	if err != nil {
+		return nil, err
+	}
+	for e := range state {
+		if !bytes.Equal(state[e], refState[e]) {
+			res.Diverged++
+		}
+	}
+	if res.Diverged != 0 {
+		return nil, fmt.Errorf("churn: %d/%d experts diverged bitwise from the static twin — a gradient was lost or forked",
+			res.Diverged, res.NumExperts)
+	}
+	for w := range refRes.FinalOutputs {
+		if !tensor.Equal(outputs[w], refRes.FinalOutputs[w]) {
+			return nil, fmt.Errorf("churn: worker %d final output diverged from the static twin", w)
+		}
+	}
+	return res, nil
+}
+
+func (r *ChurnResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — elastic membership: live join, gray flap, and %d fenced expert migrations under training (%d seed machines, %d steps)\n",
+		r.Migrations, r.Machines, r.Steps)
+	fmt.Fprintf(&b, "%4s %9s %8s %6s %6s %5s  %s\n",
+		"step", "wall(ms)", "members", "alive", "epoch", "migr", "event")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%4d %9.1f %8d %6d %6d %5d  %s\n",
+			row.Step, row.WallMs, row.Members, row.Alive, row.Epoch, row.Migrations, row.Event)
+	}
+	fmt.Fprintf(&b, "membership: %d join, %d migrations (0 rollbacks), final epoch %d, owners %v\n",
+		r.Joins, r.Migrations, r.FinalEpoch, r.Owners)
+	if len(r.PlannedRebalance) > 0 {
+		fmt.Fprintf(&b, "rebalancer: next popularity-weighted plan %+v\n", r.PlannedRebalance)
+	}
+	fmt.Fprintf(&b, "invariants: views never forked, weights and outputs bitwise identical to the static twin (%d/%d experts diverged)\n",
+		r.Diverged, r.NumExperts)
+	return b.String()
+}

@@ -44,6 +44,7 @@ func Registry() []Experiment {
 		{"faultsweep", "Extension: injected machine failure — data-centric degradation vs synchronous stall (§5.1/§6)", func() (Result, error) { return FaultSweep() }},
 		{"failover", "Extension: permanent machine loss — checkpointed failover vs unrecoverable stall (§3.2)", func() (Result, error) { return Failover() }},
 		{"partition", "Extension: asymmetric partition — quorum-gated failover and epoch fencing vs split brain", func() (Result, error) { return Partition() }},
+		{"churn", "Extension: elastic membership — live join, fenced expert migration, and flap survival vs a static twin", func() (Result, error) { return Churn() }},
 	}
 }
 

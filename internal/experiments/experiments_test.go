@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover", "partition"}
+	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover", "partition", "churn"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry ids = %v", got)
@@ -441,6 +441,43 @@ func TestPartitionExperiment(t *testing.T) {
 	}
 	out := res.Render()
 	for _, frag := range []string{"diverged with fencing ON", "stale-epoch", "froze"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+func TestChurnExperiment(t *testing.T) {
+	res, err := Churn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != res.Steps {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), res.Steps)
+	}
+	if res.Joins != 1 || res.Migrations != 3 || res.Rollbacks != 0 {
+		t.Errorf("join/migration counters = %d/%d/%d, want 1/3/0", res.Joins, res.Migrations, res.Rollbacks)
+	}
+	if res.Diverged != 0 {
+		t.Errorf("%d experts diverged bitwise from the static twin", res.Diverged)
+	}
+	// The joiner must be absorbed and carry experts by the end.
+	last := res.Rows[len(res.Rows)-1]
+	if last.Members != res.Machines+1 || last.Alive != res.Machines+1 {
+		t.Errorf("final membership %d/%d alive, want %d both", last.Members, last.Alive, res.Machines+1)
+	}
+	hosted := 0
+	for _, o := range res.Owners {
+		if o == res.Machines { // the joiner's index
+			hosted++
+		}
+	}
+	if hosted != 2 {
+		t.Errorf("joiner hosts %d experts, want 2", hosted)
+	}
+	out := res.Render()
+	for _, frag := range []string{"elastic membership", "join machine 3", "bitwise identical"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("render missing %q", frag)
 		}

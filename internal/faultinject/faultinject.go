@@ -52,6 +52,14 @@ type Fault struct {
 	// Delay applies unconditionally, as before.
 	SlowProb    float64
 	DelayJitter time.Duration
+	// FlapDown/FlapUp model churn: starting at the rule's FromStep the
+	// endpoint cycles dead for FlapDown steps, then alive for FlapUp
+	// steps, repeating until the window closes. During a down phase the
+	// endpoint behaves exactly like a Kill target (reads/writes fail,
+	// accepted connections are closed). FlapDown <= 0 disables flapping;
+	// FlapDown > 0 with FlapUp <= 0 degenerates to a permanent kill.
+	FlapDown int
+	FlapUp   int
 }
 
 // Rule activates a Fault for one labelled endpoint over a step window.
@@ -132,6 +140,16 @@ func (in *Injector) PartitionOneWay(from, to string, fromStep, toStep int) {
 	in.AddRule(Rule{From: from, To: to, FromStep: fromStep, ToStep: toStep, Fault: Fault{Block: true}})
 }
 
+// Flap is sugar for churn: the endpoint labelled label repeatedly dies
+// and rejoins on a fixed step schedule — dead for down steps, then
+// alive for up steps — from step from (inclusive) until step to
+// (exclusive; <=0 = forever). Each down phase kills the endpoint
+// exactly like Kill; each up phase restores it, exercising the
+// fence/readmit/reconcile path on every cycle.
+func (in *Injector) Flap(label string, from, to, down, up int) {
+	in.AddRule(Rule{Label: label, FromStep: from, ToStep: to, Fault: Fault{FlapDown: down, FlapUp: up}})
+}
+
 // Slow marks the labelled endpoint as a gray failure: with probability
 // prob every operation is delayed by delay plus seeded jitter in
 // [0, jitter). The rule is windowless and outcome-neutral.
@@ -185,6 +203,24 @@ func (rs *ruleState) inWindow(step int) bool {
 	return true
 }
 
+// killNow reports whether the rule demands kill behaviour at step: a
+// plain Kill rule always does while in window; a Flap rule only during
+// its down phase. Callers must have checked the window already.
+func (rs *ruleState) killNow(step int) bool {
+	if rs.Fault.Kill {
+		return true
+	}
+	f := rs.Fault
+	if f.FlapDown <= 0 {
+		return false
+	}
+	period := f.FlapDown + f.FlapUp
+	if period <= f.FlapDown { // FlapUp <= 0: permanently down
+		return true
+	}
+	return (step-rs.FromStep)%period < f.FlapDown
+}
+
 // decision is the merged outcome of all active rules for one operation.
 type decision struct {
 	delay   time.Duration
@@ -219,8 +255,8 @@ func (in *Injector) decide(label, opSrc, opDst string, write bool) decision {
 		if d.kill || d.drop || d.corrupt || d.reset || d.block {
 			continue // fate already decided by an earlier rule
 		}
-		if rs.Fault.Kill {
-			if rs.consume() {
+		if rs.Fault.Kill || rs.Fault.FlapDown > 0 {
+			if rs.killNow(in.step) && rs.consume() {
 				d.kill = true
 			}
 			continue
@@ -289,7 +325,7 @@ func (in *Injector) OutcomeNeutral() bool {
 	defer in.mu.Unlock()
 	for _, rs := range in.rules {
 		f := rs.Fault
-		if f.Kill || f.DropProb > 0 || f.CorruptProb > 0 || f.ResetProb > 0 || f.Block {
+		if f.Kill || f.FlapDown > 0 || f.DropProb > 0 || f.CorruptProb > 0 || f.ResetProb > 0 || f.Block {
 			return false
 		}
 		if rs.FromStep > 0 || rs.ToStep > 0 || rs.Times > 0 {
@@ -305,7 +341,7 @@ func (in *Injector) killActive(label string) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for _, rs := range in.rules {
-		if rs.active(label, in.step) && rs.Fault.Kill && rs.remaining != 0 {
+		if rs.active(label, in.step) && rs.killNow(in.step) && rs.remaining != 0 {
 			return true
 		}
 	}

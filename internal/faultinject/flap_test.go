@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+// flapSchedule evaluates killActive for label over steps [0, n).
+func flapSchedule(in *Injector, label string, n int) []bool {
+	out := make([]bool, n)
+	for s := 0; s < n; s++ {
+		in.SetStep(s)
+		out[s] = in.killActive(label)
+	}
+	return out
+}
+
+func TestFlapSchedule(t *testing.T) {
+	in := New(7)
+	// From step 2, down 2 steps, up 3 steps, window closes at step 12.
+	in.Flap("m1", 2, 12, 2, 3)
+	want := []bool{
+		false, false, // 0,1: before window
+		true, true, // 2,3: down
+		false, false, false, // 4,5,6: up
+		true, true, // 7,8: down
+		false, false, false, // 9,10,11: up
+		false, false, // 12,13: window closed
+	}
+	got := flapSchedule(in, "m1", len(want))
+	for s, w := range want {
+		if got[s] != w {
+			t.Fatalf("step %d: killActive = %v, want %v (full: %v)", s, got[s], w, got)
+		}
+	}
+}
+
+func TestFlapNoUpPhaseIsPermanentKill(t *testing.T) {
+	in := New(7)
+	in.Flap("m2", 1, 0, 3, 0)
+	got := flapSchedule(in, "m2", 6)
+	want := []bool{false, true, true, true, true, true}
+	for s, w := range want {
+		if got[s] != w {
+			t.Fatalf("step %d: killActive = %v, want %v", s, got[s], w)
+		}
+	}
+}
+
+func TestFlapMatchesOnlyItsLabel(t *testing.T) {
+	in := New(7)
+	in.Flap("m1", 0, 0, 1, 1)
+	in.SetStep(0)
+	if !in.killActive("m1") {
+		t.Fatal("m1 should be down at step 0")
+	}
+	if in.killActive("m2") {
+		t.Fatal("flap rule for m1 must not kill m2")
+	}
+}
+
+func TestFlapKillsConnDuringDownPhaseOnly(t *testing.T) {
+	in := New(7)
+	in.Flap("a", 0, 0, 1, 1) // down on even steps, up on odd
+	w, r := tcpPair(t, in, "a")
+
+	in.SetStep(0)
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Fatal("write during down phase should fail")
+	}
+
+	// The down-phase kill closes the wrapped conn; build a fresh pair
+	// for the up phase, as a flapped process would after restart.
+	in.SetStep(1)
+	w2, r2 := tcpPair(t, in, "a")
+	_ = r
+	if _, err := w2.Write([]byte{2}); err != nil {
+		t.Fatalf("write during up phase: %v", err)
+	}
+	if b := readN(t, r2, 1); b[0] != 2 {
+		t.Fatalf("peer read %v, want [2]", b)
+	}
+}
+
+func TestFlapBreaksOutcomeNeutrality(t *testing.T) {
+	in := New(7)
+	if !in.OutcomeNeutral() {
+		t.Fatal("empty rule set should be outcome-neutral")
+	}
+	in.Flap("m1", 0, 0, 1, 4)
+	if in.OutcomeNeutral() {
+		t.Fatal("a flap rule must force the step-synced schedule")
+	}
+}
+
+func TestFlapTimesBudget(t *testing.T) {
+	in := New(7)
+	in.AddRule(Rule{Label: "a", Times: 1, Fault: Fault{FlapDown: 1, FlapUp: 1}})
+	w, _ := tcpPair(t, in, "a")
+	in.SetStep(0)
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Fatal("first down-phase write should consume the budget and fail")
+	}
+	// Budget exhausted: even in a down phase the endpoint is live again.
+	w2, r2 := tcpPair(t, in, "a")
+	in.SetStep(2)
+	if _, err := w2.Write([]byte{3}); err != nil {
+		t.Fatalf("write after budget exhausted: %v", err)
+	}
+	if b := readN(t, r2, 1); b[0] != 3 {
+		t.Fatalf("peer read %v, want [3]", b)
+	}
+}

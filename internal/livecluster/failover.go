@@ -63,11 +63,13 @@ type memberView struct {
 	catch  bool   // fenced with readmission: epoch is stale, reconcile next round
 }
 
-// homeMachine is the static (seed-time) owner of an expert — the
-// assignment every machine starts from and a rejoining machine
-// reclaims. Validate guarantees divisibility, so the index is in range.
+// homeMachine is the static (seed-time) owner of an expert: a balanced
+// contiguous split of the expert range over the configured machines.
+// When NumExperts divides evenly this is the classic block partition;
+// when it does not, the leading machines carry one extra expert each —
+// no divisibility requirement.
 func (cl *Cluster) homeMachine(expert int) int {
-	return expert / (cl.cfg.NumExperts / cl.cfg.Machines)
+	return expert * cl.cfg.Machines / cl.cfg.NumExperts
 }
 
 // canonicalOwner is the memoryless ownership rule every machine
@@ -81,6 +83,22 @@ func canonicalOwner(seed int64, expert, home int, alive []int) int {
 		}
 	}
 	return rendezvousOwner(seed, expert, alive)
+}
+
+// canonicalOwnerLocked is canonicalOwner with the cluster's migration
+// overrides folded in: a live migration (or an InitialOwners placement)
+// pins an expert to a specific machine, and that pin wins over the home
+// assignment for as long as the pinned machine lives. Requires viewMu —
+// overrides only mutate inside fence critical sections.
+func (cl *Cluster) canonicalOwnerLocked(expert int, alive []int) int {
+	if o, ok := cl.overrides[expert]; ok {
+		for _, m := range alive {
+			if m == o {
+				return o
+			}
+		}
+	}
+	return canonicalOwner(cl.cfg.Seed, expert, cl.homeMachine(expert), alive)
 }
 
 // repViewLocked is the representative view the public accessors report:
@@ -273,7 +291,7 @@ func (cl *Cluster) probe(ctx context.Context, src, dst int) probeResult {
 // in favour of the side holding the lowest machine id, so an even split
 // elects exactly one acting side with no coordination.
 func (cl *Cluster) quorumFor(m int, row []probeResult) bool {
-	M := cl.cfg.Machines
+	M := len(row) // current membership size, including joined machines
 	reach := 1
 	minOwn, minOther := m, -1
 	for t := 0; t < M; t++ {
@@ -323,7 +341,7 @@ func (cl *Cluster) heartbeatRound(step int) {
 	if hbTimeout <= 0 {
 		hbTimeout = DefaultHeartbeatTimeout
 	}
-	M := cfg.Machines
+	M := cl.numMachines() // joined machines heartbeat like everyone else
 
 	cl.viewMu.Lock()
 	sidelined := make([]bool, M) // frozen or catching up: handled in 2b
@@ -505,7 +523,9 @@ func (cl *Cluster) failoverView(m, dead, step int, snap *checkpoint.Snapshot) {
 	rehomed := 0
 	maxAge := 0
 	for _, e := range owned {
-		next := canonicalOwner(cl.cfg.Seed, e, cl.homeMachine(e), aliveList)
+		cl.viewMu.Lock()
+		next := cl.canonicalOwnerLocked(e, aliveList)
+		cl.viewMu.Unlock()
 
 		// Pick the freshest recoverable copy of the expert's weights.
 		var ex *moe.Expert
@@ -589,7 +609,7 @@ func (cl *Cluster) rejoinView(m, t, step int) {
 	type move struct{ e, from, to int }
 	var moves []move
 	for e := 0; e < cl.cfg.NumExperts; e++ {
-		next := canonicalOwner(cl.cfg.Seed, e, cl.homeMachine(e), aliveList)
+		next := cl.canonicalOwnerLocked(e, aliveList)
 		if v.owner[e] != next {
 			moves = append(moves, move{e, v.owner[e], next})
 			v.owner[e] = next
@@ -623,7 +643,7 @@ func (cl *Cluster) rejoinView(m, t, step int) {
 // view memorylessly from the canonical rule, and resume. Otherwise stay
 // frozen — the majority has moved on and not yet taken us back.
 func (cl *Cluster) reconcile(m int, hbTimeout time.Duration) {
-	M := cl.cfg.Machines
+	M := cl.numMachines()
 	row := make([]probeResult, M)
 	ctx, cancel := context.WithTimeout(context.Background(), hbTimeout)
 	var wg sync.WaitGroup
@@ -662,21 +682,49 @@ func (cl *Cluster) reconcile(m int, hbTimeout time.Duration) {
 	}
 	cl.viewMu.Lock()
 	v := cl.views[m]
-	if maxEpoch > v.epoch {
-		v.epoch = maxEpoch
-	}
+	// Prefer adopting an answering authoritative peer's view wholesale
+	// (its pong conceptually carries the membership snapshot, exactly
+	// like an ADMIT). Rebuilding liveness from this one probe round
+	// can demote a peer the majority still holds inside its dead-man
+	// budget — same epoch, different owners: an ownership fork the
+	// churn property test pins. Only when no authoritative peer at the
+	// adopted epoch answered do we fall back to the memoryless
+	// recompute from our own probes.
+	var donor *memberView
 	for t := 0; t < M; t++ {
-		v.alive[t] = t == m || row[t].ok || row[t].fenced
-		v.missed[t] = 0
-	}
-	var aliveList []int
-	for mm, a := range v.alive {
-		if a {
-			aliveList = append(aliveList, mm)
+		if t == m || !(row[t].ok || row[t].fenced) {
+			continue
+		}
+		dv := cl.views[t]
+		if dv.quorum && !dv.frozen && !dv.catch && dv.epoch == maxEpoch && dv.epoch >= v.epoch {
+			donor = dv
+			break
 		}
 	}
-	for e := 0; e < cl.cfg.NumExperts; e++ {
-		v.owner[e] = canonicalOwner(cl.cfg.Seed, e, cl.homeMachine(e), aliveList)
+	if donor != nil {
+		v.epoch = donor.epoch
+		copy(v.alive, donor.alive)
+		copy(v.missed, donor.missed)
+		copy(v.owner, donor.owner)
+		v.alive[m] = true
+		v.missed[m] = 0
+	} else {
+		if maxEpoch > v.epoch {
+			v.epoch = maxEpoch
+		}
+		for t := 0; t < M; t++ {
+			v.alive[t] = t == m || row[t].ok || row[t].fenced
+			v.missed[t] = 0
+		}
+		var aliveList []int
+		for mm, a := range v.alive {
+			if a {
+				aliveList = append(aliveList, mm)
+			}
+		}
+		for e := 0; e < cl.cfg.NumExperts; e++ {
+			v.owner[e] = cl.canonicalOwnerLocked(e, aliveList)
+		}
 	}
 	v.frozen = false
 	v.catch = false

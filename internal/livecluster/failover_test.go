@@ -3,7 +3,6 @@ package livecluster
 import (
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 	"time"
 
@@ -419,22 +418,38 @@ func TestRendezvousOwnerProperties(t *testing.T) {
 	}
 }
 
-// Regression for the ownerMachine divisibility bug: an expert count not
-// divisible across machines must be rejected at construction with a
-// machine-specific error, never mapped out of range.
-func TestValidateRejectsIndivisibleMachines(t *testing.T) {
+// An expert count not divisible across machines is legal now: the
+// balanced home split keeps every index in range and every machine
+// covered (joins and migrations make counts uneven regardless).
+func TestValidateAcceptsUnevenMachineSplit(t *testing.T) {
 	cfg := defaultCfg()
 	cfg.Machines = 3
 	cfg.WorkersPerNode = 1
-	cfg.NumExperts = 8 // 8/3 would strand experts 6,7 on machine 2, and 8%3 != 0
-	err := cfg.Validate()
-	if err == nil {
-		t.Fatal("indivisible expert/machine split accepted")
+	cfg.NumExperts = 8 // 8 % 3 != 0: machines get 3/3/2 experts
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("uneven expert/machine split rejected: %v", err)
 	}
-	if got := err.Error(); !strings.Contains(got, "machines") {
-		t.Fatalf("error %q does not name the machine split", got)
+	cl, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Start(cfg); err == nil {
-		t.Fatal("Start accepted an indivisible expert/machine split")
+	defer cl.Close()
+	perMachine := make([]int, cfg.Machines)
+	for e := 0; e < cfg.NumExperts; e++ {
+		home := cl.homeMachine(e)
+		if home < 0 || home >= cfg.Machines {
+			t.Fatalf("expert %d homed out of range on machine %d", e, home)
+		}
+		perMachine[home]++
+	}
+	for m, n := range perMachine {
+		if n == 0 {
+			t.Fatalf("machine %d homes no experts", m)
+		}
+	}
+	if out, err := cl.RunDataCentric(); err != nil {
+		t.Fatal(err)
+	} else if len(out.Outputs) != cfg.Machines*cfg.WorkersPerNode {
+		t.Fatalf("got %d outputs", len(out.Outputs))
 	}
 }

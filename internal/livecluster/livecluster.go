@@ -45,6 +45,14 @@ type Config struct {
 	Seed            int64
 	Credits         int // client in-flight pull window
 
+	// InitialOwners, when non-nil, places each expert on a specific
+	// machine at Start instead of the balanced contiguous home split —
+	// the shape a cluster restarted after live migrations is in. Length
+	// must be NumExperts; every entry must name a configured machine.
+	// Placements that differ from an expert's home machine persist as
+	// migration overrides, exactly as if MigrateExpert had moved them.
+	InitialOwners []int
+
 	// Robustness knobs (all optional; zero values give the previous
 	// fail-fast behaviour with the transport's default retry budget).
 
@@ -121,16 +129,13 @@ func (c Config) Validate() error {
 	switch {
 	case c.Machines < 1 || c.WorkersPerNode < 1:
 		return fmt.Errorf("livecluster: need at least one machine and worker")
-	case c.NumExperts < 1 || c.NumExperts%c.Machines != 0:
-		// Checked on its own (not only via the per-worker check below):
-		// the expert→machine partition divides NumExperts by Machines,
-		// so a non-divisible count would map trailing experts to a
-		// machine index >= Machines.
-		return fmt.Errorf("livecluster: %d experts not divisible across %d machines",
+	case c.NumExperts < c.Machines:
+		// The balanced contiguous home split places experts without any
+		// divisibility requirement (joins and migrations make counts
+		// uneven anyway), but fewer experts than machines would leave
+		// seed-time machines empty-handed.
+		return fmt.Errorf("livecluster: %d experts cannot cover %d machines",
 			c.NumExperts, c.Machines)
-	case c.NumExperts%(c.Machines*c.WorkersPerNode) != 0:
-		return fmt.Errorf("livecluster: %d experts not divisible by %d workers",
-			c.NumExperts, c.Machines*c.WorkersPerNode)
 	case c.TopK < 1 || c.TopK > c.NumExperts:
 		return fmt.Errorf("livecluster: topK %d out of range", c.TopK)
 	case c.Hidden < 1 || c.TokensPerWorker < 1:
@@ -138,13 +143,24 @@ func (c Config) Validate() error {
 	case c.DeadManSteps < 0 || c.CheckpointEvery < 0 || c.CheckpointKeep < 0:
 		return fmt.Errorf("livecluster: negative failover/checkpoint knob")
 	}
+	if c.InitialOwners != nil {
+		// Validated against the ownership map, not a divisibility rule:
+		// a cluster restarted after joins and migrations legitimately
+		// carries uneven per-machine expert counts.
+		if len(c.InitialOwners) != c.NumExperts {
+			return fmt.Errorf("livecluster: %d initial owners for %d experts",
+				len(c.InitialOwners), c.NumExperts)
+		}
+		for e, m := range c.InitialOwners {
+			if m < 0 || m >= c.Machines {
+				return fmt.Errorf("livecluster: expert %d placed on unknown machine %d", e, m)
+			}
+		}
+	}
 	return nil
 }
 
 func (c Config) numWorkers() int { return c.Machines * c.WorkersPerNode }
-
-// expertsPerWorker returns E.
-func (c Config) expertsPerWorker() int { return c.NumExperts / c.numWorkers() }
 
 // Result reports one live iteration.
 type Result struct {
@@ -231,6 +247,22 @@ type Cluster struct {
 	views            []*memberView
 	pendingStaleness int // staleness of replica-recovered experts, folded into the next Result
 
+	// overrides pins migrated experts to their new owners (guarded by
+	// viewMu; see elastic.go): expert -> machine, consulted by the
+	// canonical ownership recompute ahead of the home assignment. An
+	// override only mutates inside the migration fence's critical
+	// section, where every authoritative view transitions atomically.
+	overrides map[int]int
+
+	// load counts routed tokens per expert across executed steps — the
+	// popularity signal the rebalancer plans migrations from.
+	load *metrics.ExpertLoad
+
+	// migrateAbandon, when set (tests only), is consulted after each
+	// migration phase completes; returning true abandons the handoff
+	// there, simulating a driver crash mid-migration.
+	migrateAbandon func(phase int) bool
+
 	// train is the pipelined trainer's state (nil until Train runs).
 	train *trainState
 }
@@ -254,6 +286,10 @@ type machineStore struct {
 	ver          map[transport.ExpertID]uint64
 	pending      map[transport.ExpertID]map[uint64]*mergeBuf
 	pipe         *metrics.Pipeline
+
+	// staged holds expert weights delivered by a migration's TRANSFER
+	// phase, inert until the handoff's COMMIT installs them (elastic.go).
+	staged map[transport.ExpertID]*stagedExpert
 }
 
 func (s *machineStore) ExpertBytes(id transport.ExpertID) ([]byte, error) {
@@ -427,8 +463,19 @@ func Start(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	layer := moe.NewLayer(cfg.Hidden, cfg.NumExperts, cfg.TopK, cfg.Seed)
-	cl := &Cluster{cfg: cfg, layer: layer}
-	perMachine := cfg.NumExperts / cfg.Machines
+	cl := &Cluster{cfg: cfg, layer: layer, overrides: make(map[int]int)}
+	cl.load = metrics.NewExpertLoad(cfg.NumExperts)
+	// Seed-time placement: the balanced contiguous home split, unless
+	// InitialOwners pins experts elsewhere (the restart-after-migration
+	// shape); off-home placements persist as migration overrides.
+	owner0 := make([]int, cfg.NumExperts)
+	for e := range owner0 {
+		owner0[e] = cl.homeMachine(e)
+		if cfg.InitialOwners != nil && cfg.InitialOwners[e] != owner0[e] {
+			owner0[e] = cfg.InitialOwners[e]
+			cl.overrides[e] = owner0[e]
+		}
+	}
 	for m := 0; m < cfg.Machines; m++ {
 		store := &machineStore{
 			experts: make(map[transport.ExpertID]*moe.Expert),
@@ -437,8 +484,10 @@ func Start(cfg Config) (*Cluster, error) {
 			h:       cfg.Hidden,
 		}
 		store.cond = sync.NewCond(&store.mu)
-		for e := m * perMachine; e < (m+1)*perMachine; e++ {
-			store.experts[transport.ExpertID{Expert: uint32(e)}] = layer.Experts[e]
+		for e := 0; e < cfg.NumExperts; e++ {
+			if owner0[e] == m {
+				store.experts[transport.ExpertID{Expert: uint32(e)}] = layer.Experts[e]
+			}
 		}
 		srv := transport.NewServer(store)
 		addr, err := cl.startServer(srv, m)
@@ -464,10 +513,11 @@ func Start(cfg Config) (*Cluster, error) {
 		for i := range v.alive {
 			v.alive[i] = true
 		}
-		for e := range v.owner {
-			v.owner[e] = cl.homeMachine(e)
-		}
+		copy(v.owner, owner0)
 		cl.views[m] = v
+	}
+	for m, srv := range cl.servers {
+		srv.SetJoinHandler(&joinGate{cl: cl, m: m})
 	}
 	if cfg.FailoverEnabled && !cfg.FencingDisabled {
 		// Epoch fencing on the wire: each server rejects requests whose
@@ -928,6 +978,7 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 	if firstErr != nil {
 		return Result{}, firstErr
 	}
+	cl.recordExpertLoad()
 	// A machine outside the authoritative view may still have computed
 	// (a zombie ex-member, or a fenced machine that froze mid-step); its
 	// workers' outputs are discarded — the cluster's answer is the
@@ -1054,13 +1105,12 @@ func (cl *Cluster) RunExpertCentricReference() []*tensor.Matrix {
 func (cl *Cluster) TokenExchangeBytes() int64 {
 	cfg := cl.cfg
 	var cross int64
-	perMachine := cfg.NumExperts / cfg.Machines
 	for w, x := range cl.xs {
 		machine := w / cfg.WorkersPerNode
 		routing := cl.routings[w]
 		for t := 0; t < x.Rows; t++ {
 			for _, e := range routing.Experts[t] {
-				if e/perMachine != machine {
+				if cl.homeMachine(e) != machine {
 					cross += int64(4 * cfg.Hidden * 2) // token there + result back
 				}
 			}

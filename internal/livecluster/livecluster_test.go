@@ -19,10 +19,34 @@ func TestValidate(t *testing.T) {
 	if err := defaultCfg().Validate(); err != nil {
 		t.Fatal(err)
 	}
+	// Uneven splits are legal now (joins and migrations make per-machine
+	// counts uneven anyway); only an empty or machine-starved expert set
+	// is rejected.
+	ok := defaultCfg()
+	ok.NumExperts = 7
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("uneven expert split rejected: %v", err)
+	}
 	bad := defaultCfg()
-	bad.NumExperts = 7
+	bad.NumExperts = 0
 	if bad.Validate() == nil {
-		t.Fatal("indivisible experts accepted")
+		t.Fatal("zero experts accepted")
+	}
+	bad = defaultCfg()
+	bad.Machines = 9
+	bad.NumExperts = 8
+	if bad.Validate() == nil {
+		t.Fatal("fewer experts than machines accepted")
+	}
+	bad = defaultCfg()
+	bad.InitialOwners = []int{0}
+	if bad.Validate() == nil {
+		t.Fatal("short InitialOwners accepted")
+	}
+	bad = defaultCfg()
+	bad.InitialOwners = []int{0, 0, 0, 0, 1, 1, 1, 7}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range initial owner accepted")
 	}
 	bad = defaultCfg()
 	bad.TopK = 99

@@ -56,6 +56,34 @@ type TrainOptions struct {
 	Depth int
 	// LR is the SGD learning rate (default DefaultTrainLR).
 	LR float32
+
+	// Elastic-membership events (all require FailoverEnabled, which
+	// forces the step-synced schedule; they run at step boundaries,
+	// after the step's flush merge and checkpoint).
+
+	// JoinAfterStep, when positive, admits one new machine into the
+	// cluster after that absolute training step completes, seeded
+	// through machine JoinSeed. The newcomer hosts migrated experts
+	// but runs no workers, so the gradient fold schedule — and the
+	// final weights — stay bitwise identical to a static run.
+	JoinAfterStep int
+	JoinSeed      int
+	// Migrations schedules fenced live expert handoffs. A handoff that
+	// cannot complete rolls back and the run continues.
+	Migrations []TrainMigration
+	// RebalanceEvery, when positive, runs the popularity-weighted
+	// rebalancer after every such step, executing at most
+	// RebalanceMoves migrations (default 1) per invocation.
+	RebalanceEvery int
+	RebalanceMoves int
+}
+
+// TrainMigration schedules one live handoff: after absolute training
+// step AfterStep's merge, Expert moves to machine To.
+type TrainMigration struct {
+	AfterStep int
+	Expert    int
+	To        int
 }
 
 // TrainResult reports one Train call.
@@ -113,6 +141,10 @@ func (cl *Cluster) Train(opts TrainOptions) (TrainResult, error) {
 	}
 	if opts.LR == 0 {
 		opts.LR = DefaultTrainLR
+	}
+	if (opts.JoinAfterStep > 0 || len(opts.Migrations) > 0 || opts.RebalanceEvery > 0) &&
+		!cfg.FailoverEnabled {
+		return TrainResult{}, errors.New("livecluster: membership events require FailoverEnabled")
 	}
 	synced := cl.syncedTraining()
 	overlap := opts.Pipelined && !synced
@@ -517,6 +549,8 @@ func (cl *Cluster) trainSynced(opts TrainOptions, streamed bool) (TrainResult, e
 		if err := cl.maybeCheckpoint(s); err != nil {
 			return TrainResult{}, err
 		}
+		cl.recordExpertLoad()
+		cl.runMembershipEvents(opts, s)
 		if final {
 			for _, r := range runs {
 				if r == nil {
@@ -530,6 +564,29 @@ func (cl *Cluster) trainSynced(opts TrainOptions, streamed bool) (TrainResult, e
 		st.steps = s
 	}
 	return cl.trainResult(opts, outputs, deg, robustBefore, pipeBefore, true), nil
+}
+
+// runMembershipEvents executes the step's scheduled elastic-membership
+// transitions, after the flush merge so every store sits exactly at
+// version s. Failures are never fatal to the run: a failed join leaves
+// the cluster at its current size, a failed handoff rolls back, and
+// both are visible in the robustness counters.
+func (cl *Cluster) runMembershipEvents(opts TrainOptions, s int) {
+	if opts.JoinAfterStep == s {
+		_, _ = cl.Join(opts.JoinSeed)
+	}
+	for _, mg := range opts.Migrations {
+		if mg.AfterStep == s {
+			_ = cl.MigrateExpert(mg.Expert, mg.To)
+		}
+	}
+	if opts.RebalanceEvery > 0 && s%opts.RebalanceEvery == 0 {
+		moves := opts.RebalanceMoves
+		if moves <= 0 {
+			moves = 1
+		}
+		_, _ = cl.Rebalance(moves)
+	}
 }
 
 // trainOverlap is the free-running driver: each machine advances its

@@ -372,6 +372,11 @@ type trainState struct {
 	expect   [][]int          // expert -> ascending contributor machines
 	plan     *microPlan
 	pipe     metrics.Pipeline
+
+	// lr and countTrigger mirror the last trainInit's arming arguments,
+	// so a machine joining mid-Train can arm its store identically.
+	lr           float32
+	countTrigger bool
 }
 
 // microPlan is the static decomposition of every worker's batch into M
@@ -507,6 +512,8 @@ func (cl *Cluster) trainInit(opts TrainOptions, countTrigger bool) {
 		}
 		st.detached = true
 	}
+	st.lr = opts.LR
+	st.countTrigger = countTrigger
 	for _, s := range cl.stores {
 		s.enableTraining(st.expect, opts.LR, countTrigger, &st.pipe, uint64(st.steps))
 	}

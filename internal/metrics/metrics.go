@@ -119,6 +119,14 @@ type Robustness struct {
 	quorumStalls    atomic.Int64
 	hedgedPulls     atomic.Int64
 	hedgesWon       atomic.Int64
+
+	// Elastic-membership counters: machines admitted into a running
+	// cluster, experts whose ownership moved through a completed live
+	// migration, and migrations that were interrupted and rolled back to
+	// the old owner.
+	joins              atomic.Int64
+	migrations         atomic.Int64
+	migrationRollbacks atomic.Int64
 }
 
 // AddRetry records one retried request attempt.
@@ -174,6 +182,16 @@ func (r *Robustness) AddHedgedPull() { r.hedgedPulls.Add(1) }
 // before the slow peer responded.
 func (r *Robustness) AddHedgeWon() { r.hedgesWon.Add(1) }
 
+// AddJoin records one machine admitted into the running cluster.
+func (r *Robustness) AddJoin() { r.joins.Add(1) }
+
+// AddMigration records one expert ownership handoff completed live.
+func (r *Robustness) AddMigration() { r.migrations.Add(1) }
+
+// AddMigrationRollback records one interrupted migration rolled back
+// to the (still fenced-off) old owner.
+func (r *Robustness) AddMigrationRollback() { r.migrationRollbacks.Add(1) }
+
 // Snapshot returns a point-in-time copy of the counters.
 func (r *Robustness) Snapshot() RobustnessSnapshot {
 	return RobustnessSnapshot{
@@ -193,6 +211,10 @@ func (r *Robustness) Snapshot() RobustnessSnapshot {
 		QuorumStalls:    r.quorumStalls.Load(),
 		HedgedPulls:     r.hedgedPulls.Load(),
 		HedgesWon:       r.hedgesWon.Load(),
+
+		Joins:              r.joins.Load(),
+		Migrations:         r.migrations.Load(),
+		MigrationRollbacks: r.migrationRollbacks.Load(),
 	}
 }
 
@@ -216,6 +238,10 @@ type RobustnessSnapshot struct {
 	QuorumStalls    int64
 	HedgedPulls     int64
 	HedgesWon       int64
+
+	Joins              int64
+	Migrations         int64
+	MigrationRollbacks int64
 }
 
 // Sub returns the event counts accumulated since an earlier snapshot.
@@ -237,6 +263,10 @@ func (s RobustnessSnapshot) Sub(earlier RobustnessSnapshot) RobustnessSnapshot {
 		QuorumStalls:    s.QuorumStalls - earlier.QuorumStalls,
 		HedgedPulls:     s.HedgedPulls - earlier.HedgedPulls,
 		HedgesWon:       s.HedgesWon - earlier.HedgesWon,
+
+		Joins:              s.Joins - earlier.Joins,
+		Migrations:         s.Migrations - earlier.Migrations,
+		MigrationRollbacks: s.MigrationRollbacks - earlier.MigrationRollbacks,
 	}
 }
 
@@ -259,6 +289,10 @@ func (s RobustnessSnapshot) Add(o RobustnessSnapshot) RobustnessSnapshot {
 		QuorumStalls:    s.QuorumStalls + o.QuorumStalls,
 		HedgedPulls:     s.HedgedPulls + o.HedgedPulls,
 		HedgesWon:       s.HedgesWon + o.HedgesWon,
+
+		Joins:              s.Joins + o.Joins,
+		Migrations:         s.Migrations + o.Migrations,
+		MigrationRollbacks: s.MigrationRollbacks + o.MigrationRollbacks,
 	}
 }
 
@@ -276,6 +310,10 @@ func (s RobustnessSnapshot) String() string {
 	if s.FenceRejections != 0 || s.QuorumStalls != 0 || s.HedgedPulls != 0 || s.HedgesWon != 0 {
 		base += fmt.Sprintf(" fence-rejections=%d quorum-stalls=%d hedged-pulls=%d hedges-won=%d",
 			s.FenceRejections, s.QuorumStalls, s.HedgedPulls, s.HedgesWon)
+	}
+	if s.Joins != 0 || s.Migrations != 0 || s.MigrationRollbacks != 0 {
+		base += fmt.Sprintf(" joins=%d migrations=%d migration-rollbacks=%d",
+			s.Joins, s.Migrations, s.MigrationRollbacks)
 	}
 	return base
 }
@@ -386,6 +424,51 @@ func (s PipelineSnapshot) String() string {
 	return fmt.Sprintf("microbatches=%d depth-stalls=%d depth-stall-ms=%.1f version-waits=%d version-wait-ms=%.1f merges=%d flushes=%d depth-shrinks=%d",
 		s.Microbatches, s.DepthStalls, float64(s.DepthStallNanos)/1e6,
 		s.VersionWaits, float64(s.VersionWaitNanos)/1e6, s.Merges, s.Flushes, s.DepthShrinks)
+}
+
+// ExpertLoad accumulates per-expert routing popularity: how many
+// tokens the gating function sent to each expert. The rebalancer
+// samples it to decide which hot experts to migrate off overloaded
+// machines. Safe for concurrent use.
+type ExpertLoad struct {
+	counts []atomic.Int64
+}
+
+// NewExpertLoad returns a load sampler for n experts.
+func NewExpertLoad(n int) *ExpertLoad {
+	return &ExpertLoad{counts: make([]atomic.Int64, n)}
+}
+
+// AddRouted records tokens routed to expert during one step.
+func (l *ExpertLoad) AddRouted(expert int, tokens int64) {
+	if l == nil || expert < 0 || expert >= len(l.counts) {
+		return
+	}
+	l.counts[expert].Add(tokens)
+}
+
+// Counts returns a point-in-time copy of the per-expert token counts.
+func (l *ExpertLoad) Counts() []int64 {
+	if l == nil {
+		return nil
+	}
+	out := make([]int64, len(l.counts))
+	for i := range l.counts {
+		out[i] = l.counts[i].Load()
+	}
+	return out
+}
+
+// Total returns the sum over all experts.
+func (l *ExpertLoad) Total() int64 {
+	var sum int64
+	if l == nil {
+		return 0
+	}
+	for i := range l.counts {
+		sum += l.counts[i].Load()
+	}
+	return sum
 }
 
 // GiB converts bytes to binary gigabytes (the unit of Table 1).

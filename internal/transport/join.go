@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MemberInfo is one machine in an ADMIT membership snapshot.
+type MemberInfo struct {
+	ID    uint32
+	Addr  string
+	Alive bool
+}
+
+// JoinInfo is what an admitted joiner bootstraps from: the admitting
+// member's membership epoch and its view of the cluster.
+type JoinInfo struct {
+	Epoch   uint64
+	Members []MemberInfo
+}
+
+// maxAdmitMembers bounds the member count a decoder will accept, so a
+// corrupt count cannot force an unbounded allocation. Far above any
+// cluster this simulator runs.
+const maxAdmitMembers = 1 << 16
+
+// memberMinBytes is the wire size of one member with an empty address.
+const memberMinBytes = 4 + 1 + 2
+
+// EncodeAdmit serialises an ADMIT payload: a member count followed by
+// each member's id, liveness bit, and listen address. The epoch is not
+// in the payload — it travels in the frame header like every response.
+func EncodeAdmit(members []MemberInfo) ([]byte, error) {
+	if len(members) > maxAdmitMembers {
+		return nil, fmt.Errorf("transport: %d members exceeds admit limit", len(members))
+	}
+	n := 4
+	for _, m := range members {
+		if len(m.Addr) > 0xFFFF {
+			return nil, fmt.Errorf("transport: member %d address too long", m.ID)
+		}
+		n += memberMinBytes + len(m.Addr)
+	}
+	buf := make([]byte, 0, n)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(members)))
+	buf = append(buf, u32[:]...)
+	for _, m := range members {
+		binary.BigEndian.PutUint32(u32[:], m.ID)
+		buf = append(buf, u32[:]...)
+		alive := byte(0)
+		if m.Alive {
+			alive = 1
+		}
+		buf = append(buf, alive)
+		var u16 [2]byte
+		binary.BigEndian.PutUint16(u16[:], uint16(len(m.Addr)))
+		buf = append(buf, u16[:]...)
+		buf = append(buf, m.Addr...)
+	}
+	return buf, nil
+}
+
+// DecodeAdmit parses an ADMIT payload. Truncation, trailing bytes, an
+// oversized count, or a bad liveness flag fail the decode.
+func DecodeAdmit(raw []byte) ([]MemberInfo, error) {
+	if len(raw) < 4 {
+		return nil, errors.New("transport: admit payload truncated")
+	}
+	count := binary.BigEndian.Uint32(raw)
+	off := 4
+	if count > maxAdmitMembers || int64(count)*memberMinBytes > int64(len(raw)-off) {
+		return nil, fmt.Errorf("transport: admit claims %d members in %d bytes", count, len(raw)-off)
+	}
+	members := make([]MemberInfo, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(raw)-off < memberMinBytes {
+			return nil, errors.New("transport: admit member truncated")
+		}
+		id := binary.BigEndian.Uint32(raw[off:])
+		flag := raw[off+4]
+		if flag > 1 {
+			return nil, fmt.Errorf("transport: admit bad liveness flag %d", flag)
+		}
+		addrLen := int(binary.BigEndian.Uint16(raw[off+5:]))
+		off += memberMinBytes
+		if len(raw)-off < addrLen {
+			return nil, errors.New("transport: admit address truncated")
+		}
+		members = append(members, MemberInfo{
+			ID:    id,
+			Addr:  string(raw[off : off+addrLen]),
+			Alive: flag == 1,
+		})
+		off += addrLen
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("transport: admit has %d trailing bytes", len(raw)-off)
+	}
+	return members, nil
+}
+
+// Join asks the member at addr to admit this machine into the running
+// cluster. selfAddr is the joiner's own listen address, which the
+// admitting member folds into its membership view. On success the
+// returned JoinInfo carries the admitter's epoch and membership
+// snapshot. Join frames are exempt from epoch fencing server-side; a
+// refusal (no quorum, frozen admitter) surfaces as a RemoteError.
+func (c *Client) Join(ctx context.Context, addr, selfAddr string) (JoinInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resp, err := c.do(ctx, addr, frame{typ: msgJoin, payload: []byte(selfAddr)})
+	if err != nil {
+		return JoinInfo{}, err
+	}
+	if resp.typ != msgAdmit {
+		resp.recycle()
+		return JoinInfo{}, fmt.Errorf("transport: unexpected response type %#x", resp.typ)
+	}
+	members, err := DecodeAdmit(resp.payload)
+	info := JoinInfo{Epoch: resp.epoch, Members: members}
+	resp.recycle()
+	if err != nil {
+		return JoinInfo{}, err
+	}
+	return info, nil
+}
+
+// Migrate ships a migrated expert's weights (a checkpoint wire stream)
+// to the prospective new owner at addr, which stages them pending the
+// ownership handoff. Retries are safe: staging is idempotent.
+func (c *Client) Migrate(ctx context.Context, addr string, id ExpertID, payload []byte) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resp, err := c.do(ctx, addr, frame{typ: msgMigrate, id: id, payload: payload})
+	if err != nil {
+		return err
+	}
+	if resp.typ != msgMigrateAck {
+		resp.recycle()
+		return fmt.Errorf("transport: unexpected response type %#x", resp.typ)
+	}
+	return nil
+}

@@ -28,15 +28,19 @@ import (
 
 // Message types on the wire.
 const (
-	msgPull    = 0x01 // client -> server: request expert bytes
-	msgExpert  = 0x02 // server -> client: expert payload
-	msgGrad    = 0x03 // client -> server: gradient payload
-	msgGradAck = 0x04 // server -> client: gradient accepted
-	msgPing    = 0x05 // client -> server: liveness probe (heartbeat)
-	msgPong    = 0x06 // server -> client: liveness answer
-	msgPullV   = 0x07 // client -> server: request expert bytes at a version
-	msgFenced  = 0x08 // server -> client: request rejected, sender's epoch is stale
-	msgError   = 0x7F // server -> client: request failed
+	msgPull       = 0x01 // client -> server: request expert bytes
+	msgExpert     = 0x02 // server -> client: expert payload
+	msgGrad       = 0x03 // client -> server: gradient payload
+	msgGradAck    = 0x04 // server -> client: gradient accepted
+	msgPing       = 0x05 // client -> server: liveness probe (heartbeat)
+	msgPong       = 0x06 // server -> client: liveness answer
+	msgPullV      = 0x07 // client -> server: request expert bytes at a version
+	msgFenced     = 0x08 // server -> client: request rejected, sender's epoch is stale
+	msgJoin       = 0x09 // client -> server: new machine asks to be admitted
+	msgAdmit      = 0x0A // server -> client: membership snapshot for an admitted joiner
+	msgMigrate    = 0x0B // client -> server: stage a migrated expert's weights
+	msgMigrateAck = 0x0C // server -> client: migrated weights staged
+	msgError      = 0x7F // server -> client: request failed
 )
 
 // pongFlagReadmitted is set in a PONG/FENCED payload when the server's
@@ -234,6 +238,24 @@ type gradEntry struct {
 	err  error
 }
 
+// JoinHandler is the server's hook for admitting new machines. A JOIN
+// frame (the only frame exempt from epoch fencing — a joiner has no
+// epoch yet) carries the joiner's listen address; the handler decides
+// admission (typically: only if this member's view holds quorum) and
+// returns its membership epoch plus an encoded membership snapshot the
+// joiner bootstraps from. Servers without a handler reject JOIN.
+type JoinHandler interface {
+	AdmitJoin(sender uint32, payload []byte) (epoch uint64, admit []byte, err error)
+}
+
+// MigrationSink is an optional extension of Store for stores that can
+// stage a migrated expert's weights ahead of an ownership handoff. The
+// payload (a checkpoint wire stream) is only valid for the duration of
+// the call; implementations must copy what they keep.
+type MigrationSink interface {
+	AcceptMigration(id ExpertID, payload []byte) error
+}
+
 // EpochGate is the server's hook into a membership layer. When set,
 // every request carrying an epoch older than Epoch() is rejected with
 // a FENCED response instead of touching the store — a zombie ex-owner
@@ -249,18 +271,21 @@ type EpochGate interface {
 type Server struct {
 	store Store
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
-	pulls    atomic.Int64
-	grads    atomic.Int64
-	gradDups atomic.Int64
-	pings    atomic.Int64
-	fenced   atomic.Int64
-	gate     atomic.Value // EpochGate
-	Counters Counters
+	mu         sync.Mutex
+	ln         net.Listener
+	conns      map[net.Conn]struct{}
+	closed     bool
+	wg         sync.WaitGroup
+	pulls      atomic.Int64
+	grads      atomic.Int64
+	gradDups   atomic.Int64
+	pings      atomic.Int64
+	fenced     atomic.Int64
+	joins      atomic.Int64
+	migrations atomic.Int64
+	gate       atomic.Value // EpochGate
+	joiner     atomic.Value // JoinHandler
+	Counters   Counters
 
 	gradMu    sync.Mutex
 	gradSeen  map[[gradTokenBytes]byte]*gradEntry
@@ -333,6 +358,24 @@ func (s *Server) epochGate() EpochGate {
 // carrying a stale membership epoch.
 func (s *Server) FencedRequests() int64 { return s.fenced.Load() }
 
+// SetJoinHandler arms the JOIN admission path. Servers without a
+// handler reject JOIN frames with an error.
+func (s *Server) SetJoinHandler(h JoinHandler) { s.joiner.Store(h) }
+
+func (s *Server) joinHandler() JoinHandler {
+	if h, ok := s.joiner.Load().(JoinHandler); ok {
+		return h
+	}
+	return nil
+}
+
+// JoinsServed returns how many JOIN requests this server admitted.
+func (s *Server) JoinsServed() int64 { return s.joins.Load() }
+
+// MigrationsStaged returns how many MIGRATE payloads this server's
+// store accepted.
+func (s *Server) MigrationsStaged() int64 { return s.migrations.Load() }
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
@@ -392,11 +435,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		// than the gate's is answered FENCED before it can touch the
 		// store. The response carries the server's epoch plus the
 		// readmission bit, so a healed ex-member can catch up.
+		// JOIN is exempt: a joiner bootstraps with epoch 0 by definition,
+		// so fencing it would make admission impossible.
 		gate := s.epochGate()
 		var epoch uint64
 		if gate != nil {
 			epoch = gate.Epoch()
-			if f.epoch < epoch {
+			if f.epoch < epoch && f.typ != msgJoin {
 				s.fenced.Add(1)
 				var flags byte
 				if gate.MachineAlive(f.sender) {
@@ -455,6 +500,45 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp := frame{typ: msgGradAck, reqID: f.reqID, epoch: epoch, id: f.id}
 				if err != nil {
 					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
+				}
+				respond(resp)
+			}(f, epoch)
+		case msgJoin:
+			h := s.joinHandler()
+			if h == nil {
+				f.recycle()
+				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, payload: []byte("transport: join not supported here")})
+				continue
+			}
+			handlers.Add(1)
+			go func(f frame) {
+				defer handlers.Done()
+				viewEpoch, admit, err := h.AdmitJoin(f.sender, f.payload)
+				f.recycle()
+				if err != nil {
+					respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, payload: []byte(err.Error())})
+					return
+				}
+				s.joins.Add(1)
+				respond(frame{typ: msgAdmit, reqID: f.reqID, epoch: viewEpoch, payload: admit})
+			}(f)
+		case msgMigrate:
+			sink, ok := s.store.(MigrationSink)
+			if !ok {
+				f.recycle()
+				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store cannot stage migrations")})
+				continue
+			}
+			handlers.Add(1)
+			go func(f frame, epoch uint64) {
+				defer handlers.Done()
+				err := sink.AcceptMigration(f.id, f.payload)
+				f.recycle()
+				resp := frame{typ: msgMigrateAck, reqID: f.reqID, epoch: epoch, id: f.id}
+				if err != nil {
+					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
+				} else {
+					s.migrations.Add(1)
 				}
 				respond(resp)
 			}(f, epoch)

@@ -228,6 +228,10 @@ type LiveResult = livecluster.Result
 // split, and the lockstep-vs-pipelined schedule choice.
 type LiveTrainOptions = livecluster.TrainOptions
 
+// LiveTrainMigration schedules one fenced live expert handoff inside a
+// training run (see LiveTrainOptions.Migrations).
+type LiveTrainMigration = livecluster.TrainMigration
+
 // LiveTrainResult reports one live training run, including the
 // pipeline-depth and version-wait telemetry.
 type LiveTrainResult = livecluster.TrainResult
