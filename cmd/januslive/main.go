@@ -53,6 +53,15 @@
 //	januslive -machines 3 -workers 1 -experts 9 -topk 3 -train \
 //	  -steps 8 -join-machine 0 -join-at 2 -rebalance 4
 //
+// Synchronous replication: -replicas N keeps N in-sync copies of every
+// expert on owner-disjoint machines, streamed at each step barrier.
+// Combined with -fail-permanent the kill becomes lossless — failover
+// promotes a replica that acked the dead owner's last merged version,
+// and the tool fails the run if any staleness leaks through:
+//
+//	januslive -machines 3 -workers 1 -experts 9 -topk 3 -train \
+//	  -steps 8 -replicas 2 -kill-machine 2 -kill-from 4 -fail-permanent
+//
 // Training: -train switches from the forward-only iteration loop to the
 // real trainer (backward pass, pre-reduced gradient pushes, SGD merges
 // on the owners). -pipelined streams microbatches through the fetch →
@@ -112,6 +121,8 @@ func run() int {
 	joinSeed := flag.Int("join-machine", -1, "seed member a brand-new machine dials to join the running cluster (-1 = no join); implies failover membership")
 	joinAt := flag.Int("join-at", 1, "step (1-based) after which the new machine joins")
 	rebalance := flag.Int("rebalance", 0, "run the popularity-weighted expert rebalancer every N steps (0 = off); implies failover membership")
+	replicas := flag.Int("replicas", 0, "in-sync replicas per expert, streamed at every step barrier (0 = off); implies failover membership")
+	replicateTop := flag.Int("replicate-top", 0, "with -replicas: only replicate the N hottest experts (0 = all)")
 	train := flag.Bool("train", false, "run the real trainer (backward + SGD merges) instead of forward-only iterations")
 	pipelined := flag.Bool("pipelined", false, "with -train: stream microbatches and overlap steps (verified bitwise against a lockstep twin)")
 	microbatches := flag.Int("microbatches", 1, "with -train: contiguous token microbatches per worker batch")
@@ -194,10 +205,12 @@ func run() int {
 			cfg.PullRetries = *retries
 			cfg.RetryBackoff = 5 * time.Millisecond
 		}
-		if *failPermanent || *partMachine >= 0 || *joinSeed >= 0 || *rebalance > 0 {
+		if *failPermanent || *partMachine >= 0 || *joinSeed >= 0 || *rebalance > 0 || *replicas > 0 {
 			cfg.FailoverEnabled = true
 			cfg.DeadManSteps = *deadman
 		}
+		cfg.Replicas = *replicas
+		cfg.ReplicateTop = *replicateTop
 		cfg.FencingDisabled = *noFencing
 		cfg.SlowAfter = *slowAfter
 		cfg.HedgeDelay = *hedgeDelay
@@ -242,6 +255,14 @@ func run() int {
 		}
 		fmt.Println("elastic membership:", ev)
 	}
+	if *replicas > 0 {
+		scope := "all experts"
+		if *replicateTop > 0 {
+			scope = fmt.Sprintf("top %d experts", *replicateTop)
+		}
+		fmt.Printf("replication: %d in-sync replica(s) per expert (%s), streamed at every step barrier\n",
+			*replicas, scope)
+	}
 
 	if *train {
 		opts := janus.LiveTrainOptions{
@@ -253,7 +274,7 @@ func run() int {
 			opts.JoinAfterStep = *joinAt
 			opts.JoinSeed = *joinSeed
 		}
-		return runTrain(buildCfg, opts)
+		return runTrain(buildCfg, opts, *replicas, *failPermanent)
 	}
 	return runForward(buildCfg(), *steps, faulted, *failPermanent || *partMachine >= 0, *machines,
 		elasticPlan{joinSeed: *joinSeed, joinAt: *joinAt, rebalanceEvery: *rebalance})
@@ -268,7 +289,9 @@ func (p elasticPlan) active() bool { return p.joinSeed >= 0 || p.rebalanceEvery 
 
 // runTrain executes the trainer; a pipelined run is verified bitwise
 // against a lockstep twin cluster driven by an identical fault policy.
-func runTrain(buildCfg func() janus.LiveConfig, opts janus.LiveTrainOptions) int {
+// With replication armed against a permanent kill, the run is held to
+// the lossless bar: a promotion must happen and no staleness may leak.
+func runTrain(buildCfg func() janus.LiveConfig, opts janus.LiveTrainOptions, replicas int, failPermanent bool) int {
 	cl, err := janus.StartLiveCluster(buildCfg())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "januslive:", err)
@@ -307,6 +330,29 @@ func runTrain(buildCfg func() janus.LiveConfig, opts janus.LiveTrainOptions) int
 		tot := cl.RobustnessTotals()
 		fmt.Printf("elastic: %d join(s), %d migration(s), %d rollback(s), epoch %d, owners %v (views consistent)\n",
 			tot.Joins, tot.Migrations, tot.MigrationRollbacks, cl.Epoch(), cl.OwnerView())
+	}
+	if replicas > 0 {
+		if err := cl.ViewConsistency(); err != nil {
+			fmt.Fprintln(os.Stderr, "januslive:", err)
+			return 1
+		}
+		tot := cl.RobustnessTotals()
+		fmt.Printf("replication: %d stream(s), %d failure(s), %d promotion(s), %d repair(s), %d retarget(s), %d in-sync hedge(s)\n",
+			tot.ReplPushes, tot.ReplFailures, tot.Promotions, tot.ReplRepairs, tot.ReplRetargets, tot.InSyncHedges)
+		if failPermanent {
+			// The lossless bar: the kill must have promoted an in-sync
+			// replica and the run must show zero staleness end to end.
+			if tot.Promotions == 0 {
+				fmt.Fprintln(os.Stderr, "januslive: permanent kill with replication armed promoted no replica")
+				return 1
+			}
+			if res.MaxStalenessSteps != 0 || res.StaleFetches != 0 {
+				fmt.Fprintf(os.Stderr, "januslive: replicated failover leaked staleness (max=%d fetches=%d)\n",
+					res.MaxStalenessSteps, res.StaleFetches)
+				return 1
+			}
+			fmt.Println("OK: lossless failover — in-sync replica promoted, zero staleness")
+		}
 	}
 
 	if !opts.Pipelined {
@@ -453,6 +499,15 @@ func runForward(cfg janus.LiveConfig, steps int, faulted, failPermanent bool, ma
 		tot := cl.RobustnessTotals()
 		fmt.Printf("elastic:                %d join(s), %d migration(s), %d rollback(s), epoch %d, owners %v (views consistent)\n",
 			tot.Joins, tot.Migrations, tot.MigrationRollbacks, cl.Epoch(), cl.OwnerView())
+	}
+	if cfg.Replicas > 0 {
+		if err := cl.ViewConsistency(); err != nil {
+			fmt.Fprintln(os.Stderr, "januslive:", err)
+			return 1
+		}
+		tot := cl.RobustnessTotals()
+		fmt.Printf("replication:            %d stream(s), %d failure(s), %d promotion(s), %d repair(s), %d in-sync hedge(s)\n",
+			tot.ReplPushes, tot.ReplFailures, tot.Promotions, tot.ReplRepairs, tot.InSyncHedges)
 	}
 	if maxDiff != 0 {
 		fmt.Fprintln(os.Stderr, "januslive: outputs differ from reference")

@@ -45,6 +45,7 @@ func Registry() []Experiment {
 		{"failover", "Extension: permanent machine loss — checkpointed failover vs unrecoverable stall (§3.2)", func() (Result, error) { return Failover() }},
 		{"partition", "Extension: asymmetric partition — quorum-gated failover and epoch fencing vs split brain", func() (Result, error) { return Partition() }},
 		{"churn", "Extension: elastic membership — live join, fenced expert migration, and flap survival vs a static twin", func() (Result, error) { return Churn() }},
+		{"replication", "Extension: synchronous hot-expert replication — lossless failover vs stale-fallback control", func() (Result, error) { return Replication() }},
 	}
 }
 

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover", "partition", "churn"}
+	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover", "partition", "churn", "replication"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry ids = %v", got)
@@ -441,6 +441,46 @@ func TestPartitionExperiment(t *testing.T) {
 	}
 	out := res.Render()
 	for _, frag := range []string{"diverged with fencing ON", "stale-epoch", "froze"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+func TestReplicationExperiment(t *testing.T) {
+	res, err := Replication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != res.Steps {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), res.Steps)
+	}
+	// The headline differential: the replicated kill is lossless, the
+	// unreplicated control of the same schedule is not.
+	if res.MaxStaleness != 0 {
+		t.Errorf("replicated run leaked staleness %d", res.MaxStaleness)
+	}
+	if res.ControlMaxStaleness == 0 {
+		t.Error("control run shows no staleness — the differential proves nothing")
+	}
+	if res.Promotions != 1 || res.Diverged != 0 {
+		t.Errorf("promotions=%d diverged=%d, want 1/0", res.Promotions, res.Diverged)
+	}
+	if res.Streams == 0 {
+		t.Error("no replica streams recorded")
+	}
+	// Streams keep flowing after the kill (surviving owners still sync)
+	// and the promotion lands exactly at the kill step.
+	kill := replicationSchedule.killAt
+	if res.Rows[kill-1].Promos != 1 || res.Rows[kill-2].Promos != 0 {
+		t.Errorf("promotion not recorded at the kill step %d: %+v", kill, res.Rows)
+	}
+	if res.Rows[res.Steps-1].Streams <= res.Rows[kill-1].Streams {
+		t.Error("replica streams stopped after the failover")
+	}
+	out := res.Render()
+	for _, frag := range []string{"synchronous replication", "machine 3 killed", "lossless gate", "max staleness 0"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("render missing %q", frag)
 		}

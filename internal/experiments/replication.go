@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"janus/internal/faultinject"
+	"janus/internal/livecluster"
+	"janus/internal/tensor"
+)
+
+// ReplicationRow is one training step of the lossless-failover drill.
+type ReplicationRow struct {
+	Step    int
+	WallMs  float64
+	Alive   int
+	Streams int64 // cumulative replica streams acked
+	Promos  int64 // cumulative in-sync promotions
+	Event   string
+}
+
+// ReplicationResult quantifies synchronous hot-expert replication: a
+// seeded run admits a joiner, migrates a hot expert onto it, keeps
+// every expert's replicas in sync at each step barrier, then kills the
+// joiner permanently mid-train. Failover promotes a replica that acked
+// the dead owner's last merged version, so the run must land bitwise on
+// an undisturbed static twin with zero staleness — while the identical
+// drill with replication off (the control) survives only by degrading
+// to a stale copy, and the staleness gap is the experiment's headline.
+type ReplicationResult struct {
+	Machines   int
+	Steps      int
+	NumExperts int
+	Replicas   int
+	Rows       []ReplicationRow
+	Streams    int64 // replica snapshots streamed and acked
+	Failures   int64 // streams that failed (observable lag)
+	Promotions int64
+	Repairs    int64 // anti-entropy re-streams
+	Diverged   int   // experts differing bitwise from the twin (must be 0)
+	// Staleness of the replicated drill (must be 0) vs the unreplicated
+	// control run of the same schedule (must be > 0).
+	MaxStaleness        int
+	ControlMaxStaleness int
+}
+
+// replicationSchedule is the drill's fixed seeded event script: the
+// joiner takes over a hot expert at step 3 and dies at step 6, four
+// merged versions after the handoff.
+var replicationSchedule = struct {
+	steps, joinAfter, killAt int
+	migration                livecluster.TrainMigration
+}{
+	steps:     8,
+	joinAfter: 2,
+	killAt:    6,
+	migration: livecluster.TrainMigration{AfterStep: 3, Expert: 4, To: 3},
+}
+
+func replicationCfg(inj *faultinject.Injector, replicas int) livecluster.Config {
+	cfg := livecluster.Config{
+		Machines: 3, WorkersPerNode: 1,
+		NumExperts: 9, TopK: 3, Hidden: 16,
+		TokensPerWorker: 24, Seed: 42, Credits: 4,
+		Injector:         inj,
+		PullTimeout:      300 * time.Millisecond,
+		PullRetries:      3,
+		RetryBackoff:     2 * time.Millisecond,
+		FailoverEnabled:  true,
+		HeartbeatTimeout: 200 * time.Millisecond,
+		Replicas:         replicas,
+	}
+	if inj != nil {
+		cfg.StaleFallback = true
+		// One missed round declares death: promotion runs at the top of
+		// the kill step, before any pull needs the dead owner.
+		cfg.DeadManSteps = 1
+	}
+	return cfg
+}
+
+// replicationDrill runs the join + migrate + kill schedule with the
+// given replication factor and returns the cluster, per-step rows, and
+// the worst staleness any step reported.
+func replicationDrill(replicas int) (*livecluster.Cluster, []ReplicationRow, []*tensor.Matrix, int, error) {
+	sched := replicationSchedule
+	inj := faultinject.New(11)
+	inj.Kill(livecluster.MachineLabel(3), sched.killAt, 0)
+	inj.Kill(livecluster.MachineLabel(3)+".client", sched.killAt, 0)
+	cl, err := livecluster.Start(replicationCfg(inj, replicas))
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+
+	var rows []ReplicationRow
+	var outputs []*tensor.Matrix
+	maxStale := 0
+	for s := 1; s <= sched.steps; s++ {
+		opts := livecluster.TrainOptions{Steps: 1, LR: 0.05}
+		event := ""
+		if s == sched.joinAfter {
+			opts.JoinAfterStep = s
+			event = "join machine 3"
+		}
+		if sched.migration.AfterStep == s {
+			opts.Migrations = []livecluster.TrainMigration{sched.migration}
+			event = fmt.Sprintf("migrate expert %d -> machine %d", sched.migration.Expert, sched.migration.To)
+		}
+		if s == sched.killAt {
+			event = "machine 3 killed (permanent)"
+		}
+		start := time.Now()
+		step, err := cl.Train(opts)
+		if err != nil {
+			cl.Close()
+			return nil, nil, nil, 0, fmt.Errorf("replication step %d (replicas=%d): %w", s, replicas, err)
+		}
+		if err := cl.ViewConsistency(); err != nil {
+			cl.Close()
+			return nil, nil, nil, 0, fmt.Errorf("replication step %d (replicas=%d): %w", s, replicas, err)
+		}
+		if step.MaxStalenessSteps > maxStale {
+			maxStale = step.MaxStalenessSteps
+		}
+		tot := cl.RobustnessTotals()
+		rows = append(rows, ReplicationRow{
+			Step:    s,
+			WallMs:  float64(time.Since(start).Microseconds()) / 1e3,
+			Alive:   step.AliveMachines,
+			Streams: tot.ReplPushes,
+			Promos:  tot.Promotions,
+			Event:   event,
+		})
+		if s == sched.steps {
+			outputs = step.FinalOutputs
+		}
+	}
+	return cl, rows, outputs, maxStale, nil
+}
+
+// Replication runs the lossless-failover drill. Every invariant is a
+// gate: a missed promotion, a single leaked stale step, or one diverged
+// byte against the unfailed twin fails the experiment — and so does a
+// control run that fails to show the staleness replication removes.
+func Replication() (*ReplicationResult, error) {
+	sched := replicationSchedule
+
+	// The unfailed static twin: same model and step count, no injector,
+	// no membership events — the ground truth the drill must hit bitwise.
+	ref, err := livecluster.Start(replicationCfg(nil, 0))
+	if err != nil {
+		return nil, err
+	}
+	defer ref.Close()
+	refRes, err := ref.Train(livecluster.TrainOptions{Steps: sched.steps, LR: 0.05})
+	if err != nil {
+		return nil, fmt.Errorf("replication twin: %w", err)
+	}
+	refState, err := ref.ExpertState()
+	if err != nil {
+		return nil, err
+	}
+
+	const replicas = 2
+	cl, rows, outputs, maxStale, err := replicationDrill(replicas)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	res := &ReplicationResult{
+		Machines: 3, Steps: sched.steps, NumExperts: 9,
+		Replicas:     replicas,
+		Rows:         rows,
+		MaxStaleness: maxStale,
+	}
+	totals := cl.RobustnessTotals()
+	res.Streams = totals.ReplPushes
+	res.Failures = totals.ReplFailures
+	res.Promotions = totals.Promotions
+	res.Repairs = totals.ReplRepairs
+
+	if res.Promotions != 1 {
+		return nil, fmt.Errorf("replication: %d promotions, want exactly 1 (the migrated hot expert)", res.Promotions)
+	}
+	if res.Streams == 0 {
+		return nil, fmt.Errorf("replication: no replica streams recorded")
+	}
+	if res.MaxStaleness != 0 {
+		return nil, fmt.Errorf("replication: lossless failover leaked staleness %d", res.MaxStaleness)
+	}
+	state, err := cl.ExpertState()
+	if err != nil {
+		return nil, err
+	}
+	for e := range state {
+		if !bytes.Equal(state[e], refState[e]) {
+			res.Diverged++
+		}
+	}
+	if res.Diverged != 0 {
+		return nil, fmt.Errorf("replication: %d/%d experts diverged bitwise from the unfailed twin — a merge was lost",
+			res.Diverged, res.NumExperts)
+	}
+	for w := range refRes.FinalOutputs {
+		if !tensor.Equal(outputs[w], refRes.FinalOutputs[w]) {
+			return nil, fmt.Errorf("replication: worker %d final output diverged from the unfailed twin", w)
+		}
+	}
+
+	// The control: identical schedule, replication off. It must survive
+	// (stale fallback) but cannot be lossless — visible staleness is
+	// exactly what the replicated run's zero proves away.
+	ctl, _, _, ctlStale, err := replicationDrill(0)
+	if err != nil {
+		return nil, fmt.Errorf("replication control: %w", err)
+	}
+	ctl.Close()
+	res.ControlMaxStaleness = ctlStale
+	if res.ControlMaxStaleness == 0 {
+		return nil, fmt.Errorf("replication: control run shows no staleness — the drill exercises nothing")
+	}
+	return res, nil
+}
+
+func (r *ReplicationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — synchronous replication: %d in-sync replicas per expert, owner killed mid-train (%d machines + joiner, %d steps)\n",
+		r.Replicas, r.Machines, r.Steps)
+	fmt.Fprintf(&b, "%4s %9s %6s %8s %7s  %s\n",
+		"step", "wall(ms)", "alive", "streams", "promos", "event")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%4d %9.1f %6d %8d %7d  %s\n",
+			row.Step, row.WallMs, row.Alive, row.Streams, row.Promos, row.Event)
+	}
+	fmt.Fprintf(&b, "replication: %d streams acked, %d failures, %d promotion, %d anti-entropy repairs\n",
+		r.Streams, r.Failures, r.Promotions, r.Repairs)
+	fmt.Fprintf(&b, "lossless gate: max staleness %d (replicated) vs %d (unreplicated control); %d/%d experts diverged from the unfailed twin\n",
+		r.MaxStaleness, r.ControlMaxStaleness, r.Diverged, r.NumExperts)
+	return b.String()
+}

@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"janus/internal/checkpoint"
@@ -357,6 +358,24 @@ func (cl *Cluster) migrateExpert(e, to int) (fenced bool, err error) {
 	// its first gradient; stale-epoch traffic bounces off the wire gate.
 	cl.viewMu.Lock()
 	cl.overrides[e] = to
+	// Atomic replica-set retarget, inside the same critical section as
+	// the ownership flip: the new owner cannot back itself up, so it
+	// leaves the replica set and the old owner takes the vacated slot —
+	// RELEASE fills it with the copy it just streamed, and if the
+	// handoff dies before RELEASE the anti-entropy sweep re-streams the
+	// missing entry. Either way the set never forks.
+	retargeted := false
+	if set := cl.replicas[e]; len(set) > 0 {
+		for i, r := range set {
+			if r == to {
+				set[i] = from
+				retargeted = true
+			}
+		}
+		if retargeted {
+			sort.Ints(set)
+		}
+	}
 	type bumped struct {
 		m     int
 		epoch uint64
@@ -373,6 +392,12 @@ func (cl *Cluster) migrateExpert(e, to int) (fenced bool, err error) {
 	for _, b := range bumps {
 		cl.clients[b.m].SetEpoch(b.epoch)
 	}
+	if retargeted {
+		// The new owner's live copy supersedes its replica entry the
+		// moment the fence commits.
+		cl.stores[to].dropReplica(id)
+		cl.robust.AddReplRetarget()
+	}
 	if cl.abandonAt(3) {
 		return true, errMigrationAbandoned
 	}
@@ -383,6 +408,13 @@ func (cl *Cluster) migrateExpert(e, to int) (fenced bool, err error) {
 		cl.staleMu.Lock()
 		cl.stale[from][e] = &staleEntry{ex: ex, payload: payload, step: int(ver)}
 		cl.staleMu.Unlock()
+		if retargeted {
+			// Fill the vacated replica slot immediately: the source's
+			// copy is exactly the transferred version, so the new
+			// replica starts in sync instead of waiting for a stream.
+			cl.stores[from].setReplica(id, ex, payload, ver)
+			cl.setReplAcked(e, from, ver)
+		}
 		cl.stores[from].remove(id)
 	}
 	return true, nil
@@ -412,6 +444,40 @@ func (cl *Cluster) ViewConsistency() error {
 						vi.epoch, i, j, e, vi.owner[e], vj.owner[e])
 				}
 			}
+		}
+	}
+	// Replica invariants: a replica set never contains its expert's
+	// owner (the failure domain would silently collapse), a replica's
+	// version never leads the owner's (a replica cannot hold merges the
+	// owner has not published), and every recorded promotion happened
+	// inside a fenced epoch no newer than the authoritative view's.
+	rep := cl.repViewLocked()
+	for e, set := range cl.replicas {
+		o := rep.owner[e]
+		for _, r := range set {
+			if r == o {
+				return fmt.Errorf("livecluster: expert %d replica set %v contains owner %d", e, set, o)
+			}
+		}
+		if o < 0 || o >= len(cl.stores) || o >= len(rep.alive) || !rep.alive[o] {
+			continue // an ownerless expert has no version to lag behind
+		}
+		id := transport.ExpertID{Expert: uint32(e)}
+		over := cl.stores[o].versionOf(id)
+		for _, r := range set {
+			if r < 0 || r >= len(cl.stores) {
+				return fmt.Errorf("livecluster: expert %d replica set %v references unknown machine %d", e, set, r)
+			}
+			if ent, ok := cl.stores[r].replicaAt(id); ok && ent.ver > over {
+				return fmt.Errorf("livecluster: expert %d replica on machine %d at version %d leads owner %d at %d",
+					e, r, ent.ver, o, over)
+			}
+		}
+	}
+	for _, p := range cl.promotions {
+		if p.epoch == 0 || p.epoch > rep.epoch {
+			return fmt.Errorf("livecluster: promotion of expert %d to machine %d outside the fenced epoch (%d vs view %d)",
+				p.expert, p.machine, p.epoch, rep.epoch)
 		}
 	}
 	return nil
@@ -454,6 +520,10 @@ func (cl *Cluster) PlanRebalance(maxMoves int) []Move {
 	rep := cl.repViewLocked()
 	owner := append([]int(nil), rep.owner...)
 	alive := append([]bool(nil), rep.alive...)
+	reps := make(map[int][]int, len(cl.replicas))
+	for e, set := range cl.replicas {
+		reps[e] = append([]int(nil), set...)
+	}
 	cl.viewMu.Unlock()
 
 	load := make([]int64, len(alive))
@@ -483,6 +553,19 @@ func (cl *Cluster) PlanRebalance(maxMoves int) []Move {
 		}
 		best, bestAt, bestW := -1, -1, int64(-1)
 		for i, e := range owned[hi] {
+			// Never migrate an expert onto a machine holding its replica:
+			// owner and backup on one machine silently collapses the
+			// failure domain replication paid for.
+			holdsReplica := false
+			for _, r := range reps[e] {
+				if r == lo {
+					holdsReplica = true
+					break
+				}
+			}
+			if holdsReplica {
+				continue
+			}
 			if w := counts[e]; w > bestW && load[lo]+w < load[hi] {
 				best, bestAt, bestW = e, i, w
 			}

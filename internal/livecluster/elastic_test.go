@@ -537,7 +537,10 @@ func TestRebalanceMovesHotExperts(t *testing.T) {
 // Satellite property test: under interleaved crash, heal, gray flap,
 // join, migration, and rebalancing, every machine's epoch is monotonic
 // and no two same-epoch authoritative views ever disagree on ownership
-// — sampled at every step boundary across seeds.
+// — sampled at every step boundary across seeds. Replication rides
+// along (Replicas=1), so every boundary also checks the replica
+// invariants via ViewConsistency: no set contains its owner, no replica
+// version leads its owner, promotions only from fenced epochs.
 func TestElasticChurnInvariants(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -545,7 +548,9 @@ func TestElasticChurnInvariants(t *testing.T) {
 			inj.Kill("m2", 4, 6) // crash + heal: failover then rejoin
 			inj.Kill("m2.client", 4, 6)
 			inj.Flap("m1", 6, 10, 1, 2) // gray flapper under the dead-man budget
-			cl, err := Start(failoverCfg(inj, t.TempDir()))
+			cfg := failoverCfg(inj, t.TempDir())
+			cfg.Replicas = 1
+			cl, err := Start(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -558,6 +563,9 @@ func TestElasticChurnInvariants(t *testing.T) {
 					t.Fatalf("step %d: %v", s, err)
 				}
 				prev = checkViewAgreement(t, cl, prev)
+				if err := cl.ViewConsistency(); err != nil {
+					t.Fatalf("step %d: %v", s, err)
+				}
 				switch s {
 				case 2:
 					if _, err := cl.Join(0); err != nil {

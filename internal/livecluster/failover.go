@@ -523,8 +523,23 @@ func (cl *Cluster) failoverView(m, dead, step int, snap *checkpoint.Snapshot) {
 	rehomed := 0
 	maxAge := 0
 	for _, e := range owned {
+		// Lossless path first: promote a surviving in-sync replica — it
+		// acked the dead owner's last merged version, so the run
+		// continues with zero staleness. Quorum-gated like the rest of
+		// this recompute and committed inside the epoch just fenced.
+		if p := cl.promoteInSync(e, dead, step, aliveList, epoch); p >= 0 {
+			cl.viewMu.Lock()
+			v.owner[e] = p
+			cl.viewMu.Unlock()
+			rehomed++
+			continue
+		}
+
 		cl.viewMu.Lock()
 		next := cl.canonicalOwnerLocked(e, aliveList)
+		// The lossy re-home may land on a machine anti-entropy drafted
+		// into the replica set; ownership and backup must stay disjoint.
+		cl.stripReplicaLocked(e, next)
 		cl.viewMu.Unlock()
 
 		// Pick the freshest recoverable copy of the expert's weights.
@@ -562,6 +577,7 @@ func (cl *Cluster) failoverView(m, dead, step int, snap *checkpoint.Snapshot) {
 			maxAge = age
 		}
 		id := transport.ExpertID{Expert: uint32(e)}
+		cl.stores[m].dropReplica(id) // owning supersedes backing up
 		if cl.train != nil {
 			// During training the re-homed weights stand in for the
 			// version pulls of step `step` expect (the pre-step state),
@@ -613,6 +629,10 @@ func (cl *Cluster) rejoinView(m, t, step int) {
 		if v.owner[e] != next {
 			moves = append(moves, move{e, v.owner[e], next})
 			v.owner[e] = next
+			// A reclaiming home owner may sit in the replica set it was
+			// drafted into while it did not own the expert; strip it so
+			// ownership and backup stay disjoint.
+			cl.stripReplicaLocked(e, next)
 		}
 	}
 	cl.viewMu.Unlock()
@@ -629,6 +649,7 @@ func (cl *Cluster) rejoinView(m, t, step int) {
 				cl.stores[mv.to].install(id, ex)
 			}
 		}
+		cl.stores[mv.to].dropReplica(id) // owning supersedes backing up
 		cl.stores[m].remove(id)
 	}
 	if aliveList[0] == m && len(moves) > 0 {

@@ -119,6 +119,26 @@ type Config struct {
 	// never hedged). The wire result still refreshes the replica cache
 	// in the background.
 	HedgeDelay time.Duration
+
+	// Synchronous-replication knobs (see replication.go). All optional:
+	// with Replicas 0 the cluster behaves exactly as before.
+
+	// Replicas is the synchronous replication factor: each replicated
+	// expert keeps this many in-sync copies on machines other than its
+	// owner, streamed the owner's versioned post-merge weights (acked,
+	// epoch-fenced) at every step barrier. Failover promotes an in-sync
+	// replica losslessly; hedges and stale fallbacks serve in-sync
+	// replicas without staleness accounting.
+	Replicas int
+	// ReplicateTop restricts replication to the N hottest experts by
+	// routed-token count (0 = replicate every expert).
+	ReplicateTop int
+	// ReplWindow bounds in-flight replica streams per sync round, so
+	// replication lag is capped and observable (0 = DefaultReplWindow).
+	ReplWindow int
+	// AntiEntropyEvery is the step cadence of the anti-entropy repair
+	// sweep (0 = DefaultAntiEntropyEvery).
+	AntiEntropyEvery int
 }
 
 // MachineLabel is the fault-injection label of machine m's endpoints.
@@ -142,6 +162,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("livecluster: non-positive shape")
 	case c.DeadManSteps < 0 || c.CheckpointEvery < 0 || c.CheckpointKeep < 0:
 		return fmt.Errorf("livecluster: negative failover/checkpoint knob")
+	case c.Replicas < 0 || c.ReplicateTop < 0 || c.ReplWindow < 0 || c.AntiEntropyEvery < 0:
+		return fmt.Errorf("livecluster: negative replication knob")
+	case c.Replicas >= c.Machines:
+		// Replica sets are owner-disjoint, so the factor must leave at
+		// least one machine besides the owner per replica copy.
+		return fmt.Errorf("livecluster: replication factor %d needs more than %d machines",
+			c.Replicas, c.Machines)
 	}
 	if c.InitialOwners != nil {
 		// Validated against the ownership map, not a divisibility rule:
@@ -258,6 +285,22 @@ type Cluster struct {
 	// popularity signal the rebalancer plans migrations from.
 	load *metrics.ExpertLoad
 
+	// Synchronous-replication state (see replication.go). replicas maps
+	// each replicated expert to its replica machines (ascending, never
+	// containing the owner); guarded by viewMu so the migration FENCE
+	// and failover promotion retarget a set atomically with the
+	// ownership flip. promotions records every in-sync promotion for
+	// the ViewConsistency invariant.
+	replicas       map[int][]int
+	replicaPlanned bool
+	promotions     []promotionRecord
+
+	// replAcked tracks owner-side, per expert, the newest version each
+	// replica machine has acked — the sync loop's skip signal. Guarded
+	// by replMu (leaf lock: never held across store or view locks).
+	replMu    sync.Mutex
+	replAcked map[int]map[int]uint64
+
 	// migrateAbandon, when set (tests only), is consulted after each
 	// migration phase completes; returning true abandons the handoff
 	// there, simulating a driver crash mid-migration.
@@ -290,6 +333,11 @@ type machineStore struct {
 	// staged holds expert weights delivered by a migration's TRANSFER
 	// phase, inert until the handoff's COMMIT installs them (elastic.go).
 	staged map[transport.ExpertID]*stagedExpert
+
+	// replicas holds in-sync copies of experts this machine replicates
+	// but does not own, applied whole from REPL streams (replication.go;
+	// lazily allocated so every store constructor stays replica-ready).
+	replicas map[transport.ExpertID]*replicaEntry
 }
 
 func (s *machineStore) ExpertBytes(id transport.ExpertID) ([]byte, error) {
@@ -463,7 +511,13 @@ func Start(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	layer := moe.NewLayer(cfg.Hidden, cfg.NumExperts, cfg.TopK, cfg.Seed)
-	cl := &Cluster{cfg: cfg, layer: layer, overrides: make(map[int]int)}
+	cl := &Cluster{
+		cfg:       cfg,
+		layer:     layer,
+		overrides: make(map[int]int),
+		replicas:  make(map[int][]int),
+		replAcked: make(map[int]map[int]uint64),
+	}
 	cl.load = metrics.NewExpertLoad(cfg.NumExperts)
 	// Seed-time placement: the balanced contiguous home split, unless
 	// InitialOwners pins experts elsewhere (the restart-after-migration
@@ -802,10 +856,18 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 					cl.staleMu.Lock()
 					old := cl.stale[m][e]
 					cl.staleMu.Unlock()
-					if old != nil {
+					// An in-sync replica held by this machine outranks the
+					// stale cache as the hedge copy: it matches the owner's
+					// current version, so a hedge it wins is a lossless
+					// serve — no StaleFetches, no degradation mode.
+					hedgeEx, inSync := cl.localInSyncReplica(m, e)
+					if hedgeEx == nil && old != nil {
+						hedgeEx = old.ex
+					}
+					if hedgeEx != nil {
 						// Gray-failure hedge: the owner is flagged slow and a
-						// local replica exists, so race the wire pull against
-						// a deterministic delay and serve the replica if the
+						// local copy exists, so race the wire pull against
+						// a deterministic delay and serve the copy if the
 						// wire has not answered in time. The slow pull still
 						// refreshes the replica cache in the background.
 						pulled = true
@@ -826,8 +888,11 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 							payload, err = r.payload, r.err
 						case <-timer.C:
 							cl.clients[m].Robust.AddHedgeWon()
+							if inSync {
+								cl.clients[m].Robust.AddInSyncHedge()
+							}
 							hedged = true
-							ent.ex = old.ex
+							ent.ex = hedgeEx
 							go func() {
 								r := <-ch
 								if r.err != nil {
@@ -884,15 +949,24 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 						cl.staleMu.Unlock()
 					}
 				} else if cfg.StaleFallback {
-					// Owner unreachable past the retry budget: degrade to
-					// the last-known copy instead of aborting the step.
-					cl.staleMu.Lock()
-					old, ok := cl.stale[m][e]
-					cl.staleMu.Unlock()
-					if ok {
-						cl.clients[m].Robust.AddStaleServe()
-						noteStale(step - old.step)
-						ent.ex, ent.err = old.ex, nil
+					// Lossless first: a surviving in-sync replica is
+					// bit-identical to the copy the unreachable owner would
+					// have served (forward-mode weights are immutable, so
+					// every applied replica is at version 0 = in sync) — no
+					// staleness to account. Only without one degrade to the
+					// last-known copy instead of aborting the step.
+					if rep := cl.replicaServe(e, 0); rep != nil {
+						cl.clients[m].Robust.AddReplicaServe()
+						ent.ex, ent.err = rep, nil
+					} else {
+						cl.staleMu.Lock()
+						old, ok := cl.stale[m][e]
+						cl.staleMu.Unlock()
+						if ok {
+							cl.clients[m].Robust.AddStaleServe()
+							noteStale(step - old.step)
+							ent.ex, ent.err = old.ex, nil
+						}
 					}
 				}
 				close(ent.done)
@@ -979,6 +1053,11 @@ func (cl *Cluster) RunDataCentric() (Result, error) {
 		return Result{}, firstErr
 	}
 	cl.recordExpertLoad()
+	// Synchronous replication barrier: owners stream this iteration's
+	// weights to their replica sets (acked) before the result is up, and
+	// the anti-entropy sweep repairs any divergence on its cadence.
+	cl.replicateStep()
+	cl.antiEntropy(step)
 	// A machine outside the authoritative view may still have computed
 	// (a zombie ex-member, or a fenced machine that froze mid-step); its
 	// workers' outputs are discarded — the cluster's answer is the

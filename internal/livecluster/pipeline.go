@@ -349,6 +349,16 @@ func (r *stepRun) pullVersioned(e int, want uint64) (*moe.Expert, error) {
 			return ex, nil
 		}
 	}
+	// Lossless fallback first: a surviving in-sync replica at exactly
+	// the wanted version holds the owner's own published bytes for that
+	// version, so serving it is not degradation — no staleness, and no
+	// StaleFallback opt-in required. Replica entries are replaced
+	// wholesale and never mutated, so the shared object is safe to
+	// compute with.
+	if rep := cl.replicaServe(e, want); rep != nil {
+		cl.clients[r.m].Robust.AddReplicaServe()
+		return rep, nil
+	}
 	if cl.cfg.StaleFallback {
 		cl.staleMu.Lock()
 		old := cl.stale[r.m][e]
@@ -550,6 +560,12 @@ func (cl *Cluster) trainSynced(opts TrainOptions, streamed bool) (TrainResult, e
 			return TrainResult{}, err
 		}
 		cl.recordExpertLoad()
+		// Synchronous replication barrier: owners stream step s's merged
+		// weights to their replica sets (acked) before any membership
+		// event can move or kill what the replicas back up, and the
+		// anti-entropy sweep repairs divergence on its cadence.
+		cl.replicateStep()
+		cl.antiEntropy(s)
 		cl.runMembershipEvents(opts, s)
 		if final {
 			for _, r := range runs {

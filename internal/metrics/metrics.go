@@ -127,6 +127,21 @@ type Robustness struct {
 	joins              atomic.Int64
 	migrations         atomic.Int64
 	migrationRollbacks atomic.Int64
+
+	// Replication counters: versioned weight streams acked by replicas,
+	// streams that could not be delivered (the replica lags until the
+	// next sync or anti-entropy sweep), in-sync replicas promoted to
+	// owner on failover, versioned pulls served from an in-sync replica
+	// with zero staleness, hedges won by an in-sync replica, replicas
+	// re-streamed by the anti-entropy sweep, and replica-set membership
+	// retargets (migration FENCE substitutions and sweep top-ups).
+	replPushes    atomic.Int64
+	replFailures  atomic.Int64
+	promotions    atomic.Int64
+	replicaServes atomic.Int64
+	inSyncHedges  atomic.Int64
+	replRepairs   atomic.Int64
+	replRetargets atomic.Int64
 }
 
 // AddRetry records one retried request attempt.
@@ -192,6 +207,34 @@ func (r *Robustness) AddMigration() { r.migrations.Add(1) }
 // to the (still fenced-off) old owner.
 func (r *Robustness) AddMigrationRollback() { r.migrationRollbacks.Add(1) }
 
+// AddReplPush records one versioned weight stream acked by a replica.
+func (r *Robustness) AddReplPush() { r.replPushes.Add(1) }
+
+// AddReplFailure records one replica stream that could not be
+// delivered; the replica lags until a later sync repairs it.
+func (r *Robustness) AddReplFailure() { r.replFailures.Add(1) }
+
+// AddPromotion records one in-sync replica promoted to owner during
+// failover — a lossless recovery, no staleness accounted.
+func (r *Robustness) AddPromotion() { r.promotions.Add(1) }
+
+// AddReplicaServe records one versioned pull served from an in-sync
+// replica at exactly the requested version (not counted stale).
+func (r *Robustness) AddReplicaServe() { r.replicaServes.Add(1) }
+
+// AddInSyncHedge records one hedged pull won by a replica holding the
+// owner's current version (not counted stale).
+func (r *Robustness) AddInSyncHedge() { r.inSyncHedges.Add(1) }
+
+// AddReplRepair records one replica re-streamed by the anti-entropy
+// sweep because its version digest diverged from the owner's.
+func (r *Robustness) AddReplRepair() { r.replRepairs.Add(1) }
+
+// AddReplRetarget records one replica-set membership fix: a migration
+// FENCE substituting the new owner out of the set, or the anti-entropy
+// sweep replacing a dead or promoted replica holder.
+func (r *Robustness) AddReplRetarget() { r.replRetargets.Add(1) }
+
 // Snapshot returns a point-in-time copy of the counters.
 func (r *Robustness) Snapshot() RobustnessSnapshot {
 	return RobustnessSnapshot{
@@ -215,6 +258,14 @@ func (r *Robustness) Snapshot() RobustnessSnapshot {
 		Joins:              r.joins.Load(),
 		Migrations:         r.migrations.Load(),
 		MigrationRollbacks: r.migrationRollbacks.Load(),
+
+		ReplPushes:    r.replPushes.Load(),
+		ReplFailures:  r.replFailures.Load(),
+		Promotions:    r.promotions.Load(),
+		ReplicaServes: r.replicaServes.Load(),
+		InSyncHedges:  r.inSyncHedges.Load(),
+		ReplRepairs:   r.replRepairs.Load(),
+		ReplRetargets: r.replRetargets.Load(),
 	}
 }
 
@@ -242,6 +293,14 @@ type RobustnessSnapshot struct {
 	Joins              int64
 	Migrations         int64
 	MigrationRollbacks int64
+
+	ReplPushes    int64
+	ReplFailures  int64
+	Promotions    int64
+	ReplicaServes int64
+	InSyncHedges  int64
+	ReplRepairs   int64
+	ReplRetargets int64
 }
 
 // Sub returns the event counts accumulated since an earlier snapshot.
@@ -267,6 +326,14 @@ func (s RobustnessSnapshot) Sub(earlier RobustnessSnapshot) RobustnessSnapshot {
 		Joins:              s.Joins - earlier.Joins,
 		Migrations:         s.Migrations - earlier.Migrations,
 		MigrationRollbacks: s.MigrationRollbacks - earlier.MigrationRollbacks,
+
+		ReplPushes:    s.ReplPushes - earlier.ReplPushes,
+		ReplFailures:  s.ReplFailures - earlier.ReplFailures,
+		Promotions:    s.Promotions - earlier.Promotions,
+		ReplicaServes: s.ReplicaServes - earlier.ReplicaServes,
+		InSyncHedges:  s.InSyncHedges - earlier.InSyncHedges,
+		ReplRepairs:   s.ReplRepairs - earlier.ReplRepairs,
+		ReplRetargets: s.ReplRetargets - earlier.ReplRetargets,
 	}
 }
 
@@ -293,6 +360,14 @@ func (s RobustnessSnapshot) Add(o RobustnessSnapshot) RobustnessSnapshot {
 		Joins:              s.Joins + o.Joins,
 		Migrations:         s.Migrations + o.Migrations,
 		MigrationRollbacks: s.MigrationRollbacks + o.MigrationRollbacks,
+
+		ReplPushes:    s.ReplPushes + o.ReplPushes,
+		ReplFailures:  s.ReplFailures + o.ReplFailures,
+		Promotions:    s.Promotions + o.Promotions,
+		ReplicaServes: s.ReplicaServes + o.ReplicaServes,
+		InSyncHedges:  s.InSyncHedges + o.InSyncHedges,
+		ReplRepairs:   s.ReplRepairs + o.ReplRepairs,
+		ReplRetargets: s.ReplRetargets + o.ReplRetargets,
 	}
 }
 
@@ -314,6 +389,12 @@ func (s RobustnessSnapshot) String() string {
 	if s.Joins != 0 || s.Migrations != 0 || s.MigrationRollbacks != 0 {
 		base += fmt.Sprintf(" joins=%d migrations=%d migration-rollbacks=%d",
 			s.Joins, s.Migrations, s.MigrationRollbacks)
+	}
+	if s.ReplPushes != 0 || s.ReplFailures != 0 || s.Promotions != 0 || s.ReplicaServes != 0 ||
+		s.InSyncHedges != 0 || s.ReplRepairs != 0 || s.ReplRetargets != 0 {
+		base += fmt.Sprintf(" repl-pushes=%d repl-failures=%d promotions=%d replica-serves=%d in-sync-hedges=%d repl-repairs=%d repl-retargets=%d",
+			s.ReplPushes, s.ReplFailures, s.Promotions, s.ReplicaServes,
+			s.InSyncHedges, s.ReplRepairs, s.ReplRetargets)
 	}
 	return base
 }

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// REPL payload: the owner's post-merge weights for one expert, stamped
+// with the merge version they belong to, streamed to a replica machine
+// after every gradient merge. The explicit byte length makes torn or
+// padded streams detectable — a replica must either apply a whole
+// versioned snapshot or none of it.
+//
+//	uint64 version (the owner's merge counter these bytes belong to)
+//	uint32 length  (of the expert bytes that follow)
+//	bytes  expert  (the owner's canonical wire encoding)
+
+// replHeaderBytes is the fixed prefix of a REPL payload.
+const replHeaderBytes = 8 + 4
+
+// maxReplBytes bounds the expert bytes a REPL decoder will accept, so a
+// corrupt length cannot force an unbounded allocation. A REPL payload
+// rides inside one frame, so the frame limit is the natural bound.
+const maxReplBytes = maxFrameBytes - frameHeaderBytes - replHeaderBytes
+
+// EncodeRepl serialises a REPL payload.
+func EncodeRepl(version uint64, expert []byte) ([]byte, error) {
+	if len(expert) > maxReplBytes {
+		return nil, fmt.Errorf("transport: replica payload %d exceeds limit", len(expert))
+	}
+	buf := make([]byte, replHeaderBytes+len(expert))
+	binary.BigEndian.PutUint64(buf[0:8], version)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(expert)))
+	copy(buf[replHeaderBytes:], expert)
+	return buf, nil
+}
+
+// DecodeRepl parses a REPL payload. Truncation, an oversized or
+// mismatched length, or trailing bytes fail the decode — a torn replica
+// stream is rejected whole rather than applied partially. The returned
+// expert bytes alias raw; callers that keep them must copy.
+func DecodeRepl(raw []byte) (version uint64, expert []byte, err error) {
+	if len(raw) < replHeaderBytes {
+		return 0, nil, errors.New("transport: replica payload truncated")
+	}
+	version = binary.BigEndian.Uint64(raw[0:8])
+	n := binary.BigEndian.Uint32(raw[8:12])
+	if int64(n) > maxReplBytes {
+		return 0, nil, fmt.Errorf("transport: replica claims %d expert bytes", n)
+	}
+	if int(n) != len(raw)-replHeaderBytes {
+		return 0, nil, fmt.Errorf("transport: replica has %d expert bytes, header claims %d",
+			len(raw)-replHeaderBytes, n)
+	}
+	return version, raw[replHeaderBytes:], nil
+}
+
+// Replicate streams one versioned expert snapshot (an EncodeRepl
+// payload) to the replica machine at addr, which applies it to its
+// replica store and acks. Retries are safe: replica application is
+// idempotent and version-monotone. Like every non-JOIN frame the
+// request is epoch-fenced, so a zombie ex-owner cannot overwrite a
+// replica after failover moved the cluster past it.
+func (c *Client) Replicate(ctx context.Context, addr string, id ExpertID, payload []byte) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resp, err := c.do(ctx, addr, frame{typ: msgRepl, id: id, payload: payload})
+	if err != nil {
+		return err
+	}
+	if resp.typ != msgReplAck {
+		resp.recycle()
+		return fmt.Errorf("transport: unexpected response type %#x", resp.typ)
+	}
+	return nil
+}

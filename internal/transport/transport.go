@@ -40,6 +40,8 @@ const (
 	msgAdmit      = 0x0A // server -> client: membership snapshot for an admitted joiner
 	msgMigrate    = 0x0B // client -> server: stage a migrated expert's weights
 	msgMigrateAck = 0x0C // server -> client: migrated weights staged
+	msgRepl       = 0x0D // client -> server: versioned replica weight stream
+	msgReplAck    = 0x0E // server -> client: replica stream applied
 	msgError      = 0x7F // server -> client: request failed
 )
 
@@ -256,6 +258,16 @@ type MigrationSink interface {
 	AcceptMigration(id ExpertID, payload []byte) error
 }
 
+// ReplicationSink is an optional extension of Store for stores that can
+// hold synchronously replicated copies of experts they do not own. The
+// payload (an EncodeRepl stream: version + canonical expert bytes) is
+// only valid for the duration of the call; implementations must copy
+// what they keep, and must apply version streams monotonically so a
+// delayed retransmission can never roll a replica backwards.
+type ReplicationSink interface {
+	AcceptReplica(id ExpertID, payload []byte) error
+}
+
 // EpochGate is the server's hook into a membership layer. When set,
 // every request carrying an epoch older than Epoch() is rejected with
 // a FENCED response instead of touching the store — a zombie ex-owner
@@ -283,6 +295,7 @@ type Server struct {
 	fenced     atomic.Int64
 	joins      atomic.Int64
 	migrations atomic.Int64
+	repls      atomic.Int64
 	gate       atomic.Value // EpochGate
 	joiner     atomic.Value // JoinHandler
 	Counters   Counters
@@ -375,6 +388,10 @@ func (s *Server) JoinsServed() int64 { return s.joins.Load() }
 // MigrationsStaged returns how many MIGRATE payloads this server's
 // store accepted.
 func (s *Server) MigrationsStaged() int64 { return s.migrations.Load() }
+
+// ReplicasApplied returns how many REPL streams this server's store
+// accepted.
+func (s *Server) ReplicasApplied() int64 { return s.repls.Load() }
 
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
@@ -539,6 +556,26 @@ func (s *Server) serveConn(conn net.Conn) {
 					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
 				} else {
 					s.migrations.Add(1)
+				}
+				respond(resp)
+			}(f, epoch)
+		case msgRepl:
+			sink, ok := s.store.(ReplicationSink)
+			if !ok {
+				f.recycle()
+				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store cannot hold replicas")})
+				continue
+			}
+			handlers.Add(1)
+			go func(f frame, epoch uint64) {
+				defer handlers.Done()
+				err := sink.AcceptReplica(f.id, f.payload)
+				f.recycle()
+				resp := frame{typ: msgReplAck, reqID: f.reqID, epoch: epoch, id: f.id}
+				if err != nil {
+					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
+				} else {
+					s.repls.Add(1)
 				}
 				respond(resp)
 			}(f, epoch)
