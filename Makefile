@@ -46,4 +46,4 @@ bench:
 		./internal/tensor \
 		./internal/transport \
 		./internal/livecluster \
-		| tee /dev/stderr | go run ./cmd/benchjson -baseline BENCH_BASELINE.json > BENCH_4.json
+		| tee /dev/stderr | go run ./cmd/benchjson -baseline BENCH_4.json > BENCH_5.json

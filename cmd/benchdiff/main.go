@@ -1,0 +1,164 @@
+// Command benchdiff compares a fresh benchjson document against the
+// frozen one committed in the repo (BENCH_5.json) and fails when the
+// allocation count of any shared benchmark regresses by more than the
+// tolerance. It is the CI gate for the zero-alloc steady-state work:
+// steady allocs/op are deterministic (every buffer is pooled), so a
+// regression means an escape or a dropped pool, not noise.
+//
+// It can also extract the scaling curve — every benchmark that
+// reported a "machines" metric — into a small JSON artifact for the CI
+// run to upload.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -frozen BENCH_5.json -current bench-smoke.json [-curve scaling-curve.json]
+//
+// Exit status 1 on regression, 2 on usage/IO errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's output entry.
+type Benchmark struct {
+	Package string             `json:"package"`
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Extra   map[string]float64 `json:"extra"`
+}
+
+// Doc mirrors cmd/benchjson's document (fields benchdiff reads).
+type Doc struct {
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numcpu"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// CurvePoint is one scaling-curve sample: a benchmark that reported
+// its cluster size via the "machines" metric.
+type CurvePoint struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Machines    float64 `json:"machines"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// allocSlack absorbs the one nondeterministic contribution to
+// allocs/op: a GC cycle during the run empties sync.Pool victim
+// caches, and the refill shows up as a burst of allocations that a
+// single-iteration CI smoke run cannot amortize away. Real
+// regressions (an escaped local, a dropped pool) recur per operation
+// and clear this by orders of magnitude.
+const allocSlack = 64
+
+func main() {
+	frozen := flag.String("frozen", "BENCH_5.json", "frozen benchjson document (the committed reference)")
+	current := flag.String("current", "", "fresh benchjson document to check (required)")
+	curve := flag.String("curve", "", "write the scaling curve (machines-metric benchmarks) of the current run here")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative allocs/op regression")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	ref, err := load(*frozen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *curve != "" {
+		if err := writeCurve(*curve, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	refAllocs := make(map[string]float64)
+	for _, b := range ref.Benchmarks {
+		if a, ok := b.Extra["allocs/op"]; ok {
+			refAllocs[b.Package+"."+b.Name] = a
+		}
+	}
+	failed := false
+	compared := 0
+	for _, b := range cur.Benchmarks {
+		key := b.Package + "." + b.Name
+		refA, ok := refAllocs[key]
+		if !ok {
+			continue // new benchmark: nothing frozen to hold it to
+		}
+		curA, ok := b.Extra["allocs/op"]
+		if !ok {
+			continue
+		}
+		compared++
+		limit := refA*(1+*tolerance) + allocSlack
+		if curA > limit {
+			failed = true
+			fmt.Printf("REGRESSION %s: %.0f allocs/op, frozen %.0f (limit %.0f)\n", key, curA, refA, limit)
+		} else {
+			fmt.Printf("ok %s: %.0f allocs/op (frozen %.0f)\n", key, curA, refA)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common — wrong files?")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func writeCurve(path string, d *Doc) error {
+	var pts []CurvePoint
+	for _, b := range d.Benchmarks {
+		m, ok := b.Extra["machines"]
+		if !ok {
+			continue
+		}
+		pts = append(pts, CurvePoint{
+			Package:     b.Package,
+			Name:        b.Name,
+			Machines:    m,
+			NsPerOp:     b.NsPerOp,
+			AllocsPerOp: b.Extra["allocs/op"],
+			BytesPerOp:  b.Extra["B/op"],
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Machines != pts[j].Machines {
+			return pts[i].Machines < pts[j].Machines
+		}
+		return pts[i].Name < pts[j].Name
+	})
+	raw, err := json.MarshalIndent(pts, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

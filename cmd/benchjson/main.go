@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -28,11 +29,18 @@ type Benchmark struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Doc is the whole document.
+// Doc is the whole document. GoMaxProcs and NumCPU are recorded from
+// the recording process (benchjson runs on the same machine, piped
+// from `go test -bench`), so a scaling curve can be read in context:
+// on a GOMAXPROCS=1 box, goroutines overlap network waits, never
+// compute. Per-benchmark machine counts ride in each entry's "extra"
+// map under "machines" (from b.ReportMetric).
 type Doc struct {
 	Goos       string          `json:"goos,omitempty"`
 	Goarch     string          `json:"goarch,omitempty"`
 	CPU        string          `json:"cpu,omitempty"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"numcpu"`
 	Benchmarks []Benchmark     `json:"benchmarks"`
 	Baseline   json.RawMessage `json:"baseline,omitempty"`
 }
@@ -41,6 +49,8 @@ func main() {
 	baseline := flag.String("baseline", "", "JSON file of frozen baseline measurements to embed verbatim")
 	flag.Parse()
 	var doc Doc
+	doc.GoMaxProcs = runtime.GOMAXPROCS(0)
+	doc.NumCPU = runtime.NumCPU()
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

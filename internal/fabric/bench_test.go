@@ -57,15 +57,39 @@ func (t *benchTopo) allToAllSpecs(round int, size float64) []FlowSpec {
 	return specs
 }
 
-// runA2ARounds drives `rounds` back-to-back All-to-All shuffles (each
-// admitted when the previous drains) and runs the simulation dry.
-func runA2ARounds(t *benchTopo, rounds int, size float64) {
+// sparseA2ASpecs builds one sparse All-to-All round: each machine
+// sends to `fanout` peers at quadratic strides (the hierarchical /
+// 2-hop A2A shape large clusters actually run — dense pairwise flows
+// stop being realistic past a few dozen machines). Sizes are skewed so
+// completions stagger and every one forces a reallocation.
+func (t *benchTopo) sparseA2ASpecs(round, fanout int, size float64) []FlowSpec {
+	var specs []FlowSpec
+	n := len(t.up)
+	for s := 0; s < n; s++ {
+		for k := 1; k <= fanout; k++ {
+			d := (s + k*k) % n
+			if d == s {
+				d = (d + 1) % n
+			}
+			specs = append(specs, FlowSpec{
+				Name: fmt.Sprintf("sa2a.r%d.%d.%d", round, s, k),
+				Size: size * (1 + 0.01*float64((s+7*k)%97)),
+				Path: []*Link{t.up[s], t.core[(s*fanout+k)%len(t.core)], t.down[d]},
+			})
+		}
+	}
+	return specs
+}
+
+// runRounds drives `rounds` back-to-back shuffles (each admitted when
+// the previous drains) and runs the simulation dry.
+func runRounds(t *benchTopo, rounds int, specsFor func(r int) []FlowSpec) {
 	var kick func(r int)
 	kick = func(r int) {
 		if r == rounds {
 			return
 		}
-		specs := t.allToAllSpecs(r, size)
+		specs := specsFor(r)
 		left := len(specs)
 		for i := range specs {
 			specs[i].OnComplete = func(*Flow) {
@@ -81,12 +105,18 @@ func runA2ARounds(t *benchTopo, rounds int, size float64) {
 	t.eng.Run()
 }
 
+// runA2ARounds is runRounds over the dense All-to-All shape.
+func runA2ARounds(t *benchTopo, rounds int, size float64) {
+	runRounds(t, rounds, func(r int) []FlowSpec { return t.allToAllSpecs(r, size) })
+}
+
 // benchmarkAllToAll measures a 32-machine All-to-All-heavy simulation
 // in the given allocation mode. ModeOracle is the retained seed
 // allocator (full rescans per settle), so the Incremental/Oracle ratio
 // is the ISSUE 3 speedup figure.
 func benchmarkAllToAll(b *testing.B, machines int, mode AllocMode) {
 	b.ReportAllocs()
+	b.ReportMetric(float64(machines), "machines")
 	for i := 0; i < b.N; i++ {
 		t := newBenchTopo(machines, 8, mode)
 		runA2ARounds(t, 4, 1e6)
@@ -95,6 +125,39 @@ func benchmarkAllToAll(b *testing.B, machines int, mode AllocMode) {
 
 func BenchmarkAllToAll32Incremental(b *testing.B) { benchmarkAllToAll(b, 32, ModeIncremental) }
 func BenchmarkAllToAll32Oracle(b *testing.B)     { benchmarkAllToAll(b, 32, ModeOracle) }
+
+// benchmarkA2AScale is the scaling-curve workload: sparse All-to-All
+// (8 peers per machine, the hierarchical shape) on the incremental
+// allocator at 32/256/1024 machines, core trunks scaled with the
+// cluster. The "machines" metric rides into BENCH_5.json so the curve
+// is machine-readable; the Oracle allocator is deliberately absent at
+// the large sizes — it is O(flows²) per settle and exists only as the
+// 32-machine ratio baseline.
+func benchmarkA2AScale(b *testing.B, machines int) {
+	b.ReportAllocs()
+	b.ReportMetric(float64(machines), "machines")
+	trunks := machines / 4
+	if trunks < 8 {
+		trunks = 8
+	}
+	for i := 0; i < b.N; i++ {
+		t := newBenchTopo(machines, trunks, ModeIncremental)
+		runRounds(t, 2, func(r int) []FlowSpec { return t.sparseA2ASpecs(r, 8, 1e6) })
+	}
+}
+
+func BenchmarkA2AScale32(b *testing.B)  { benchmarkA2AScale(b, 32) }
+func BenchmarkA2AScale256(b *testing.B) { benchmarkA2AScale(b, 256) }
+
+// BenchmarkA2AScale1024 is the top of the curve: ~8k staggered flows
+// per round, ~20s per iteration, so the CI smoke tier (-short) keeps
+// to 256 and `make bench` records the full curve.
+func BenchmarkA2AScale1024(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1024-machine A2A is ~20s/op; the -short curve tops out at 256")
+	}
+	benchmarkA2AScale(b, 1024)
+}
 
 // BenchmarkAllToAll32Seed reproduces the pre-optimization code path
 // exactly: the naive allocator AND per-flow admission, each StartFlowEff
@@ -131,8 +194,14 @@ func BenchmarkAllToAll32Seed(b *testing.B) {
 // running the network dry — the admission + reallocation + completion
 // pipeline end to end.
 func benchmarkAdmission(b *testing.B, flows int, mode AllocMode) {
+	benchmarkAdmissionAt(b, 32, flows, mode)
+}
+
+// benchmarkAdmissionAt is benchmarkAdmission on a machines-wide
+// topology, for the scaling-curve variants below.
+func benchmarkAdmissionAt(b *testing.B, machines, flows int, mode AllocMode) {
 	b.ReportAllocs()
-	machines := 32
+	b.ReportMetric(float64(machines), "machines")
 	for i := 0; i < b.N; i++ {
 		t := newBenchTopo(machines, 8, mode)
 		var specs []FlowSpec
@@ -156,6 +225,18 @@ func benchmarkAdmission(b *testing.B, flows int, mode AllocMode) {
 func BenchmarkAdmission1kIncremental(b *testing.B)  { benchmarkAdmission(b, 1000, ModeIncremental) }
 func BenchmarkAdmission1kOracle(b *testing.B)       { benchmarkAdmission(b, 1000, ModeOracle) }
 func BenchmarkAdmission10kIncremental(b *testing.B) { benchmarkAdmission(b, 10000, ModeIncremental) }
+
+// AdmissionScale admits one sparse-A2A wave (8 flows per machine) on a
+// machines-wide topology — the scaling-curve companion to A2AScale.
+// Incremental only: the Oracle allocator's O(flows²) settles are the
+// reason the incremental one exists, and its curve is already pinned
+// by the 1k/10k fixed-size pairs above.
+func BenchmarkAdmissionScale256(b *testing.B) {
+	benchmarkAdmissionAt(b, 256, 8*256, ModeIncremental)
+}
+func BenchmarkAdmissionScale1024(b *testing.B) {
+	benchmarkAdmissionAt(b, 1024, 8*1024, ModeIncremental)
+}
 
 // BenchmarkAdmission10kOracle is the seed allocator at 10k flows; it
 // is quadratic-ish per settle, so -short (the CI smoke tier) skips it.

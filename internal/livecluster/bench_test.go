@@ -108,17 +108,38 @@ func delayInjector() *faultinject.Injector {
 	return inj
 }
 
+// BenchmarkTrainPipelined32 is the live-cluster scale point: 32 real
+// machines (each a TCP server + client + store) training pipelined on
+// loopback — the largest size the CI smoke tier tolerates. Together
+// with the fabric A2AScale/AdmissionScale series (256 and 1024
+// machines in simulation) it anchors the scaling curve in
+// BENCH_5.json.
+func BenchmarkTrainPipelined32(b *testing.B) {
+	cfg := trainBenchCfg(nil)
+	cfg.Machines = 32
+	cfg.NumExperts = 64
+	benchTrainCfg(b, cfg, true)
+}
+
 func benchTrain(b *testing.B, inj *faultinject.Injector, pipelined bool) {
-	cl, err := Start(trainBenchCfg(inj))
+	benchTrainCfg(b, trainBenchCfg(inj), pipelined)
+}
+
+func benchTrainCfg(b *testing.B, cfg Config, pipelined bool) {
+	cl, err := Start(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer cl.Close()
-	opts := TrainOptions{Steps: benchTrainSteps, Microbatches: 2, Pipelined: pipelined}
+	opts := TrainOptions{Steps: benchTrainSteps, Microbatches: 2, Pipelined: pipelined, ReuseOutputs: true}
 	if _, err := cl.Train(opts); err != nil { // warm plan, caches, connections
 		b.Fatal(err)
 	}
+	if _, err := cl.Train(opts); err != nil { // second pass fills every recycled-buffer pool
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ReportMetric(float64(cfg.Machines), "machines")
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {

@@ -104,21 +104,24 @@ func (s *machineStore) commitStaged(id transport.ExpertID) error {
 	}
 	delete(s.staged, id)
 	s.experts[id] = st.ex
-	s.enc[id] = st.enc
+	s.invalidateEncLocked(id) // next serve re-encodes into a pooled buffer
+	s.sorted = nil
 	if s.trainOn {
 		if s.ver == nil {
 			s.ver = make(map[transport.ExpertID]uint64)
-			s.pending = make(map[transport.ExpertID]map[uint64]*mergeBuf)
+			s.pending = make(map[transport.ExpertID][]*pendingMerge)
 		}
 		s.ver[id] = st.ver
-		delete(s.pending, id)
+		s.releasePendingLocked(id)
 	}
 	s.cond.Broadcast()
 	return nil
 }
 
 // exportExpert returns the canonical encoding and current version of a
-// hosted expert — the TRANSFER phase's source read.
+// hosted expert — the TRANSFER phase's source read. Always a fresh
+// copy: migration and replication callers retain the bytes past the
+// call, which the refcounted serving memo does not allow.
 func (s *machineStore) exportExpert(id transport.ExpertID) ([]byte, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -126,12 +129,7 @@ func (s *machineStore) exportExpert(id transport.ExpertID) ([]byte, uint64, erro
 	if !ok {
 		return nil, 0, fmt.Errorf("livecluster: expert %v not hosted", id)
 	}
-	b, ok := s.enc[id]
-	if !ok {
-		b = encodeExpert(e)
-		s.enc[id] = b
-	}
-	return b, s.ver[id], nil
+	return encodeExpert(e), s.ver[id], nil
 }
 
 // joinGate adapts one machine's membership view to the transport
@@ -187,7 +185,7 @@ func (cl *Cluster) Join(seed int) (int, error) {
 	j := cl.numMachines()
 	store := &machineStore{
 		experts: make(map[transport.ExpertID]*moe.Expert),
-		enc:     make(map[transport.ExpertID][]byte),
+		enc:     make(map[transport.ExpertID]*encEntry),
 		grads:   make(map[transport.ExpertID]int),
 		h:       cfg.Hidden,
 	}
@@ -276,7 +274,7 @@ func (cl *Cluster) Join(seed int) (int, error) {
 		// gradients under the same contributor table and version clock
 		// as everyone else.
 		st := cl.train
-		store.enableTraining(st.expect, st.lr, st.countTrigger, &st.pipe, uint64(st.steps))
+		store.enableTraining(st.expect, st.expectIdx, st.lr, st.countTrigger, &st.pipe, uint64(st.steps))
 	}
 	cl.robust.AddJoin()
 	return j, nil
@@ -487,16 +485,15 @@ func (cl *Cluster) ViewConsistency() error {
 // popularity signal: every token a running machine's workers routed to
 // an expert counts toward that expert.
 func (cl *Cluster) recordExpertLoad() {
-	cfg := cl.cfg
-	for m := 0; m < cfg.Machines; m++ {
+	// Routing is static, so each machine's per-expert totals are
+	// precomputed at Start (cl.loadTotals) — the per-step work is one
+	// add per (running machine, routed expert).
+	for m := 0; m < cl.cfg.Machines; m++ {
 		if !cl.machineRuns(m) {
 			continue
 		}
-		for lw := 0; lw < cfg.WorkersPerNode; lw++ {
-			ri := cl.rindex[m*cfg.WorkersPerNode+lw]
-			for _, e := range ri.needed {
-				cl.load.AddRouted(e, int64(len(ri.tokens[e])))
-			}
+		for _, lc := range cl.loadTotals[m] {
+			cl.load.AddRouted(int(lc.e), lc.n)
 		}
 	}
 }

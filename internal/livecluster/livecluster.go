@@ -232,7 +232,8 @@ func (r Result) Degraded() bool { return r.DegradedSteps > 0 }
 // external expert, with the step of that fetch.
 type staleEntry struct {
 	ex      *moe.Expert
-	payload []byte // wire bytes ex was decoded from
+	payload []byte   // wire bytes ex was decoded from
+	spares  [][]byte // retired payload buffers, reused as pull destinations
 	step    int
 }
 
@@ -258,6 +259,20 @@ type Cluster struct {
 	rindex   []*routeIndex
 	xes      [][]*tensor.Matrix // worker -> expert -> gathered token rows
 	needs    [][]int            // machine -> union of routed experts, ascending
+	needIdx  [][]int32          // machine -> expert -> index in needs[m], -1 absent
+
+	// loadTotals precomputes, per machine, the total tokens each needed
+	// expert receives across the machine's workers, so the per-step
+	// popularity recording is one add per (machine, expert) instead of a
+	// workers × needed map walk.
+	loadTotals [][]loadCount
+
+	// staleInPlace permits decoding a pulled expert into the previous
+	// stale copy's matrices instead of allocating fresh ones. Only safe
+	// when nothing else can alias the cached object: failover restore
+	// and migration RELEASE both seed stale/replica entries that share
+	// experts, so the gate is computed once at Start from the config.
+	staleInPlace bool
 
 	staleMu sync.Mutex
 	stale   []map[int]*staleEntry // per machine: expert -> last good copy
@@ -310,24 +325,47 @@ type Cluster struct {
 	train *trainState
 }
 
+// encEntry is one memoized wire encoding of a hosted expert, refcounted
+// so its buffer returns to the store's freelist only after every
+// transport handler that was serving it finished copying it to the
+// wire. refs counts handed-out references; dead marks an encoding a
+// merge or install superseded while references were still out.
+type encEntry struct {
+	buf  []byte
+	refs int32
+	dead bool
+}
+
 // machineStore hosts the experts owned by one machine's workers and
 // accumulates gradients pushed back to them.
 type machineStore struct {
 	mu      sync.Mutex
 	cond    *sync.Cond // broadcast on version advance / install / remove / abort
 	experts map[transport.ExpertID]*moe.Expert
-	enc     map[transport.ExpertID][]byte // memoized wire encodings
-	grads   map[transport.ExpertID]int
-	h       int
+
+	// Serving-encoding memo (refcounted; see encRefLocked). encByPtr
+	// maps a live buffer's first byte back to its entry so the
+	// transport's release carries no extra bookkeeping; encFree and
+	// entFree recycle buffers and entry headers (every hosted expert
+	// encodes to the same size, so any free buffer fits).
+	enc      map[transport.ExpertID]*encEntry
+	encByPtr map[*byte]*encEntry
+	encFree  [][]byte
+	entFree  []*encEntry
+
+	grads map[transport.ExpertID]int
+	h     int
 
 	// Versioned-training state (see train.go; zero until enableTraining).
 	trainOn      bool
 	countTrigger bool
 	aborted      bool
 	lr           float32
-	expect       [][]int // shared: expert index -> ascending contributor machines
+	expect       [][]int   // shared: expert index -> ascending contributor machines
+	expectIdx    [][]int32 // shared: expert -> machine -> position in expect, -1 absent
 	ver          map[transport.ExpertID]uint64
-	pending      map[transport.ExpertID]map[uint64]*mergeBuf
+	pending      map[transport.ExpertID][]*pendingMerge
+	sorted       []transport.ExpertID // hosted ids ascending; nil after hosting changes
 	pipe         *metrics.Pipeline
 
 	// staged holds expert weights delivered by a migration's TRANSFER
@@ -347,14 +385,96 @@ func (s *machineStore) ExpertBytes(id transport.ExpertID) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("livecluster: expert %v not hosted", id)
 	}
-	// Expert weights only change through install/remove (which drop the
-	// memo), so repeated pulls of the same version reuse one encoding.
-	b, ok := s.enc[id]
-	if !ok {
-		b = encodeExpert(e)
-		s.enc[id] = b
+	// Expert weights only change through install/remove/merge (which
+	// drop the memo), so repeated pulls of the same version reuse one
+	// encoding. Refcounted: the transport releases it after the copy to
+	// the wire.
+	return s.encRefLocked(id, e), nil
+}
+
+// encRefLocked returns the memoized serving encoding for a hosted
+// expert, encoding into a recycled buffer on a miss, and takes one
+// reference on it. Callers are the transport-facing serve paths only
+// (ExpertBytes, ExpertBytesAt) — the transport pairs each with exactly
+// one ReleaseExpertBytes once the bytes are on the wire.
+func (s *machineStore) encRefLocked(id transport.ExpertID, e *moe.Expert) []byte {
+	ent := s.enc[id]
+	if ent == nil {
+		var buf []byte
+		if n := len(s.encFree); n > 0 {
+			buf = s.encFree[n-1]
+			s.encFree = s.encFree[:n-1]
+		}
+		buf = encodeExpertInto(buf, e)
+		if n := len(s.entFree); n > 0 {
+			ent = s.entFree[n-1]
+			s.entFree = s.entFree[:n-1]
+		} else {
+			ent = new(encEntry)
+		}
+		ent.buf, ent.refs, ent.dead = buf, 0, false
+		s.enc[id] = ent
+		if s.encByPtr == nil {
+			s.encByPtr = make(map[*byte]*encEntry)
+		}
+		s.encByPtr[&buf[0]] = ent
 	}
-	return b, nil
+	ent.refs++
+	return ent.buf
+}
+
+// ReleaseExpertBytes implements transport.BytesReleaser: called exactly
+// once per successfully answered pull, after the payload was copied to
+// the wire. The last release of a superseded encoding recycles it.
+func (s *machineStore) ReleaseExpertBytes(id transport.ExpertID, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if ent := s.encByPtr[&b[0]]; ent != nil {
+		ent.refs--
+		if ent.refs == 0 && ent.dead {
+			s.recycleEncLocked(ent)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// invalidateEncLocked drops id's memoized encoding: the next serve
+// re-encodes. A buffer still referenced by in-flight serves is marked
+// dead and recycled by its last release instead.
+func (s *machineStore) invalidateEncLocked(id transport.ExpertID) {
+	ent := s.enc[id]
+	if ent == nil {
+		return
+	}
+	delete(s.enc, id)
+	if ent.refs > 0 {
+		ent.dead = true
+		return
+	}
+	s.recycleEncLocked(ent)
+}
+
+func (s *machineStore) recycleEncLocked(ent *encEntry) {
+	delete(s.encByPtr, &ent.buf[0])
+	s.encFree = append(s.encFree, ent.buf)
+	ent.buf = nil
+	ent.dead = false
+	s.entFree = append(s.entFree, ent)
+}
+
+// expertBytesCopy returns a freshly allocated encoding of the hosted
+// expert — for callers that keep the bytes (snapshots, state dumps)
+// and must not touch the refcounted serving memo.
+func (s *machineStore) expertBytesCopy(id transport.ExpertID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.experts[id]
+	if !ok {
+		return nil, fmt.Errorf("livecluster: expert %v not hosted", id)
+	}
+	return encodeExpert(e), nil
 }
 
 // get returns the hosted expert, if any.
@@ -369,7 +489,8 @@ func (s *machineStore) get(id transport.ExpertID) (*moe.Expert, bool) {
 func (s *machineStore) install(id transport.ExpertID, e *moe.Expert) {
 	s.mu.Lock()
 	s.experts[id] = e
-	delete(s.enc, id)
+	s.invalidateEncLocked(id)
+	s.sorted = nil
 	if s.trainOn {
 		s.cond.Broadcast()
 	}
@@ -380,9 +501,10 @@ func (s *machineStore) install(id transport.ExpertID, e *moe.Expert) {
 func (s *machineStore) remove(id transport.ExpertID) {
 	s.mu.Lock()
 	delete(s.experts, id)
-	delete(s.enc, id)
+	s.invalidateEncLocked(id)
+	s.sorted = nil
 	if s.trainOn {
-		delete(s.pending, id)
+		s.releasePendingLocked(id)
 		s.cond.Broadcast() // wake version waiters into the not-hosted error
 	}
 	s.mu.Unlock()
@@ -407,8 +529,18 @@ func (s *machineStore) AddGradient(id transport.ExpertID, payload []byte) error 
 // encodeExpert serialises expert weights as little-endian float32s:
 // W1 then W2. decodeExpert reverses it.
 func encodeExpert(e *moe.Expert) []byte {
+	return encodeExpertInto(nil, e)
+}
+
+// encodeExpertInto is encodeExpert writing into buf, grown only when
+// too small — the zero-allocation serve path.
+func encodeExpertInto(buf []byte, e *moe.Expert) []byte {
 	n1, n2 := len(e.W1.Data), len(e.W2.Data)
-	buf := make([]byte, 8+4*(n1+n2))
+	need := 8 + 4*(n1+n2)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.W1.Rows))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(e.W1.Cols))
 	off := 8
@@ -424,6 +556,14 @@ func encodeExpert(e *moe.Expert) []byte {
 }
 
 func decodeExpert(buf []byte) (*moe.Expert, error) {
+	return decodeExpertInto(nil, buf)
+}
+
+// decodeExpertInto is decodeExpert reusing dst's matrices when it has
+// the payload's shape (allocating fresh ones otherwise). The payload is
+// fully validated before dst is touched, so a bad payload never leaves
+// dst half-written.
+func decodeExpertInto(dst *moe.Expert, buf []byte) (*moe.Expert, error) {
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("livecluster: expert payload too short")
 	}
@@ -437,7 +577,10 @@ func decodeExpert(buf []byte) (*moe.Expert, error) {
 	if len(buf) != 8+4*(n1+n2) {
 		return nil, fmt.Errorf("livecluster: expert payload %d bytes, want %d", len(buf), 8+4*(n1+n2))
 	}
-	e := &moe.Expert{W1: tensor.New(rows, cols), W2: tensor.New(cols, rows)}
+	e := dst
+	if e == nil || e.W1.Rows != rows || e.W1.Cols != cols {
+		e = &moe.Expert{W1: tensor.New(rows, cols), W2: tensor.New(cols, rows)}
+	}
 	off := 8
 	for i := range e.W1.Data {
 		e.W1.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
@@ -533,7 +676,7 @@ func Start(cfg Config) (*Cluster, error) {
 	for m := 0; m < cfg.Machines; m++ {
 		store := &machineStore{
 			experts: make(map[transport.ExpertID]*moe.Expert),
-			enc:     make(map[transport.ExpertID][]byte),
+			enc:     make(map[transport.ExpertID]*encEntry),
 			grads:   make(map[transport.ExpertID]int),
 			h:       cfg.Hidden,
 		}
@@ -616,7 +759,41 @@ func Start(cfg Config) (*Cluster, error) {
 			}
 		}
 	}
+	cl.needIdx = make([][]int32, cfg.Machines)
+	for m := range cl.needIdx {
+		row := make([]int32, cfg.NumExperts)
+		for i := range row {
+			row[i] = -1
+		}
+		for i, e := range cl.needs[m] {
+			row[e] = int32(i)
+		}
+		cl.needIdx[m] = row
+	}
+	cl.loadTotals = make([][]loadCount, cfg.Machines)
+	for m := 0; m < cfg.Machines; m++ {
+		totals := make([]loadCount, 0, len(cl.needs[m]))
+		for _, e := range cl.needs[m] {
+			var n int64
+			for lw := 0; lw < cfg.WorkersPerNode; lw++ {
+				n += int64(len(cl.rindex[m*cfg.WorkersPerNode+lw].tokens[e]))
+			}
+			if n > 0 {
+				totals = append(totals, loadCount{e: int32(e), n: n})
+			}
+		}
+		cl.loadTotals[m] = totals
+	}
+	// In-place reuse of cached pulled experts is only safe when no
+	// failover/checkpoint/migration path can alias the cached object.
+	cl.staleInPlace = !cfg.FailoverEnabled && cfg.CheckpointDir == ""
 	return cl, nil
+}
+
+// loadCount is one precomputed (expert, routed tokens) total.
+type loadCount struct {
+	e int32
+	n int64
 }
 
 // startServer brings up machine m's pull server, routing through the
@@ -698,6 +875,9 @@ func (cl *Cluster) Close() {
 	// server handler goroutine, and Server.Close waits for handlers.
 	for _, s := range cl.stores {
 		s.abortTraining()
+	}
+	if cl.train != nil && cl.train.rt != nil {
+		cl.train.rt.shutdown()
 	}
 	for _, c := range cl.clients {
 		c.Close()

@@ -16,20 +16,16 @@
 //
 // Both schedules fold gradients at the same fixed points in the same
 // fixed order (see train.go), so their final weights are bitwise equal.
+// Execution runs on the persistent runtime in runtime.go; this file is
+// the per-call drivers.
 package livecluster
 
 import (
-	"bytes"
-	"context"
 	"errors"
-	"fmt"
 	"sync"
-	"time"
 
 	"janus/internal/metrics"
-	"janus/internal/moe"
 	"janus/internal/tensor"
-	"janus/internal/transport"
 )
 
 // DefaultPipelineDepth is the cross-step in-flight window: a machine
@@ -56,6 +52,11 @@ type TrainOptions struct {
 	Depth int
 	// LR is the SGD learning rate (default DefaultTrainLR).
 	LR float32
+	// ReuseOutputs makes successive Train calls return the same
+	// FinalOutputs matrices, zeroed and refilled in place — the
+	// zero-allocation steady state for benchmarks and long drivers.
+	// Leave false (the default) if results are retained across calls.
+	ReuseOutputs bool
 
 	// Elastic-membership events (all require FailoverEnabled, which
 	// forces the step-synced schedule; they run at step boundaries,
@@ -88,7 +89,7 @@ type TrainMigration struct {
 
 // TrainResult reports one Train call.
 type TrainResult struct {
-	Steps        int
+	Steps int
 	// FinalOutputs holds each worker's combined layer output from the
 	// last step (nil for workers on dead machines).
 	FinalOutputs []*tensor.Matrix
@@ -164,6 +165,13 @@ type runDeg struct {
 	steps        map[int]bool // training steps that saw degradation
 }
 
+func (d *runDeg) reset() {
+	d.mu.Lock()
+	d.stale, d.dropped, d.maxStaleness = 0, 0, 0
+	clear(d.steps)
+	d.mu.Unlock()
+}
+
 func (d *runDeg) noteStale(age, step int) {
 	d.mu.Lock()
 	d.stale++
@@ -187,318 +195,17 @@ func (d *runDeg) noteDropped(step int) {
 	d.mu.Unlock()
 }
 
-// trainFetch is one single-flight versioned expert fetch within a step.
-type trainFetch struct {
-	done chan struct{}
-	ex   *moe.Expert
-	err  error
-}
-
-// stepRun is one machine's execution of one training step.
-type stepRun struct {
-	cl     *Cluster
-	opts   TrainOptions
-	m      int
-	s      int  // training step number (1-based, monotonic across calls)
-	final  bool // assemble worker outputs this step
-	phased bool // lockstep: fetch-all, compute-all, push-all phases
-	ctx    context.Context
-	deg    *runDeg
-	errf   func(error)
-
-	fetchMu sync.Mutex
-	fetch   map[int]*trainFetch
-
-	slotMu sync.Mutex
-	parts  map[int][]*moe.ExpertGrad // expert -> grads in fold-slot order
-	left   map[int]int               // expert -> undelivered slots
-
-	pushWG sync.WaitGroup
-	outs   map[int]*tensor.Matrix // worker -> combined output (final step)
-}
-
-func (cl *Cluster) newStepRun(opts TrainOptions, m, s int, final bool, ctx context.Context, deg *runDeg, errf func(error)) *stepRun {
-	r := &stepRun{
-		cl: cl, opts: opts, m: m, s: s, final: final,
-		phased: !opts.Pipelined,
-		ctx:    ctx, deg: deg, errf: errf,
-		fetch: make(map[int]*trainFetch),
-		parts: make(map[int][]*moe.ExpertGrad),
-		left:  make(map[int]int),
-	}
-	for e, n := range cl.train.plan.slots[m] {
-		r.parts[e] = make([]*moe.ExpertGrad, n)
-		r.left[e] = n
-	}
-	if final {
-		r.outs = make(map[int]*tensor.Matrix)
-		for lw := 0; lw < cl.cfg.WorkersPerNode; lw++ {
-			w := m*cl.cfg.WorkersPerNode + lw
-			r.outs[w] = tensor.New(cl.cfg.TokensPerWorker, cl.cfg.Hidden)
-		}
-	}
-	return r
-}
-
-// runTrainStep executes the step's compute and launches its pushes; the
-// caller decides when to wait on r.pushWG (immediately in synced mode,
-// lazily in overlap mode — that lag is the cross-step pipeline).
-func (cl *Cluster) runTrainStep(r *stepRun) {
-	pieces := cl.train.plan.pieces[r.m]
-	if r.phased {
-		// Phase 1: pull every needed expert, overlapped, and wait.
-		var fwg sync.WaitGroup
-		for _, e := range cl.needs[r.m] {
-			fwg.Add(1)
-			go func(e int) { defer fwg.Done(); r.fetchExpert(e) }(e)
-		}
-		fwg.Wait()
-	} else {
-		// Prefetch wave: pieces join the in-flight pulls as they go.
-		for _, e := range cl.needs[r.m] {
-			go r.fetchExpert(e)
-		}
-	}
-	var cwg sync.WaitGroup
-	for _, p := range pieces {
-		cwg.Add(1)
-		go func(p *workPiece) { defer cwg.Done(); r.runPiece(p) }(p)
-	}
-	cwg.Wait()
-	if r.phased {
-		// Phase 3: fold and push everything after all compute is done.
-		for _, p := range pieces {
-			for _, pe := range p.exps {
-				if pe.slot != 0 {
-					continue // one push per expert
-				}
-				r.pushWG.Add(1)
-				go func(e int) { defer r.pushWG.Done(); r.foldPush(e) }(pe.e)
-			}
-		}
-	}
-}
-
-// fetchExpert resolves expert e's version-(s-1) weights: the owner's
-// live object when local, otherwise a single-flight versioned pull.
-func (r *stepRun) fetchExpert(e int) (*moe.Expert, error) {
-	cl := r.cl
-	want := uint64(r.s - 1)
-	id := transport.ExpertID{Expert: uint32(e)}
-	if cl.ownerFor(r.m, e) == r.m {
-		return cl.stores[r.m].waitLocalAt(id, want)
-	}
-	r.fetchMu.Lock()
-	if f, ok := r.fetch[e]; ok {
-		r.fetchMu.Unlock()
-		<-f.done
-		return f.ex, f.err
-	}
-	f := &trainFetch{done: make(chan struct{})}
-	r.fetch[e] = f
-	r.fetchMu.Unlock()
-	f.ex, f.err = r.pullVersioned(e, want)
-	close(f.done)
-	return f.ex, f.err
-}
-
-// pullVersioned pulls (e, version) from its current owner, re-resolving
-// ownership on remote rejections and falling back to the freshest stale
-// copy when the pull cannot complete and StaleFallback allows it.
-func (r *stepRun) pullVersioned(e int, want uint64) (*moe.Expert, error) {
-	cl := r.cl
-	id := transport.ExpertID{Expert: uint32(e)}
-	owner := cl.ownerFor(r.m, e)
-	var payload []byte
-	var err error
-	for resolve := 0; resolve < 3; resolve++ {
-		if owner == r.m {
-			return cl.stores[r.m].waitLocalAt(id, want)
-		}
-		payload, err = cl.clients[r.m].PullVersion(r.ctx, cl.addrs[owner], id, want)
-		var re *transport.RemoteError
-		if err == nil || !errors.As(err, &re) {
-			break
-		}
-		next := cl.ownerFor(r.m, e)
-		if next == owner {
-			break
-		}
-		owner = next
-	}
-	var fe *transport.FencedEpochError
-	if errors.As(err, &fe) {
-		// The cluster's membership epoch moved past ours: freeze or
-		// catch up (see noteFenced) and degrade this fetch.
-		cl.noteFenced(r.m, fe)
-	}
-	if err == nil {
-		cl.staleMu.Lock()
-		old := cl.stale[r.m][e]
-		cl.staleMu.Unlock()
-		var ex *moe.Expert
-		if old != nil && bytes.Equal(old.payload, payload) {
-			ex = old.ex // identical bits: reuse the decoded weights
-		} else {
-			ex, err = decodeExpert(payload)
-		}
-		if err == nil {
-			cl.staleMu.Lock()
-			cl.stale[r.m][e] = &staleEntry{ex: ex, payload: payload, step: r.s}
-			cl.staleMu.Unlock()
-			return ex, nil
-		}
-	}
-	// Lossless fallback first: a surviving in-sync replica at exactly
-	// the wanted version holds the owner's own published bytes for that
-	// version, so serving it is not degradation — no staleness, and no
-	// StaleFallback opt-in required. Replica entries are replaced
-	// wholesale and never mutated, so the shared object is safe to
-	// compute with.
-	if rep := cl.replicaServe(e, want); rep != nil {
-		cl.clients[r.m].Robust.AddReplicaServe()
-		return rep, nil
-	}
-	if cl.cfg.StaleFallback {
-		cl.staleMu.Lock()
-		old := cl.stale[r.m][e]
-		cl.staleMu.Unlock()
-		if old != nil {
-			cl.clients[r.m].Robust.AddStaleServe()
-			r.deg.noteStale(r.s-old.step, r.s)
-			return old.ex, nil
-		}
-	}
-	return nil, fmt.Errorf("livecluster: machine %d pull expert %d@%d: %w", r.m, e, want, err)
-}
-
-// runPiece computes one (worker, microbatch) unit: for each expert with
-// tokens in the range, fetch its weights, build the upstream gradient
-// rows, run the fused forward/backward, and deliver the weight gradient
-// into its fold slot. On the final step it also combines the outputs.
-func (r *stepRun) runPiece(p *workPiece) {
-	cl := r.cl
-	dout := cl.train.douts[p.w]
-	var ys []*tensor.Matrix
-	if r.final {
-		ys = make([]*tensor.Matrix, len(p.exps))
-	}
-	for i, pe := range p.exps {
-		ex, err := r.fetchExpert(pe.e)
-		if err != nil {
-			r.errf(err)
-			return
-		}
-		dy := tensor.Get(len(pe.toks), cl.cfg.Hidden)
-		for j, t := range pe.toks {
-			dy.AddScaledRow(j, dout.Row(t), pe.ws[j])
-		}
-		y, grad := ex.ForwardBackward(pe.x, dy)
-		tensor.Put(dy)
-		if r.final {
-			ys[i] = y
-		} else {
-			tensor.Put(y)
-		}
-		r.deliver(pe.e, pe.slot, grad)
-	}
-	cl.train.pipe.AddMicrobatch()
-	if r.final {
-		out := r.outs[p.w] // pieces write disjoint token rows
-		for _, c := range p.comb {
-			out.AddScaledRow(c.t, ys[c.expIdx].Row(c.row), c.weight)
-		}
-		for _, y := range ys {
-			tensor.Put(y)
-		}
-	}
-}
-
-// deliver stores a piece's gradient in its fold slot; in streamed mode
-// the last slot for an expert triggers its fold-and-push immediately,
-// overlapping the push with the remaining compute.
-func (r *stepRun) deliver(e, slot int, g *moe.ExpertGrad) {
-	r.slotMu.Lock()
-	r.parts[e][slot] = g
-	r.left[e]--
-	ready := r.left[e] == 0 && !r.phased
-	r.slotMu.Unlock()
-	if ready {
-		r.pushWG.Add(1)
-		go func() { defer r.pushWG.Done(); r.foldPush(e) }()
-	}
-}
-
-// foldPush pre-reduces the machine's gradient slots for expert e in
-// (worker, microbatch) order and delivers the sum to the owner —
-// locally when this machine owns it, otherwise over the wire with
-// ownership re-resolution. A push that cannot reach the owner is a
-// dropped contribution when StaleFallback degradation is on, fatal
-// otherwise.
-func (r *stepRun) foldPush(e int) {
-	cl := r.cl
-	r.slotMu.Lock()
-	parts := r.parts[e]
-	r.slotMu.Unlock()
-	acc := moe.NewExpertGrad(cl.cfg.Hidden)
-	for _, g := range parts {
-		acc.Accumulate(g)
-	}
-	id := transport.ExpertID{Expert: uint32(e)}
-	step := uint64(r.s)
-	owner := cl.ownerFor(r.m, e)
-	var payload []byte
-	var err error
-	for resolve := 0; resolve < 3; resolve++ {
-		if owner == r.m {
-			if aerr := cl.stores[r.m].addTrainGrad(id, step, r.m, acc); aerr != nil {
-				r.errf(aerr)
-			}
-			return
-		}
-		if payload == nil {
-			payload = encodeTrainGrad(step, r.m, acc)
-		}
-		err = cl.clients[r.m].PushGradient(r.ctx, cl.addrs[owner], id, payload)
-		var re *transport.RemoteError
-		if err == nil || !errors.As(err, &re) {
-			break
-		}
-		next := cl.ownerFor(r.m, e)
-		if next == owner {
-			break
-		}
-		owner = next
-	}
-	var fe *transport.FencedEpochError
-	if errors.As(err, &fe) {
-		// A fenced push is the split-brain guard working: the receiver
-		// refused a stale-epoch gradient. Never fatal — the contribution
-		// is dropped exactly like an unreachable-owner push.
-		cl.noteFenced(r.m, fe)
-		r.deg.noteDropped(r.s)
-		return
-	}
-	if err != nil {
-		if cl.cfg.StaleFallback {
-			r.deg.noteDropped(r.s)
-			return
-		}
-		r.errf(fmt.Errorf("livecluster: machine %d push grad expert %d step %d: %w", r.m, e, r.s, err))
-	}
-}
-
 // trainSynced is the barriered driver: lockstep (streamed=false, the
 // phased reference) and step-synced pipelined (streamed=true, phases
 // overlap within a step but the step barrier and flush merge are kept).
 func (cl *Cluster) trainSynced(opts TrainOptions, streamed bool) (TrainResult, error) {
 	cfg := cl.cfg
 	st := cl.train
-	deg := &runDeg{}
+	tr := st.rt
 	robustBefore := cl.robustSnapshot()
 	pipeBefore := st.pipe.Snapshot()
 	base := st.steps
-	outputs := make([]*tensor.Matrix, cfg.numWorkers())
+	outputs := tr.callOutputs(opts.ReuseOutputs)
 
 	for i := 0; i < opts.Steps; i++ {
 		s := base + i + 1
@@ -509,47 +216,27 @@ func (cl *Cluster) trainSynced(opts TrainOptions, streamed bool) (TrainResult, e
 			cl.heartbeatRound(s)
 		}
 		final := i == opts.Steps-1
-		stepCtx, cancel := context.WithCancel(context.Background())
-		var errMu sync.Mutex
-		var firstErr error
-		setErr := func(err error) {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-			cancel() // a failed step cancels its in-flight pulls and pushes
-			for _, store := range cl.stores {
-				store.abortTraining()
-			}
-		}
-		var wg sync.WaitGroup
-		runs := make([]*stepRun, cfg.Machines)
 		for m := 0; m < cfg.Machines; m++ {
 			if !cl.machineRuns(m) {
 				// Fenced out of the cluster: frozen until readmitted. A
 				// machine that merely lost quorum keeps computing in
 				// degraded mode (its pushes are fenced on the wire).
+				tr.ran[m] = false
 				continue
 			}
-			r := cl.newStepRun(opts, m, s, final, stepCtx, deg, setErr)
-			if streamed {
-				r.phased = false
-			}
-			runs[m] = r
-			wg.Add(1)
-			go func(r *stepRun) {
-				defer wg.Done()
-				cl.runTrainStep(r)
-				r.pushWG.Wait()
-			}(r)
+			tr.ran[m] = true
+			rt := tr.machines[m]
+			r := rt.runs[i%len(rt.runs)]
+			r.waitDrained() // trivially drained: synced steps leave runs drained
+			r.reset(s, final, !streamed, opts.ReuseOutputs)
+			// Dispatch to the machine's persistent driver goroutine —
+			// same fold slots and order as a dedicated goroutine, no
+			// per-step closure or stack.
+			tr.stepWG.Add(1)
+			rt.stepCh <- r
 		}
-		wg.Wait()
-		cancel()
-		errMu.Lock()
-		err := firstErr
-		errMu.Unlock()
-		if err != nil {
+		tr.stepWG.Wait()
+		if err := tr.cs.err(); err != nil {
 			return TrainResult{}, err
 		}
 		// Barrier merge: every store folds what arrived for step s.
@@ -568,18 +255,20 @@ func (cl *Cluster) trainSynced(opts TrainOptions, streamed bool) (TrainResult, e
 		cl.antiEntropy(s)
 		cl.runMembershipEvents(opts, s)
 		if final {
-			for _, r := range runs {
-				if r == nil {
+			for m := 0; m < cfg.Machines; m++ {
+				if !tr.ran[m] {
 					continue
 				}
-				for w, out := range r.outs {
-					outputs[w] = out
+				rt := tr.machines[m]
+				r := rt.runs[i%len(rt.runs)]
+				for lw, out := range r.outs {
+					outputs[m*cfg.WorkersPerNode+lw] = out
 				}
 			}
 		}
 		st.steps = s
 	}
-	return cl.trainResult(opts, outputs, deg, robustBefore, pipeBefore, true), nil
+	return cl.trainResult(opts, outputs, &tr.deg, robustBefore, pipeBefore, true), nil
 }
 
 // runMembershipEvents executes the step's scheduled elastic-membership
@@ -605,116 +294,32 @@ func (cl *Cluster) runMembershipEvents(opts TrainOptions, s int) {
 	}
 }
 
-// trainOverlap is the free-running driver: each machine advances its
-// own step counter, bounded by the depth window — a machine may compute
-// step s+Depth only after step s's gradient pushes drained. Merges are
-// count-triggered on the owners, so the only cross-machine
-// synchronisation left is the versioned pulls themselves.
+// trainOverlap is the free-running driver: it hands the call to every
+// machine's persistent driver goroutine (runtime.go runCall) and waits.
 func (cl *Cluster) trainOverlap(opts TrainOptions) (TrainResult, error) {
 	cfg := cl.cfg
 	st := cl.train
-	deg := &runDeg{}
+	tr := st.rt
 	robustBefore := cl.robustSnapshot()
 	pipeBefore := st.pipe.Snapshot()
 	base := st.steps
-	outputs := make([]*tensor.Matrix, cfg.numWorkers())
-	var outMu sync.Mutex
-
-	runCtx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var errMu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		cancel()
-		for _, store := range cl.stores {
-			store.abortTraining()
-		}
-	}
+	outputs := tr.callOutputs(opts.ReuseOutputs)
 	if cfg.Injector != nil {
 		// Outcome-neutral, window-free rules only (syncedTraining
 		// guarantees it), so the step clock can sit still.
 		cfg.Injector.SetStep(base + 1)
 	}
-	var wg sync.WaitGroup
+	tr.callWG.Add(cfg.Machines)
+	call := trainCall{steps: opts.Steps, depth: opts.Depth, base: base, outputs: outputs, reuseOut: opts.ReuseOutputs}
 	for m := 0; m < cfg.Machines; m++ {
-		wg.Add(1)
-		go func(m int) {
-			defer wg.Done()
-			drained := make([]chan struct{}, opts.Steps)
-			for i := 0; i < opts.Steps; i++ {
-				if runCtx.Err() != nil {
-					return
-				}
-				depth := opts.Depth
-				if depth > 1 && cfg.SlowAfter > 0 && cl.peerSlow(m) {
-					// Gray failure: a peer is flagged slow, so shrink the
-					// in-flight window instead of queueing more work
-					// behind it — the pipeline slows but never stalls on
-					// a dead-man timeout. Scheduling-only: fold points
-					// and order are unchanged, so outputs stay bitwise.
-					depth = 1
-					st.pipe.AddDepthShrink()
-				}
-				if j := i - depth; j >= 0 {
-					// Backpressure: block until step j's pushes drained.
-					select {
-					case <-drained[j]:
-					default:
-						start := time.Now()
-						select {
-						case <-drained[j]:
-							st.pipe.AddDepthStall(time.Since(start).Nanoseconds())
-						case <-runCtx.Done():
-							return
-						}
-					}
-				}
-				s := base + i + 1
-				final := i == opts.Steps-1
-				r := cl.newStepRun(opts, m, s, final, runCtx, deg, setErr)
-				r.phased = false
-				cl.runTrainStep(r)
-				ch := make(chan struct{})
-				drained[i] = ch
-				go func(r *stepRun, ch chan struct{}) {
-					r.pushWG.Wait()
-					close(ch)
-				}(r, ch)
-				if final {
-					outMu.Lock()
-					for w, out := range r.outs {
-						outputs[w] = out
-					}
-					outMu.Unlock()
-				}
-			}
-			// Drain the tail before the machine retires.
-			for i := max(0, opts.Steps-opts.Depth); i < opts.Steps; i++ {
-				if drained[i] == nil {
-					continue
-				}
-				select {
-				case <-drained[i]:
-				case <-runCtx.Done():
-					return
-				}
-			}
-		}(m)
+		tr.machines[m].callCh <- call
 	}
-	wg.Wait()
-	errMu.Lock()
-	err := firstErr
-	errMu.Unlock()
-	if err != nil {
+	tr.callWG.Wait()
+	if err := tr.cs.err(); err != nil {
 		return TrainResult{}, err
 	}
 	st.steps = base + opts.Steps
-	return cl.trainResult(opts, outputs, deg, robustBefore, pipeBefore, false), nil
+	return cl.trainResult(opts, outputs, &tr.deg, robustBefore, pipeBefore, false), nil
 }
 
 func (cl *Cluster) trainResult(opts TrainOptions, outputs []*tensor.Matrix, deg *runDeg, robustBefore metrics.RobustnessSnapshot, pipeBefore metrics.PipelineSnapshot, synced bool) TrainResult {

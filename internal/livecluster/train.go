@@ -13,6 +13,13 @@
 // reassociation-free, so lockstep and pipelined runs must use the same
 // microbatch count to compare bitwise — they then do, by construction,
 // because timing can only reorder work between the fixed fold points.
+//
+// Allocation discipline (the contract the zero-alloc gates pin): the
+// steady-state merge path allocates nothing. Wire gradients decode into
+// pooled ExpertGrads, contributions collect in reusable dense
+// pendingMerge slots (indexed by the shared expect table), the merge
+// accumulator is pooled, and the published encodings live in a
+// per-store refcounted buffer freelist (see livecluster.go).
 package livecluster
 
 import (
@@ -36,12 +43,17 @@ const trainGradMagic = 0x4A475231 // "JGR1"
 // trainGradHeaderBytes is magic + step (u64) + source machine (u32).
 const trainGradHeaderBytes = 4 + 8 + 4
 
-// encodeTrainGrad serialises one pre-reduced gradient contribution:
-// header, then DW1 and DW2 as little-endian float32 bit patterns (so a
-// decode reproduces the exact bits that were folded on the sender).
-func encodeTrainGrad(step uint64, source int, g *moe.ExpertGrad) []byte {
+// encodeTrainGradInto serialises one pre-reduced gradient contribution
+// into buf (grown only when too small): header, then DW1 and DW2 as
+// little-endian float32 bit patterns, so a decode reproduces the exact
+// bits that were folded on the sender. Returns the filled slice.
+func encodeTrainGradInto(buf []byte, step uint64, source int, g *moe.ExpertGrad) []byte {
 	n1, n2 := len(g.DW1.Data), len(g.DW2.Data)
-	buf := make([]byte, trainGradHeaderBytes+4*(n1+n2))
+	need := trainGradHeaderBytes + 4*(n1+n2)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
 	binary.BigEndian.PutUint32(buf[0:4], trainGradMagic)
 	binary.BigEndian.PutUint64(buf[4:12], step)
 	binary.BigEndian.PutUint32(buf[12:16], uint32(source))
@@ -57,6 +69,11 @@ func encodeTrainGrad(step uint64, source int, g *moe.ExpertGrad) []byte {
 	return buf
 }
 
+// encodeTrainGrad is the allocating variant (cold paths and tests).
+func encodeTrainGrad(step uint64, source int, g *moe.ExpertGrad) []byte {
+	return encodeTrainGradInto(nil, step, source, g)
+}
+
 // isTrainGrad reports whether a gradient payload carries the training
 // format (the legacy synthetic payload is 8 bytes, shorter than the
 // training header, so the check cannot misfire).
@@ -65,22 +82,25 @@ func isTrainGrad(payload []byte) bool {
 		binary.BigEndian.Uint32(payload[0:4]) == trainGradMagic
 }
 
-// decodeTrainGrad parses a training gradient payload for hidden size h,
-// copying the floats out (the transport recycles the payload buffer
-// after the store call returns).
-func decodeTrainGrad(payload []byte, h int) (step uint64, source int, g *moe.ExpertGrad, err error) {
+// parseTrainGradHeader validates a training gradient payload for hidden
+// size h and returns its header fields without decoding the floats.
+func parseTrainGradHeader(payload []byte, h int) (step uint64, source int, err error) {
 	if !isTrainGrad(payload) {
-		return 0, 0, nil, fmt.Errorf("livecluster: bad training gradient magic")
+		return 0, 0, fmt.Errorf("livecluster: bad training gradient magic")
 	}
 	n1 := h * 4 * h
 	n2 := n1
 	if len(payload) != trainGradHeaderBytes+4*(n1+n2) {
-		return 0, 0, nil, fmt.Errorf("livecluster: training gradient %d bytes, want %d",
+		return 0, 0, fmt.Errorf("livecluster: training gradient %d bytes, want %d",
 			len(payload), trainGradHeaderBytes+4*(n1+n2))
 	}
-	step = binary.BigEndian.Uint64(payload[4:12])
-	source = int(binary.BigEndian.Uint32(payload[12:16]))
-	g = moe.NewExpertGrad(h)
+	return binary.BigEndian.Uint64(payload[4:12]), int(binary.BigEndian.Uint32(payload[12:16])), nil
+}
+
+// decodeTrainGradInto fills g (already the right shape) with the float
+// payload of a validated training gradient. Every element is
+// overwritten, so g may come from GetExpertGradUninit.
+func decodeTrainGradInto(g *moe.ExpertGrad, payload []byte) {
 	off := trainGradHeaderBytes
 	for i := range g.DW1.Data {
 		g.DW1.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
@@ -90,25 +110,44 @@ func decodeTrainGrad(payload []byte, h int) (step uint64, source int, g *moe.Exp
 		g.DW2.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
 		off += 4
 	}
+}
+
+// decodeTrainGrad parses a training gradient payload for hidden size h,
+// copying the floats out (the transport recycles the payload buffer
+// after the store call returns). Allocating variant for cold paths and
+// the fuzz round-trip; the hot wire path decodes into a pooled grad.
+func decodeTrainGrad(payload []byte, h int) (step uint64, source int, g *moe.ExpertGrad, err error) {
+	step, source, err = parseTrainGradHeader(payload, h)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	g = moe.NewExpertGrad(h)
+	decodeTrainGradInto(g, payload)
 	return step, source, g, nil
 }
 
-// mergeBuf collects the contributions for one (expert, step) merge,
-// keyed by source machine.
-type mergeBuf struct {
-	got map[int]*moe.ExpertGrad
+// pendingMerge collects the contributions for one (expert, step) merge
+// in a dense slice indexed by the expert's expect-table position, so the
+// fold order is the slice order and the buffer is reusable step after
+// step. Inactive entries stay on the expert's list for reuse.
+type pendingMerge struct {
+	step   uint64
+	got    []*moe.ExpertGrad // dense by expect index; pooled, store-owned
+	n      int               // contributions present
+	active bool
 }
 
 // enableTraining switches the store into versioned-training mode.
 // expect is the shared contributor table (expert index → ascending
 // machines that route tokens to it — ownership-independent, so it
-// survives failover re-homes); startVer seeds every hosted expert's
-// version on first enable (later calls keep the versions already
-// reached). countTrigger selects the merge trigger: true applies a
-// step's merge the moment every expected contribution arrived (the
-// free-running overlap mode), false leaves merging to flushTo at the
-// step barrier (lockstep and step-synced modes).
-func (s *machineStore) enableTraining(expect [][]int, lr float32, countTrigger bool, pipe *metrics.Pipeline, startVer uint64) {
+// survives failover re-homes) and expectIdx its dense inverse (expert →
+// machine → position in expect, -1 when absent); startVer seeds every
+// hosted expert's version on first enable (later calls keep the
+// versions already reached). countTrigger selects the merge trigger:
+// true applies a step's merge the moment every expected contribution
+// arrived (the free-running overlap mode), false leaves merging to
+// flushTo at the step barrier (lockstep and step-synced modes).
+func (s *machineStore) enableTraining(expect [][]int, expectIdx [][]int32, lr float32, countTrigger bool, pipe *metrics.Pipeline, startVer uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.trainOn = true
@@ -116,10 +155,11 @@ func (s *machineStore) enableTraining(expect [][]int, lr float32, countTrigger b
 	s.countTrigger = countTrigger
 	s.lr = lr
 	s.expect = expect
+	s.expectIdx = expectIdx
 	s.pipe = pipe
 	if s.ver == nil {
 		s.ver = make(map[transport.ExpertID]uint64, len(s.experts))
-		s.pending = make(map[transport.ExpertID]map[uint64]*mergeBuf)
+		s.pending = make(map[transport.ExpertID][]*pendingMerge)
 		for id := range s.experts {
 			s.ver[id] = startVer
 		}
@@ -156,6 +196,8 @@ var errTrainAborted = errors.New("livecluster: training aborted")
 // the caller until the owner's merge publishes it. The park is the
 // pipeline's backpressure — a puller one step ahead waits here, inside
 // its own server handler goroutine, instead of receiving torn weights.
+// The returned buffer is refcounted; the transport releases it after
+// the copy to the wire (see ReleaseExpertBytes).
 func (s *machineStore) ExpertBytesAt(id transport.ExpertID, version uint64) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -175,12 +217,7 @@ func (s *machineStore) ExpertBytesAt(id transport.ExpertID, version uint64) ([]b
 			if !waitStart.IsZero() {
 				s.pipe.AddVersionWait(time.Since(waitStart).Nanoseconds())
 			}
-			b, ok := s.enc[id]
-			if !ok {
-				b = encodeExpert(e)
-				s.enc[id] = b
-			}
-			return b, nil
+			return s.encRefLocked(id, e), nil
 		case v > version:
 			// The pull⟺contribute invariant makes this unreachable in a
 			// correct run: a version can only pass `version` after the
@@ -229,9 +266,70 @@ func (s *machineStore) waitLocalAt(id transport.ExpertID, version uint64) (*moe.
 	}
 }
 
+// claimPendingLocked returns the active pendingMerge for (id, step),
+// reviving an inactive buffer from the expert's list (or appending one)
+// when none is. want is the expert's expected contributor count.
+func (s *machineStore) claimPendingLocked(id transport.ExpertID, step uint64, want int) *pendingMerge {
+	var free *pendingMerge
+	for _, pm := range s.pending[id] {
+		if pm.active && pm.step == step {
+			return pm
+		}
+		if !pm.active && free == nil {
+			free = pm
+		}
+	}
+	if free == nil {
+		free = &pendingMerge{}
+		s.pending[id] = append(s.pending[id], free)
+	}
+	free.step = step
+	free.active = true
+	free.n = 0
+	if cap(free.got) < want {
+		free.got = make([]*moe.ExpertGrad, want)
+	} else {
+		free.got = free.got[:want]
+		for i := range free.got {
+			free.got[i] = nil
+		}
+	}
+	return free
+}
+
+// findPendingLocked returns the active merge buffer for (id, step), or
+// nil when no contribution for that step has arrived.
+func (s *machineStore) findPendingLocked(id transport.ExpertID, step uint64) *pendingMerge {
+	for _, pm := range s.pending[id] {
+		if pm.active && pm.step == step {
+			return pm
+		}
+	}
+	return nil
+}
+
+// releasePendingLocked drops every buffered contribution for id,
+// returning the pooled gradients — the install/remove/re-home path.
+func (s *machineStore) releasePendingLocked(id transport.ExpertID) {
+	for _, pm := range s.pending[id] {
+		if !pm.active {
+			continue
+		}
+		for i, g := range pm.got {
+			if g != nil {
+				moe.PutExpertGrad(g)
+				pm.got[i] = nil
+			}
+		}
+		pm.n = 0
+		pm.active = false
+	}
+}
+
 // addTrainGrad records one machine's pre-reduced contribution for
-// (expert, step). In count-trigger mode it applies the merge chain as
-// soon as a step's expected set completes.
+// (expert, step). On success the store owns g (it is recycled by the
+// merge); on error the caller keeps ownership. In count-trigger mode it
+// applies the merge chain as soon as a step's expected set completes.
 func (s *machineStore) addTrainGrad(id transport.ExpertID, step uint64, source int, g *moe.ExpertGrad) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -244,34 +342,46 @@ func (s *machineStore) addTrainGrad(id transport.ExpertID, step uint64, source i
 	if step <= s.ver[id] {
 		return fmt.Errorf("livecluster: gradient for step %d but expert %v already at version %d", step, id, s.ver[id])
 	}
-	pe := s.pending[id]
-	if pe == nil {
-		pe = make(map[uint64]*mergeBuf)
-		s.pending[id] = pe
+	e := int(id.Expert)
+	if e >= len(s.expectIdx) {
+		return fmt.Errorf("livecluster: gradient for unknown expert %v", id)
 	}
-	mb := pe[step]
-	if mb == nil {
-		mb = &mergeBuf{got: make(map[int]*moe.ExpertGrad)}
-		pe[step] = mb
+	row := s.expectIdx[e]
+	if source < 0 || source >= len(row) || row[source] < 0 {
+		// A contributor outside the static expect set (a corrupted or
+		// forged source field) can never complete a merge — reject it
+		// instead of burying it in a buffer that would skew the count
+		// trigger.
+		return fmt.Errorf("livecluster: machine %d is not an expected contributor for expert %v", source, id)
 	}
-	if _, dup := mb.got[source]; dup {
+	di := row[source]
+	pm := s.claimPendingLocked(id, step, len(s.expect[e]))
+	if pm.got[di] != nil {
 		return fmt.Errorf("livecluster: duplicate gradient from machine %d for %v step %d", source, id, step)
 	}
-	mb.got[source] = g
+	pm.got[di] = g
+	pm.n++
 	if s.countTrigger {
 		s.advanceLocked(id)
 	}
 	return nil
 }
 
-// addTrainGradWire decodes a wire-format training gradient and records
-// it. The payload is only valid during the call (transport contract).
+// addTrainGradWire decodes a wire-format training gradient into a
+// pooled buffer and records it. The payload is only valid during the
+// call (transport contract), so the floats are copied out here.
 func (s *machineStore) addTrainGradWire(id transport.ExpertID, payload []byte) error {
-	step, source, g, err := decodeTrainGrad(payload, s.h)
+	step, source, err := parseTrainGradHeader(payload, s.h)
 	if err != nil {
 		return err
 	}
-	return s.addTrainGrad(id, step, source, g)
+	g := moe.GetExpertGradUninit(s.h)
+	decodeTrainGradInto(g, payload)
+	if err := s.addTrainGrad(id, step, source, g); err != nil {
+		moe.PutExpertGrad(g)
+		return err
+	}
+	return nil
 }
 
 // advanceLocked applies complete pending merges in step order: version
@@ -281,35 +391,39 @@ func (s *machineStore) advanceLocked(id transport.ExpertID) {
 	e := int(id.Expert)
 	for {
 		next := s.ver[id] + 1
-		mb := s.pending[id][next]
-		if mb == nil || len(mb.got) < len(s.expect[e]) {
+		pm := s.findPendingLocked(id, next)
+		if pm == nil || pm.n < len(s.expect[e]) {
 			return
 		}
-		s.applyMergeLocked(id, mb, true)
+		s.applyMergeLocked(id, pm, true)
 	}
 }
 
 // applyMergeLocked folds one step's contributions in ascending source-
-// machine order (the deterministic merge), applies SGD, and publishes
-// the next version. A nil or empty buffer (contributions lost to faults
-// or a dead sender) publishes the version with unchanged weights — the
-// trainer's analogue of a skipped micro-update, and what keeps parked
-// pullers from deadlocking on a step whose gradients died with a
-// machine.
-func (s *machineStore) applyMergeLocked(id transport.ExpertID, mb *mergeBuf, countTriggered bool) {
+// machine order (the dense buffer's slice order — the deterministic
+// merge), applies SGD, and publishes the next version. A nil or empty
+// buffer (contributions lost to faults or a dead sender) publishes the
+// version with unchanged weights — the trainer's analogue of a skipped
+// micro-update, and what keeps parked pullers from deadlocking on a
+// step whose gradients died with a machine.
+func (s *machineStore) applyMergeLocked(id transport.ExpertID, pm *pendingMerge, countTriggered bool) {
 	next := s.ver[id] + 1
-	if mb != nil && len(mb.got) > 0 {
-		acc := moe.NewExpertGrad(s.h)
-		for _, src := range s.expect[int(id.Expert)] {
-			if g, ok := mb.got[src]; ok {
+	if pm != nil && pm.n > 0 {
+		acc := moe.GetExpertGrad(s.h)
+		for i, g := range pm.got {
+			if g != nil {
 				acc.Accumulate(g)
+				moe.PutExpertGrad(g)
+				pm.got[i] = nil
 			}
 		}
 		s.experts[id].ApplySGD(acc, s.lr)
-		delete(s.enc, id)
+		moe.PutExpertGrad(acc)
+		s.invalidateEncLocked(id)
 	}
-	if s.pending[id] != nil {
-		delete(s.pending[id], next)
+	if pm != nil {
+		pm.n = 0
+		pm.active = false
 	}
 	s.ver[id] = next
 	if countTriggered {
@@ -331,21 +445,30 @@ func (s *machineStore) flushTo(target uint64) {
 	if !s.trainOn || s.aborted {
 		return
 	}
-	ids := make([]transport.ExpertID, 0, len(s.experts))
-	for id := range s.experts {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Block != ids[j].Block {
-			return ids[i].Block < ids[j].Block
-		}
-		return ids[i].Expert < ids[j].Expert
-	})
-	for _, id := range ids {
+	for _, id := range s.sortedLocked() {
 		for s.ver[id] < target {
-			s.applyMergeLocked(id, s.pending[id][s.ver[id]+1], false)
+			s.applyMergeLocked(id, s.findPendingLocked(id, s.ver[id]+1), false)
 		}
 	}
+}
+
+// sortedLocked returns the hosted expert ids in ascending order,
+// rebuilt only when hosting changed (install/remove/commit invalidate
+// it) so the per-step flush does not re-sort an unchanged set.
+func (s *machineStore) sortedLocked() []transport.ExpertID {
+	if s.sorted == nil {
+		s.sorted = make([]transport.ExpertID, 0, len(s.experts))
+		for id := range s.experts {
+			s.sorted = append(s.sorted, id)
+		}
+		sort.Slice(s.sorted, func(i, j int) bool {
+			if s.sorted[i].Block != s.sorted[j].Block {
+				return s.sorted[i].Block < s.sorted[j].Block
+			}
+			return s.sorted[i].Expert < s.sorted[j].Expert
+		})
+	}
+	return s.sorted
 }
 
 // installAt is install plus version bookkeeping: the failover re-home
@@ -355,10 +478,11 @@ func (s *machineStore) flushTo(target uint64) {
 func (s *machineStore) installAt(id transport.ExpertID, e *moe.Expert, ver uint64) {
 	s.mu.Lock()
 	s.experts[id] = e
-	delete(s.enc, id)
+	s.invalidateEncLocked(id)
+	s.sorted = nil
 	if s.trainOn {
 		s.ver[id] = ver
-		delete(s.pending, id)
+		s.releasePendingLocked(id)
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
@@ -370,8 +494,17 @@ type trainState struct {
 	detached bool
 	douts    []*tensor.Matrix // per worker: deterministic upstream gradient
 	expect   [][]int          // expert -> ascending contributor machines
-	plan     *microPlan
-	pipe     metrics.Pipeline
+	// expectIdx is expect's dense inverse: expert -> machine -> position
+	// in expect[e], -1 when the machine is not a contributor. Shared by
+	// every store so the wire-gradient fast path is an array lookup.
+	expectIdx [][]int32
+	plan      *microPlan
+	pipe      metrics.Pipeline
+
+	// rt is the persistent execution runtime (worker pools, step-run
+	// rings, scratch) the per-step drivers schedule onto; rebuilt only
+	// when the plan shape or depth window changes (see runtime.go).
+	rt *trainRuntime
 
 	// lr and countTrigger mirror the last trainInit's arming arguments,
 	// so a machine joining mid-Train can arm its store identically.
@@ -405,6 +538,7 @@ type pieceExpert struct {
 	toks []int          // the tokens of those rows (ascending)
 	ws   []float32      // combine weight of (token, e), aligned with toks
 	slot int            // index in the machine's per-expert fold order
+	pidx int32          // index into the machine runtime's pushExperts
 }
 
 // combOp adds one weighted expert-output row into an output token row.
@@ -437,8 +571,8 @@ func (cl *Cluster) buildMicroPlan(m int) *microPlan {
 					continue
 				}
 				p := &workPiece{w: w, lo: lo, hi: hi}
-				epos := make(map[int]int)  // expert -> index in p.exps
-				xlos := make(map[int]int)  // expert -> row offset of the slice
+				epos := make(map[int]int) // expert -> index in p.exps
+				xlos := make(map[int]int) // expert -> row offset of the slice
 				for _, e := range ri.needed {
 					toks := ri.tokens[e]
 					xlo := sort.SearchInts(toks, lo)
@@ -485,7 +619,8 @@ func (cl *Cluster) buildMicroPlan(m int) *microPlan {
 // trainInit builds (or refreshes) the cluster's training state for one
 // Train call: detach store weights from the seed layer (once), build
 // the contributor table and upstream gradients (once), (re)build the
-// microbatch plan when M changed, and arm every store.
+// microbatch plan and execution runtime when their shape changed, and
+// arm every store.
 func (cl *Cluster) trainInit(opts TrainOptions, countTrigger bool) {
 	cfg := cl.cfg
 	if cl.train == nil {
@@ -500,11 +635,32 @@ func (cl *Cluster) trainInit(opts TrainOptions, countTrigger bool) {
 				st.expect[e] = append(st.expect[e], m)
 			}
 		}
+		st.expectIdx = make([][]int32, cfg.NumExperts)
+		for e := range st.expectIdx {
+			row := make([]int32, cfg.Machines)
+			for i := range row {
+				row[i] = -1
+			}
+			for di, m := range st.expect[e] {
+				row[m] = int32(di)
+			}
+			st.expectIdx[e] = row
+		}
 		cl.train = st
 	}
 	st := cl.train
 	if st.plan == nil || st.plan.m != opts.Microbatches {
 		st.plan = cl.buildMicroPlan(opts.Microbatches)
+		if st.rt != nil {
+			st.rt.shutdown()
+			st.rt = nil
+		}
+	}
+	if st.rt == nil || st.rt.depthCap < opts.Depth {
+		if st.rt != nil {
+			st.rt.shutdown()
+		}
+		st.rt = newTrainRuntime(cl, st.plan, max(opts.Depth, DefaultPipelineDepth))
 	}
 	if !st.detached {
 		for _, s := range cl.stores {
@@ -515,17 +671,21 @@ func (cl *Cluster) trainInit(opts TrainOptions, countTrigger bool) {
 	st.lr = opts.LR
 	st.countTrigger = countTrigger
 	for _, s := range cl.stores {
-		s.enableTraining(st.expect, opts.LR, countTrigger, &st.pipe, uint64(st.steps))
+		s.enableTraining(st.expect, st.expectIdx, opts.LR, countTrigger, &st.pipe, uint64(st.steps))
 	}
+	st.rt.cs.reset()
+	st.rt.deg.reset()
 }
 
 // ExpertState returns every expert's current encoded weights, read from
 // its current owner — the differential tests' bitwise comparison point.
+// Each encoding is a fresh copy the caller owns outright (the pooled
+// serving buffers stay inside the stores).
 func (cl *Cluster) ExpertState() ([][]byte, error) {
 	out := make([][]byte, cl.cfg.NumExperts)
 	for e := range out {
 		owner := cl.currentOwner(e)
-		b, err := cl.stores[owner].ExpertBytes(transport.ExpertID{Expert: uint32(e)})
+		b, err := cl.stores[owner].expertBytesCopy(transport.ExpertID{Expert: uint32(e)})
 		if err != nil {
 			return nil, err
 		}

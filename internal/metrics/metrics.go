@@ -419,6 +419,11 @@ type Pipeline struct {
 // AddMicrobatch records one executed (worker, microbatch) piece.
 func (p *Pipeline) AddMicrobatch() { p.microbatches.Add(1) }
 
+// AddMicrobatches records n executed pieces at once. The trainer batches
+// its per-piece counts into one add per (machine, step) so the hot loop
+// does not contend on this cache line once per microbatch.
+func (p *Pipeline) AddMicrobatches(n int64) { p.microbatches.Add(n) }
+
 // AddDepthStall records one wait on the bounded in-flight step window.
 func (p *Pipeline) AddDepthStall(nanos int64) {
 	p.depthStalls.Add(1)

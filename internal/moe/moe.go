@@ -21,6 +21,7 @@ package moe
 
 import (
 	"fmt"
+	"sync"
 
 	"janus/internal/tensor"
 )
@@ -85,6 +86,41 @@ func NewExpertGrad(h int) *ExpertGrad {
 	return &ExpertGrad{DW1: tensor.New(h, 4*h), DW2: tensor.New(4*h, h)}
 }
 
+// gradPool recycles ExpertGrad headers; the DW matrices ride the tensor
+// scratch pool. Together they make per-step gradient staging
+// allocation-free once warm.
+var gradPool = sync.Pool{New: func() any { return new(ExpertGrad) }}
+
+// GetExpertGrad returns a pooled zero gradient of the right shape,
+// indistinguishable from NewExpertGrad. Pair with PutExpertGrad.
+func GetExpertGrad(h int) *ExpertGrad {
+	g := gradPool.Get().(*ExpertGrad)
+	g.DW1 = tensor.Get(h, 4*h)
+	g.DW2 = tensor.Get(4*h, h)
+	return g
+}
+
+// GetExpertGradUninit is GetExpertGrad without the zero fill — for
+// callers that overwrite every element (e.g. wire decode).
+func GetExpertGradUninit(h int) *ExpertGrad {
+	g := gradPool.Get().(*ExpertGrad)
+	g.DW1 = tensor.GetUninit(h, 4*h)
+	g.DW2 = tensor.GetUninit(4*h, h)
+	return g
+}
+
+// PutExpertGrad recycles a gradient obtained from GetExpertGrad (or any
+// gradient the caller owns outright). The caller must not use g after.
+func PutExpertGrad(g *ExpertGrad) {
+	if g == nil {
+		return
+	}
+	tensor.Put(g.DW1)
+	tensor.Put(g.DW2)
+	g.DW1, g.DW2 = nil, nil
+	gradPool.Put(g)
+}
+
 // Accumulate adds other into g.
 func (g *ExpertGrad) Accumulate(other *ExpertGrad) {
 	g.DW1.AddInPlace(other.DW1)
@@ -111,20 +147,31 @@ func (e *Expert) Backward(cache *ExpertCache, dy *tensor.Matrix) (dx *tensor.Mat
 // Backward, skipping the dX product the live trainer never consumes.
 // The returned output and gradients are bit-identical to
 // Forward+Backward on the same inputs (same kernels, same order); the
-// activation cache never escapes the call, so intermediates stay in the
-// scratch pool. The caller owns y (Put it when done) and grad.
+// activations never escape the call, so intermediates stay in the
+// scratch pool and the whole fused pass allocates nothing once the
+// pools are warm. The caller owns y (Put it when done) and grad
+// (PutExpertGrad it when done).
 func (e *Expert) ForwardBackward(x, dy *tensor.Matrix) (y *tensor.Matrix, grad *ExpertGrad) {
-	y, cache := e.Forward(x)
+	// Forward, inlined so no activation-cache header is allocated.
+	h1 := tensor.Get(x.Rows, e.W1.Cols)
+	tensor.MatMulInto(x, e.W1, h1)
+	a := tensor.GetUninit(h1.Rows, h1.Cols)
+	tensor.GeLUInto(h1, a)
+	y = tensor.Get(a.Rows, e.W2.Cols)
+	tensor.MatMulInto(a, e.W2, y)
+
 	da := tensor.GetUninit(dy.Rows, e.W2.Rows)
 	tensor.MatMulTransBInto(dy, e.W2, da) // dA = dY·W2ᵀ
-	dh1 := tensor.GetUninit(cache.H1.Rows, cache.H1.Cols)
-	tensor.GeLUGradInto(cache.H1, da, dh1) // dH1 = dA ⊙ gelu'(H1)
+	dh1 := tensor.GetUninit(h1.Rows, h1.Cols)
+	tensor.GeLUGradInto(h1, da, dh1) // dH1 = dA ⊙ gelu'(H1)
 	tensor.Put(da)
-	dw1 := tensor.MatMulTransA(cache.X, dh1) // dW1 = Xᵀ·dH1
-	dw2 := tensor.MatMulTransA(cache.A, dy)  // dW2 = Aᵀ·dY
+	grad = GetExpertGrad(e.W1.Rows)
+	tensor.MatMulTransAInto(x, dh1, grad.DW1) // dW1 = Xᵀ·dH1
+	tensor.MatMulTransAInto(a, dy, grad.DW2)  // dW2 = Aᵀ·dY
 	tensor.Put(dh1)
-	cache.Release()
-	return y, &ExpertGrad{DW1: dw1, DW2: dw2}
+	tensor.Put(h1)
+	tensor.Put(a)
+	return y, grad
 }
 
 // clonePooled is Clone backed by the tensor scratch pool; pair with

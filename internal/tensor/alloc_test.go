@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// The zero-alloc kernel gates: MatMulInto and its transpose variants
+// into pooled outputs must not touch the heap once the pools are warm.
+// The shapes used are below minParRows, so the serial fast path of
+// parallelMatRows is taken deterministically on any machine — the
+// parallel fan-out path allocates its chunk closures by design and is
+// exercised by the throughput benchmarks instead.
+
+// allocsSteadyState reports the average allocations of fn after a
+// warm-up run, with GC disabled so sync.Pool victims are not cleared
+// mid-measurement.
+func allocsSteadyState(fn func()) float64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	fn() // warm pools
+	var n float64
+	for attempt := 0; attempt < 3; attempt++ {
+		// AllocsPerRun counts process-global mallocs; retry while
+		// nonzero so a stray allocation from another test's
+		// winding-down goroutine cannot fail the gate. A real per-op
+		// leak fails every attempt deterministically.
+		n = testing.AllocsPerRun(100, fn)
+		if n == 0 {
+			return 0
+		}
+	}
+	return n
+}
+
+func TestMatMulIntoPooledZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race runtime")
+	}
+	a := New(8, 16)
+	b := New(16, 24)
+	for i := range a.Data {
+		a.Data[i] = float32(i%7) - 3
+	}
+	for i := range b.Data {
+		b.Data[i] = float32(i%5) - 2
+	}
+	out := Get(8, 24)
+	defer Put(out)
+	if n := allocsSteadyState(func() { MatMulInto(a, b, out) }); n != 0 {
+		t.Fatalf("MatMulInto: %v allocs/op in steady state, want 0", n)
+	}
+}
+
+func TestMatMulTransAIntoPooledZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race runtime")
+	}
+	a := New(16, 8)
+	b := New(16, 24)
+	out := Get(8, 24)
+	defer Put(out)
+	if n := allocsSteadyState(func() { MatMulTransAInto(a, b, out) }); n != 0 {
+		t.Fatalf("MatMulTransAInto: %v allocs/op in steady state, want 0", n)
+	}
+}
+
+func TestMatMulTransBIntoPooledZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race runtime")
+	}
+	a := New(8, 16)
+	b := New(24, 16)
+	out := Get(8, 24)
+	defer Put(out)
+	if n := allocsSteadyState(func() { MatMulTransBInto(a, b, out) }); n != 0 {
+		t.Fatalf("MatMulTransBInto: %v allocs/op in steady state, want 0", n)
+	}
+}

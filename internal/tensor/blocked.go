@@ -1,0 +1,127 @@
+// Cache-blocked matmul kernels, selected by shape beside the
+// row-parallel ones.
+//
+// The row kernels stream the full right-hand operand once per output
+// row; when that operand no longer fits in L1/L2 the stream becomes a
+// cache-miss loop. The blocked kernels tile the reduction dimension
+// (blockK) and the output columns (blockJ) so one operand tile stays
+// hot across a whole row range — the CPU analogue of staging a tile in
+// shared memory on an accelerator.
+//
+// Determinism argument, extending parallel.go's: blocking reorders
+// which (row, column-tile) pair is visited when, but for any single
+// output element out[i][j] the reduction terms are still added to one
+// accumulator in ascending-k order with the same zero skips and the
+// same per-term expression as the serial reference. Float addition is
+// applied term by term (a strict left fold) in both versions, and Go
+// rounds every float32 operation individually, so storing the running
+// sum to memory between k-tiles cannot change a single bit.
+// blocked_test.go property-tests all three kernels bitwise against the
+// retained serial references.
+package tensor
+
+const (
+	// blockK is the reduction-dimension tile: how many rows of the
+	// streamed operand are kept hot per pass.
+	blockK = 64
+	// blockJ is the output-column tile, sized so one tile of the
+	// output row plus one tile of the operand row stay in L1.
+	blockJ = 256
+	// blockedMinK and blockedMinFoot gate blocked-kernel selection:
+	// below these the whole streamed operand fits in cache and the
+	// row kernels' single pass is strictly cheaper.
+	blockedMinK    = 128
+	blockedMinFoot = 32 * 1024 // floats, ~128 KB: past L1, into L2
+)
+
+// useBlocked reports whether the blocked kernel wins for a reduction of
+// depth k feeding rows×cols of streamed operand data.
+func useBlocked(k, footprint int) bool {
+	return k >= blockedMinK && footprint >= blockedMinFoot
+}
+
+// matMulRowsBlocked computes rows [lo, hi) of out = a·b with k- and
+// j-tiling. Per output element the k-terms accumulate in ascending
+// order exactly as matMulRows does: k-tiles are visited ascending and
+// each element's column belongs to exactly one j-tile.
+func matMulRowsBlocked(a, b, out *Matrix, lo, hi int) {
+	n := out.Cols
+	for k0 := 0; k0 < a.Cols; k0 += blockK {
+		k1 := min(k0+blockK, a.Cols)
+		for j0 := 0; j0 < n; j0 += blockJ {
+			j1 := min(j0+blockJ, n)
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)[j0:j1]
+				for k := k0; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)[j0:j1]
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// matMulTransARowsBlocked computes output rows [lo, hi) of out = aᵀ·b
+// with k-tiling: a is read column-wise (stride a.Cols), so keeping a
+// k-tile of a and b resident across the whole row range turns the
+// strided re-reads into cache hits. Ascending k0 tiles with ascending k
+// inside preserve matMulTransARows's per-element order and zero skips.
+func matMulTransARowsBlocked(a, b, out *Matrix, lo, hi int) {
+	n := b.Cols
+	for k0 := 0; k0 < a.Rows; k0 += blockK {
+		k1 := min(k0+blockK, a.Rows)
+		for j0 := 0; j0 < n; j0 += blockJ {
+			j1 := min(j0+blockJ, n)
+			for i := lo; i < hi; i++ {
+				orow := out.Row(i)[j0:j1]
+				for k := k0; k < k1; k++ {
+					av := a.Data[k*a.Cols+i]
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(k)[j0:j1]
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// matMulTransBRowsBlocked computes rows [lo, hi) of out = a·bᵀ with
+// k-tiling so a k-slice of b's rows is reused across the row range. The
+// serial kernel folds each dot product left to right in one register;
+// here the running sum parks in out[i][j] between k-tiles. Go rounds
+// every float32 add individually, so the fold — first tile from an
+// explicit zero (out need not arrive zeroed), later tiles resuming from
+// the stored partial — adds the same terms in the same order to the
+// same accumulator value and is bit-identical.
+func matMulTransBRowsBlocked(a, b, out *Matrix, lo, hi int) {
+	for k0 := 0; k0 < a.Cols; k0 += blockK {
+		k1 := min(k0+blockK, a.Cols)
+		first := k0 == 0
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)[k0:k1]
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)[k0:k1]
+				var sum float32
+				if !first {
+					sum = orow[j]
+				}
+				for k := range arow {
+					sum += arow[k] * brow[k]
+				}
+				orow[j] = sum
+			}
+		}
+	}
+}

@@ -81,6 +81,22 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// parallelMatRows is parallelRows specialised to the three-matrix
+// kernels: the kernel arrives as a plain function value instead of a
+// closure capturing a/b/out, so the serial fast path (one pool worker,
+// or too few rows to pay for fan-out) performs zero heap allocations —
+// a closure handed to parallelRows escapes unconditionally because the
+// parallel branch sends it into the job channel. The parallel path
+// still builds its per-call closure; that cost is paid only when the
+// fan-out actually happens.
+func parallelMatRows(a, b, out *Matrix, rows int, kernel func(a, b, out *Matrix, lo, hi int)) {
+	if poolWorkers() == 1 || rows < minParRows {
+		kernel(a, b, out, 0, rows)
+		return
+	}
+	parallelRows(rows, func(lo, hi int) { kernel(a, b, out, lo, hi) })
+}
+
 // --- kernels -------------------------------------------------------------
 
 // matMulRows computes rows [lo, hi) of out = a·b, identically to the

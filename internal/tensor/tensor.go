@@ -100,6 +100,14 @@ func (m *Matrix) AddScaledRow(dst int, src []float32, scale float32) {
 }
 
 // Scale multiplies every element by s.
+// Zero overwrites every element with 0, making a reused matrix
+// indistinguishable from a fresh New of the same shape.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
 func (m *Matrix) Scale(s float32) {
 	for i := range m.Data {
 		m.Data[i] *= s
@@ -122,7 +130,11 @@ func MatMulInto(a, b, out *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matMulRows(a, b, out, lo, hi) })
+	if useBlocked(a.Cols, a.Cols*b.Cols) {
+		parallelMatRows(a, b, out, a.Rows, matMulRowsBlocked)
+		return
+	}
+	parallelMatRows(a, b, out, a.Rows, matMulRows)
 }
 
 // matMulSerial is the pre-parallelization reference kernel, retained
@@ -166,7 +178,11 @@ func MatMulTransAInto(a, b, out *Matrix) {
 	if out.Rows != a.Cols || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransA out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
 	}
-	parallelRows(a.Cols, func(lo, hi int) { matMulTransARows(a, b, out, lo, hi) })
+	if useBlocked(a.Rows, a.Rows*b.Cols) {
+		parallelMatRows(a, b, out, a.Cols, matMulTransARowsBlocked)
+		return
+	}
+	parallelMatRows(a, b, out, a.Cols, matMulTransARows)
 }
 
 // matMulTransASerial is the pre-parallelization reference kernel,
@@ -209,7 +225,11 @@ func MatMulTransBInto(a, b, out *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matMulTransBRows(a, b, out, lo, hi) })
+	if useBlocked(a.Cols, b.Rows*b.Cols) {
+		parallelMatRows(a, b, out, a.Rows, matMulTransBRowsBlocked)
+		return
+	}
+	parallelMatRows(a, b, out, a.Rows, matMulTransBRows)
 }
 
 // matMulTransBSerial is the pre-parallelization reference kernel,

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"janus/internal/faultinject"
+)
+
+// These tests pin the PR 3 no-retain contract under per-peer batched
+// writes (the group-commit flush): a flushed batch carries several
+// senders' frames in one socket write, so one faulted write fails many
+// logical requests at once, and every sender's payload buffer is free
+// for recycling the moment its writeFrameBuffered returns — not when
+// the batch flushes.
+
+// TestBatchedGradsExactlyOnceUnderFaults drops and corrupts whole
+// client->server writes — each potentially a group-commit batch of
+// many GRAD frames — and checks that after every push's retries
+// settle, each gradient was applied exactly once. Deterministic seed;
+// per-message dedup tokens (not per-connection request ids) are what
+// makes the batched retry exactly-once.
+func TestBatchedGradsExactlyOnceUnderFaults(t *testing.T) {
+	in := faultinject.New(11)
+	// Each faulted op burns one Times credit, so the schedule is
+	// finite: the first 2 matched client writes vanish wholesale
+	// (every frame batched into them times out upstream and retries),
+	// the next 2 get a corrupted length prefix (the server's bounded
+	// reader drops the connection, failing the whole batch at once).
+	in.AddRule(faultinject.Rule{Label: "cli", Times: 2, Fault: faultinject.Fault{DropProb: 1}})
+	in.AddRule(faultinject.Rule{Label: "cli", Times: 2, Fault: faultinject.Fault{CorruptProb: 1}})
+
+	store := newMemStore()
+	const senders = 16
+	ids := make([]ExpertID, senders)
+	for i := range ids {
+		ids[i] = ExpertID{Expert: uint32(i + 1)}
+		store.experts[ids[i]] = []byte{1}
+	}
+	srv, addr := startServer(t, store)
+
+	c := NewClientOptions(Options{
+		Credits: senders,
+		Dial: func(addr string) (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return in.WrapConn(conn, "cli"), nil
+		},
+		RequestTimeout: 200 * time.Millisecond,
+		MaxAttempts:    6,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+	})
+	defer c.Close()
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make([]error, senders)
+	for i := 0; i < senders; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := c.PushGradient(ctx, addr, ids[i], []byte{byte(r)}); err != nil {
+					errs[i] = fmt.Errorf("round %d: %w", r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sender %d: %v", i, err)
+		}
+	}
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	for i, id := range ids {
+		if store.grads[id] != rounds {
+			t.Fatalf("sender %d: gradient applied %d times, want exactly %d",
+				i, store.grads[id], rounds)
+		}
+	}
+	if srv.GradsAccepted() != senders*rounds {
+		t.Fatalf("server accepted %d grads, want %d", srv.GradsAccepted(), senders*rounds)
+	}
+	if c.Robust.Snapshot().Retries == 0 {
+		t.Fatal("no retries recorded — the injected faults never hit a batch, so exactly-once was not exercised")
+	}
+}
+
+// TestBatchedWriteBuffersNotRetained recycles (overwrites) every
+// payload buffer the instant its push returns, while other senders on
+// the same connection are still batching and flushing. If the
+// transport kept a reference past writeFrameBuffered's return — say a
+// background flusher reading the slice after the sender's timeout —
+// the concurrent overwrite is a data race, and the race tier
+// (go test -race) fails this test. The cross-check that payloads
+// arrived intact catches single-threaded aliasing too.
+func TestBatchedWriteBuffersNotRetained(t *testing.T) {
+	store := newMemStore()
+	const senders = 8
+	ids := make([]ExpertID, senders)
+	for i := range ids {
+		ids[i] = ExpertID{Expert: uint32(i + 1)}
+		store.experts[ids[i]] = []byte{1}
+	}
+	var mu sync.Mutex
+	seen := make(map[ExpertID][]byte)
+	store.gradHook = func(id ExpertID, payload []byte) {
+		cp := append([]byte(nil), payload...)
+		mu.Lock()
+		seen[id] = cp
+		mu.Unlock()
+	}
+	_, addr := startServer(t, store)
+	c := NewClientOptions(Options{Credits: senders, RequestTimeout: 5 * time.Second})
+	defer c.Close()
+
+	const rounds = 32
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for r := 0; r < rounds; r++ {
+				for j := range buf {
+					buf[j] = byte(i)
+				}
+				if err := c.PushGradient(ctx, addr, ids[i], buf); err != nil {
+					t.Errorf("sender %d round %d: %v", i, r, err)
+					return
+				}
+				// The no-retain contract says buf is ours again right
+				// now, mid-group-commit or not: scribble over it.
+				for j := range buf {
+					buf[j] = 0xFF
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, id := range ids {
+		payload := seen[id]
+		if payload == nil {
+			t.Fatalf("sender %d: no gradient arrived", i)
+		}
+		for _, b := range payload {
+			if b != byte(i) {
+				t.Fatalf("sender %d: payload byte %#x, want %#x — a recycled batch buffer was read late", i, b, byte(i))
+			}
+		}
+	}
+}

@@ -151,6 +151,38 @@ const (
 // clientSeq disambiguates gradient tokens between clients in-process.
 var clientSeq atomic.Uint64
 
+// timerPool recycles the per-attempt deadline timers so the steady-state
+// request path does not allocate a timer (or a context) per attempt.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops and drains t before pooling it; a fired-but-undrained
+// timer would trip the next user's deadline instantly.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// respChPool recycles roundTrip's response channels. A channel is only
+// re-pooled on the clean-receive path: after a timeout the read loop may
+// still deliver a late response into it, and after a connection failure
+// it is closed — either way it must be abandoned to the GC, never
+// reused.
+var respChPool = sync.Pool{New: func() any { return make(chan frame, 1) }}
+
 // NewClient returns a client with the given credit count (<=0 means
 // DefaultCredits) and default failure handling.
 func NewClient(credits int) *Client {
@@ -305,6 +337,12 @@ type peerConn struct {
 	conn net.Conn
 	w    *bufio.Writer
 	wmu  sync.Mutex
+	// fg group-commits flushes: concurrent senders coalesce their small
+	// request frames (grad pushes, acks, pulls) into one framed write
+	// per flush quantum — see flushGroup in transport.go.
+	fg flushGroup
+	// shard is this connection's lane in the sharded byte counters.
+	shard uint32
 
 	// lastRead is the wall-clock UnixNano of the most recent frame the
 	// read loop delivered. A timed-out attempt consults it to tell a
@@ -349,6 +387,7 @@ func (c *Client) peer(addr string) (*peerConn, error) {
 	p := &peerConn{
 		conn:    conn,
 		w:       bufio.NewWriterSize(conn, 1<<16),
+		shard:   nextCounterShard(),
 		waiting: make(map[uint64]chan frame),
 		closed:  make(chan struct{}),
 	}
@@ -399,7 +438,7 @@ func (p *peerConn) readLoop(counters *Counters) {
 			p.fail(fmt.Errorf("transport: connection lost: %w", err))
 			return
 		}
-		counters.addReceived(4 + frameHeaderBytes + len(f.payload))
+		counters.addReceived(p.shard, 4+frameHeaderBytes+len(f.payload))
 		p.lastRead.Store(time.Now().UnixNano())
 		p.mu.Lock()
 		ch, ok := p.waiting[f.reqID]
@@ -430,14 +469,23 @@ func (p *peerConn) fail(err error) {
 	p.conn.Close()
 }
 
-// roundTrip sends a request frame and waits for its response or the
-// context deadline, whichever comes first.
-func (p *peerConn) roundTrip(ctx context.Context, f frame, counters *Counters) (frame, error) {
-	ch := make(chan frame, 1)
+// roundTrip sends a request frame and waits for its response, the
+// attempt timeout firing, or the context, whichever comes first. The
+// timeout channel is a pooled timer owned by the caller; firing maps to
+// context.DeadlineExceeded so do()'s progress-aware eviction logic sees
+// the same error shape the old per-attempt context produced. The write
+// is group-committed: the frame is copied into the buffered writer
+// under the lock (so the caller's payload is never retained — the PR 3
+// no-retain contract holds for batched writes too), and whichever
+// concurrent sender drains the pending count to zero flushes the
+// coalesced batch.
+func (p *peerConn) roundTrip(ctx context.Context, timeout <-chan time.Time, deadline time.Time, f frame, counters *Counters) (frame, error) {
+	ch := respChPool.Get().(chan frame)
 	p.mu.Lock()
 	if p.err != nil {
 		err := p.err
 		p.mu.Unlock()
+		respChPool.Put(ch)
 		return frame{}, err
 	}
 	p.nextID++
@@ -445,21 +493,26 @@ func (p *peerConn) roundTrip(ctx context.Context, f frame, counters *Counters) (
 	p.waiting[f.reqID] = ch
 	p.mu.Unlock()
 
+	p.fg.enter()
 	p.wmu.Lock()
-	if d, ok := ctx.Deadline(); ok {
-		p.conn.SetWriteDeadline(d)
+	if !deadline.IsZero() {
+		p.conn.SetWriteDeadline(deadline)
 	}
-	err := writeFrame(p.w, f)
+	err := writeFrameBuffered(p.w, f)
+	if p.fg.exit() && err == nil {
+		err = p.w.Flush()
+	}
 	p.wmu.Unlock()
 	if err != nil {
 		p.fail(err)
 		return frame{}, err
 	}
-	counters.addSent(4 + frameHeaderBytes + len(f.payload))
+	counters.addSent(p.shard, 4+frameHeaderBytes+len(f.payload))
 
 	select {
 	case resp, ok := <-ch:
 		if !ok {
+			// Closed by fail(); a closed channel can never be pooled.
 			p.mu.Lock()
 			err := p.err
 			p.mu.Unlock()
@@ -468,6 +521,7 @@ func (p *peerConn) roundTrip(ctx context.Context, f frame, counters *Counters) (
 			}
 			return frame{}, err
 		}
+		respChPool.Put(ch)
 		if resp.typ == msgError {
 			msg := string(resp.payload) // copies; buffer can go back
 			resp.recycle()
@@ -482,6 +536,13 @@ func (p *peerConn) roundTrip(ctx context.Context, f frame, counters *Counters) (
 			return frame{}, fe
 		}
 		return resp, nil
+	case <-timeout:
+		// Abandon ch: the read loop may have popped the waiting entry
+		// already and be about to deliver into it.
+		p.mu.Lock()
+		delete(p.waiting, f.reqID)
+		p.mu.Unlock()
+		return frame{}, context.DeadlineExceeded
 	case <-ctx.Done():
 		p.mu.Lock()
 		delete(p.waiting, f.reqID)
@@ -515,24 +576,31 @@ func (c *Client) do(ctx context.Context, addr string, req frame) (frame, error) 
 		}
 
 		attemptStart := time.Now()
-		actx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 		p, err := c.peer(addr)
 		if err == nil {
+			// Per-attempt deadline from a pooled timer instead of a
+			// context.WithTimeout: same semantics (the timer firing
+			// surfaces as context.DeadlineExceeded, ctx cancellation
+			// still aborts the wait), zero allocations per attempt.
+			deadline := attemptStart.Add(c.reqTimeout)
+			if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+				deadline = d
+			}
+			t := getTimer(time.Until(deadline))
 			// Stamp the sender identity and the freshest membership
 			// epoch per attempt — a reconcile between retries must not
 			// leave the request carrying a fenceable stale epoch.
 			req.epoch = c.epoch.Load()
 			req.sender = c.machineID
 			var resp frame
-			resp, err = p.roundTrip(actx, req, &c.Counters)
+			resp, err = p.roundTrip(ctx, t.C, deadline, req, &c.Counters)
+			putTimer(t)
 			if err == nil {
-				cancel()
 				c.noteAttempt(addr, time.Since(attemptStart), false)
 				return resp, nil
 			}
 			var re *RemoteError
 			if errors.As(err, &re) {
-				cancel()
 				c.noteAttempt(addr, time.Since(attemptStart), false)
 				return frame{}, err
 			}
@@ -540,7 +608,6 @@ func (c *Client) do(ctx context.Context, addr string, req frame) (frame, error) 
 			if errors.As(err, &fe) {
 				// Fencing is terminal: the server answered, it just
 				// refuses our epoch. The connection stays healthy.
-				cancel()
 				c.noteAttempt(addr, time.Since(attemptStart), false)
 				return frame{}, err
 			}
@@ -566,7 +633,6 @@ func (c *Client) do(ctx context.Context, addr string, req frame) (frame, error) 
 			// A failed dial is a lost attempt for the peer score.
 			c.noteAttempt(addr, time.Since(attemptStart), true)
 		}
-		cancel()
 		if errors.Is(err, ErrClosed) {
 			return frame{}, err
 		}
@@ -666,21 +732,68 @@ func (c *Client) pull(ctx context.Context, addr string, key pullKey) ([]byte, er
 
 func (c *Client) pullWire(ctx context.Context, addr string, key pullKey) ([]byte, error) {
 	req := frame{typ: msgPull, id: key.id}
+	var verBuf *[]byte
 	if key.versioned {
-		var ver [versionedPullBytes]byte
-		binary.BigEndian.PutUint64(ver[:], key.ver)
-		req = frame{typ: msgPullV, id: key.id, payload: ver[:]}
+		// Pooled payload: do() copies it into the connection buffer
+		// synchronously per attempt, so it is dead once do() returns.
+		verBuf = getFrameBuf(versionedPullBytes)
+		binary.BigEndian.PutUint64(*verBuf, key.ver)
+		req = frame{typ: msgPullV, id: key.id, payload: *verBuf}
 	}
 	c.inflightPulls.Add(1)
 	resp, err := c.do(ctx, addr, req)
 	c.inflightPulls.Add(-1)
+	if verBuf != nil {
+		frameBufPool.Put(verBuf)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if resp.typ != msgExpert {
+		resp.recycle()
 		return nil, fmt.Errorf("transport: unexpected response type %#x", resp.typ)
 	}
 	return resp.payload, nil
+}
+
+// PullVersionInto fetches an expert's bytes at exactly the given
+// version, appending the payload into dst (grown as needed) and
+// recycling the transport receive buffer before returning, so the
+// steady-state pipelined trainer's version pulls allocate nothing once
+// dst has warmed to the expert's encoded size. Unlike PullVersion it
+// does not single-flight: the pipelined trainer already dedups its own
+// fetches, and consecutive steps pull distinct versions, so the merge
+// window never materialises — the single-flight map insert/delete would
+// be pure overhead on the hot path. Credits are still consumed.
+func (c *Client) PullVersionInto(ctx context.Context, addr string, id ExpertID, version uint64, dst []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-c.credits:
+	case <-c.closedCh:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { c.credits <- struct{}{} }()
+	verBuf := getFrameBuf(versionedPullBytes)
+	binary.BigEndian.PutUint64(*verBuf, version)
+	req := frame{typ: msgPullV, id: id, payload: *verBuf}
+	c.inflightPulls.Add(1)
+	resp, err := c.do(ctx, addr, req)
+	c.inflightPulls.Add(-1)
+	frameBufPool.Put(verBuf)
+	if err != nil {
+		return nil, err
+	}
+	if resp.typ != msgExpert {
+		resp.recycle()
+		return nil, fmt.Errorf("transport: unexpected response type %#x", resp.typ)
+	}
+	dst = append(dst[:0], resp.payload...)
+	resp.recycle()
+	return dst, nil
 }
 
 // PushGradient delivers one gradient contribution to the expert's
@@ -691,17 +804,24 @@ func (c *Client) PushGradient(ctx context.Context, addr string, id ExpertID, pay
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	buf := make([]byte, gradTokenBytes+len(payload))
+	// Pooled token+payload staging buffer: do() copies it into the
+	// connection buffer synchronously per attempt (batched writes
+	// included), so it can be recycled as soon as do() returns. The
+	// dedup token itself is per logical push and survives retries.
+	bp := getFrameBuf(gradTokenBytes + len(payload))
+	buf := *bp
 	binary.BigEndian.PutUint64(buf[0:8], c.clientID)
 	binary.BigEndian.PutUint64(buf[8:16], c.gradSeq.Add(1))
 	copy(buf[gradTokenBytes:], payload)
 	c.inflightGrads.Add(1)
 	resp, err := c.do(ctx, addr, frame{typ: msgGrad, id: id, payload: buf})
 	c.inflightGrads.Add(-1)
+	frameBufPool.Put(bp)
 	if err != nil {
 		return err
 	}
 	if resp.typ != msgGradAck {
+		resp.recycle()
 		return fmt.Errorf("transport: unexpected response type %#x", resp.typ)
 	}
 	return nil
@@ -728,16 +848,20 @@ func (c *Client) Ping(ctx context.Context, addr string) (PingInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	actx, cancel := context.WithTimeout(ctx, c.reqTimeout)
-	defer cancel()
 	p, err := c.peer(addr)
 	if err != nil {
 		c.noteAttempt(addr, 0, true) // unreachable: score it as loss
 		return PingInfo{}, err
 	}
 	start := time.Now()
+	deadline := start.Add(c.reqTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	t := getTimer(time.Until(deadline))
+	defer putTimer(t)
 	req := frame{typ: msgPing, epoch: c.epoch.Load(), sender: c.machineID}
-	resp, err := p.roundTrip(actx, req, &c.Counters)
+	resp, err := p.roundTrip(ctx, t.C, deadline, req, &c.Counters)
 	if err != nil {
 		var fe *FencedEpochError
 		if errors.As(err, &fe) {

@@ -112,16 +112,63 @@ func (f *frame) recycle() {
 	}
 }
 
-// writeFrame serialises f into w and flushes it. One flush per frame
-// is deliberate: a previous optimization coalesced concurrent senders'
-// flushes into one syscall, but a single faulted Write then swallowed
-// a whole burst of frames at once, correlating losses across requests
-// and defeating the per-request retry budget under fault injection.
+// writeFrame serialises f into w and flushes it.
+//
+// Concurrent senders on one connection batch flushes by group commit
+// instead (see flushGroup): each sender copies its frame into the
+// buffered writer under the write lock via writeFrameBuffered, and only
+// the last sender in the window issues the Flush. An earlier
+// optimization that queued frames for a background flusher was reverted
+// because a timed-out sender could recycle a payload the flusher had
+// yet to write; group commit keeps the copy synchronous in the sender —
+// when writeFrameBuffered returns, the payload bytes are owned by the
+// bufio buffer (or already on the socket) and the caller may recycle
+// them, so the PR 3 no-retain contract extends to batched payloads
+// unchanged. A faulted flush still fails several senders' frames at
+// once, but each failed request retries under its own budget with its
+// own dedup token, so fault-injection retransmission semantics are the
+// same as with one flush per frame.
 func writeFrame(w *bufio.Writer, f frame) error {
+	if err := writeFrameBuffered(w, f); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// flushGroup implements the group-commit flush rule: senders increment
+// pending before taking the write lock, copy their frame into the
+// buffered writer, then decrement; whoever decrements to zero flushes.
+// A sender that skips its flush is guaranteed a later one: its
+// decrement was non-zero only because another sender had already
+// incremented, and that sender (or one that delays *it*) must reach its
+// own decrement inside the lock after writing.
+type flushGroup struct{ pending atomic.Int32 }
+
+func (g *flushGroup) enter() { g.pending.Add(1) }
+
+// exit reports whether the caller is the last sender in the window and
+// must flush. Call while holding the connection's write lock.
+func (g *flushGroup) exit() bool { return g.pending.Add(-1) == 0 }
+
+// writeFrameBuffered serialises f into w without flushing. On return
+// the payload has been copied out (bufio buffers it or wrote it
+// through), so the caller may recycle f.payload immediately.
+func writeFrameBuffered(w *bufio.Writer, f frame) error {
 	if len(f.payload) > maxFrameBytes-frameHeaderBytes {
 		return fmt.Errorf("transport: frame payload %d exceeds limit", len(f.payload))
 	}
-	var hdr [4 + frameHeaderBytes]byte
+	// Build the header inside the bufio.Writer's own buffer: a local
+	// array would escape to the heap (w.Write hands the slice to the
+	// underlying io.Writer interface), costing one allocation per
+	// frame on the steady-state path. If the buffer is too full to
+	// hold a header, flush first — that only moves bytes the group
+	// commit would have flushed moments later anyway.
+	if w.Available() < 4+frameHeaderBytes {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	hdr := w.AvailableBuffer()[:4+frameHeaderBytes]
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameHeaderBytes+len(f.payload)))
 	hdr[4] = f.typ
 	binary.BigEndian.PutUint64(hdr[5:13], f.reqID)
@@ -129,7 +176,7 @@ func writeFrame(w *bufio.Writer, f frame) error {
 	binary.BigEndian.PutUint32(hdr[21:25], f.sender)
 	binary.BigEndian.PutUint32(hdr[25:29], f.id.Block)
 	binary.BigEndian.PutUint32(hdr[29:33], f.id.Expert)
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	if len(f.payload) > 0 {
@@ -137,15 +184,19 @@ func writeFrame(w *bufio.Writer, f frame) error {
 			return err
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
 func readFrame(r *bufio.Reader) (frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	// Peek/Discard instead of io.ReadFull into a local array: the
+	// array would escape through the io.Reader interface and allocate
+	// once per frame received.
+	lenBuf, err := r.Peek(4)
+	if err != nil {
 		return frame{}, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(lenBuf)
+	r.Discard(4)
 	if n < frameHeaderBytes || n > maxFrameBytes {
 		return frame{}, fmt.Errorf("transport: invalid frame length %d", n)
 	}
@@ -187,6 +238,17 @@ type Store interface {
 	AddGradient(id ExpertID, payload []byte) error
 }
 
+// BytesReleaser is an optional extension of Store for stores that
+// refcount the buffers ExpertBytes/ExpertBytesAt hand out. The server
+// calls ReleaseExpertBytes exactly once per successfully answered pull,
+// after the payload has been copied to the wire — the store may then
+// recycle the buffer once its own references drop. Stores without this
+// extension keep the old contract: returned bytes are retained
+// indefinitely by nobody and garbage-collected.
+type BytesReleaser interface {
+	ReleaseExpertBytes(id ExpertID, b []byte)
+}
+
 // VersionedStore is an optional extension of Store for stores whose
 // expert weights advance through numbered versions (the live trainer's
 // double-buffered cache manager). ExpertBytesAt may block until the
@@ -206,19 +268,50 @@ type VersionedStore interface {
 // version as a big-endian uint64.
 const versionedPullBytes = 8
 
-// Counters tracks wire traffic in bytes, usable concurrently.
-type Counters struct {
+// counterShards spreads the per-frame traffic counters across cache
+// lines. Every frame on every connection bumps these, so a single
+// atomic pair becomes a contended line once many connections share one
+// Counters value; each connection instead picks a shard at birth and
+// reads fold the shards. (The per-token pipeline counters get the same
+// treatment in metrics — see metrics.Pipeline's batched adders.)
+const counterShards = 8
+
+type counterShard struct {
 	sent, received atomic.Int64
+	_              [48]byte // pad to a cache line
 }
 
+// Counters tracks wire traffic in bytes, usable concurrently. Writers
+// add through a per-connection shard; readers sum the shards.
+type Counters struct {
+	shards [counterShards]counterShard
+}
+
+// counterSeq hands out shard indices to connections round-robin.
+var counterSeq atomic.Uint32
+
+func nextCounterShard() uint32 { return counterSeq.Add(1) % counterShards }
+
 // Sent returns total payload+header bytes written.
-func (c *Counters) Sent() int64 { return c.sent.Load() }
+func (c *Counters) Sent() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].sent.Load()
+	}
+	return n
+}
 
 // Received returns total payload+header bytes read.
-func (c *Counters) Received() int64 { return c.received.Load() }
+func (c *Counters) Received() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].received.Load()
+	}
+	return n
+}
 
-func (c *Counters) addSent(n int)     { c.sent.Add(int64(n)) }
-func (c *Counters) addReceived(n int) { c.received.Add(int64(n)) }
+func (c *Counters) addSent(shard uint32, n int)     { c.shards[shard].sent.Add(int64(n)) }
+func (c *Counters) addReceived(shard uint32, n int) { c.shards[shard].received.Add(int64(n)) }
 
 // gradDedupWindow bounds the server's memory of recently seen gradient
 // request ids. A retransmit arriving after its id was evicted would be
@@ -234,10 +327,19 @@ const gradDedupWindow = 4096
 const gradTokenBytes = 16
 
 // gradEntry is the server's record of one gradient token: done closes
-// when the first application finishes, err is its outcome.
+// when the first application finishes, err is its outcome. Entries are
+// pooled: refs counts the dedup window's reference plus any duplicate
+// waiters, so an entry returns to the freelist only after it has been
+// evicted from the window AND every waiter has read the outcome —
+// never while a late retransmission still holds a pointer to it.
+// Completion is signalled on the server-wide gradCond instead of a
+// per-entry channel: a closed channel cannot be reused, and the
+// original per-push make(chan) was one heap allocation per gradient on
+// the steady-state path.
 type gradEntry struct {
-	done chan struct{}
 	err  error
+	done bool
+	refs int32
 }
 
 // JoinHandler is the server's hook for admitting new machines. A JOIN
@@ -301,17 +403,34 @@ type Server struct {
 	Counters   Counters
 
 	gradMu    sync.Mutex
+	gradCond  sync.Cond // completion signal for in-flight gradEntries
 	gradSeen  map[[gradTokenBytes]byte]*gradEntry
-	gradOrder [][gradTokenBytes]byte
+	gradOrder [][gradTokenBytes]byte // FIFO ring once gradDedupWindow is reached
+	gradHead  int                    // ring head: next slot to evict/overwrite
+	gradFree  []*gradEntry           // recycled entries (see gradEntry)
 }
 
 // NewServer returns a server that will answer from store once started.
 func NewServer(store Store) *Server {
-	return &Server{
-		store:    store,
-		conns:    make(map[net.Conn]struct{}),
-		gradSeen: make(map[[gradTokenBytes]byte]*gradEntry),
+	s := &Server{
+		store:     store,
+		conns:     make(map[net.Conn]struct{}),
+		gradSeen:  make(map[[gradTokenBytes]byte]*gradEntry, gradDedupWindow),
+		gradOrder: make([][gradTokenBytes]byte, 0, gradDedupWindow),
+		gradFree:  make([]*gradEntry, gradDedupWindow),
 	}
+	s.gradCond.L = &s.gradMu
+	// Pre-fill the freelist with one slab of entries. The dedup window
+	// holds at most gradDedupWindow entries, and eviction recycles one
+	// entry per insert once it is full, so this slab makes the
+	// steady-state gradient path allocation-free from the first push —
+	// without it, the freelist only starts paying off after the window
+	// has turned over once.
+	slab := make([]gradEntry, gradDedupWindow)
+	for i := range slab {
+		s.gradFree[i] = &slab[i]
+	}
+	return s
 }
 
 // Start begins listening on addr ("127.0.0.1:0" for an ephemeral port)
@@ -413,6 +532,175 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// pongFlags holds the two possible PONG/FENCED flag payloads as static
+// storage, so the hot ping/fence answers never allocate.
+var pongFlags = [2][1]byte{{0}, {pongFlagReadmitted}}
+
+func pongFlagPayload(readmitted bool) []byte {
+	if readmitted {
+		return pongFlags[1][:]
+	}
+	return pongFlags[0][:]
+}
+
+// connTask is one request dispatched to a connection worker.
+type connTask struct {
+	f     frame
+	epoch uint64
+}
+
+// connState is the per-connection serving state: the buffered writer
+// with its group-commit flush window, and a grow-on-demand worker pool.
+//
+// Workers replace the old goroutine-per-request dispatch so the steady
+// state spawns nothing: an idle worker is popped from the stack and fed
+// the frame over its private channel. The pool must grow without bound
+// on demand — versioned pulls park inside the store until the wanted
+// version publishes, so a fixed-size pool would deadlock the pipeline's
+// backpressure — but in steady state the population settles at the peak
+// number of concurrently parked-plus-busy requests and is reused.
+type connState struct {
+	s     *Server
+	conn  net.Conn
+	w     *bufio.Writer
+	wmu   sync.Mutex
+	fg    flushGroup
+	shard uint32
+	rel   BytesReleaser // non-nil when the store refcounts pull payloads
+
+	idleMu   sync.Mutex
+	idle     []chan connTask
+	done     chan struct{} // closed when the read loop exits
+	handlers sync.WaitGroup
+}
+
+// respond serialises one response under the write lock, group-commit
+// batching the flush with any concurrent responders on this connection.
+func (cs *connState) respond(resp frame) {
+	cs.fg.enter()
+	cs.wmu.Lock()
+	err := writeFrameBuffered(cs.w, resp)
+	if cs.fg.exit() && err == nil {
+		err = cs.w.Flush()
+	}
+	cs.wmu.Unlock()
+	if err != nil {
+		cs.conn.Close() // unblocks the read loop
+		return
+	}
+	cs.s.Counters.addSent(cs.shard, 4+frameHeaderBytes+len(resp.payload))
+}
+
+// dispatch hands one request to an idle worker, spawning a new one only
+// when none is parked.
+func (cs *connState) dispatch(f frame, epoch uint64) {
+	cs.idleMu.Lock()
+	var ch chan connTask
+	if n := len(cs.idle); n > 0 {
+		ch = cs.idle[n-1]
+		cs.idle = cs.idle[:n-1]
+	}
+	cs.idleMu.Unlock()
+	if ch == nil {
+		ch = make(chan connTask, 1)
+		cs.handlers.Add(1)
+		go cs.worker(ch)
+	}
+	ch <- connTask{f: f, epoch: epoch}
+}
+
+func (cs *connState) worker(ch chan connTask) {
+	defer cs.handlers.Done()
+	for {
+		select {
+		case t := <-ch:
+			cs.handle(t.f, t.epoch)
+			cs.idleMu.Lock()
+			cs.idle = append(cs.idle, ch)
+			cs.idleMu.Unlock()
+		case <-cs.done:
+			return
+		}
+	}
+}
+
+// handle serves one dispatched request. It runs on a pool worker, so a
+// slow store lookup (or a parked versioned pull) cannot head-of-line
+// block the pipelined connection; the client matches responses by
+// request id, so ordering is free to vary.
+func (cs *connState) handle(f frame, epoch uint64) {
+	s := cs.s
+	switch f.typ {
+	case msgPull:
+		payload, err := s.store.ExpertBytes(f.id)
+		if err != nil {
+			cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())})
+			return
+		}
+		cs.respond(frame{typ: msgExpert, reqID: f.reqID, epoch: epoch, id: f.id, payload: payload})
+		if cs.rel != nil {
+			cs.rel.ReleaseExpertBytes(f.id, payload)
+		}
+	case msgPullV:
+		version := binary.BigEndian.Uint64(f.payload[:versionedPullBytes])
+		f.recycle()
+		vs, ok := s.store.(VersionedStore)
+		if !ok {
+			cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store is not versioned")})
+			return
+		}
+		payload, err := vs.ExpertBytesAt(f.id, version)
+		if err != nil {
+			cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())})
+			return
+		}
+		cs.respond(frame{typ: msgExpert, reqID: f.reqID, epoch: epoch, id: f.id, payload: payload})
+		if cs.rel != nil {
+			cs.rel.ReleaseExpertBytes(f.id, payload)
+		}
+	case msgGrad:
+		err := s.applyGradient(f)
+		// The store has consumed (or rejected) the payload and may not
+		// retain it, so the read buffer can go back.
+		f.recycle()
+		if err != nil {
+			cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())})
+			return
+		}
+		cs.respond(frame{typ: msgGradAck, reqID: f.reqID, epoch: epoch, id: f.id})
+	case msgJoin:
+		h := s.joinHandler()
+		viewEpoch, admit, err := h.AdmitJoin(f.sender, f.payload)
+		f.recycle()
+		if err != nil {
+			cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, payload: []byte(err.Error())})
+			return
+		}
+		s.joins.Add(1)
+		cs.respond(frame{typ: msgAdmit, reqID: f.reqID, epoch: viewEpoch, payload: admit})
+	case msgMigrate:
+		sink := s.store.(MigrationSink)
+		err := sink.AcceptMigration(f.id, f.payload)
+		f.recycle()
+		if err != nil {
+			cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())})
+			return
+		}
+		s.migrations.Add(1)
+		cs.respond(frame{typ: msgMigrateAck, reqID: f.reqID, epoch: epoch, id: f.id})
+	case msgRepl:
+		sink := s.store.(ReplicationSink)
+		err := sink.AcceptReplica(f.id, f.payload)
+		f.recycle()
+		if err != nil {
+			cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())})
+			return
+		}
+		s.repls.Add(1)
+		cs.respond(frame{typ: msgReplAck, reqID: f.reqID, epoch: epoch, id: f.id})
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -421,32 +709,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	r := bufio.NewReaderSize(conn, 1<<16)
-	w := bufio.NewWriterSize(conn, 1<<16)
-	var wmu sync.Mutex
-	var handlers sync.WaitGroup
-	defer handlers.Wait()
-
-	// Each request is handled in its own goroutine so a slow store
-	// lookup cannot head-of-line block the pipelined connection; the
-	// client matches responses by request id, so ordering is free to
-	// vary. The write path is serialised by wmu.
-	respond := func(resp frame) {
-		wmu.Lock()
-		err := writeFrame(w, resp)
-		wmu.Unlock()
-		if err != nil {
-			conn.Close() // unblocks the read loop
-			return
-		}
-		s.Counters.addSent(4 + frameHeaderBytes + len(resp.payload))
+	cs := &connState{
+		s:     s,
+		conn:  conn,
+		w:     bufio.NewWriterSize(conn, 1<<16),
+		shard: nextCounterShard(),
+		done:  make(chan struct{}),
 	}
+	cs.rel, _ = s.store.(BytesReleaser)
+	r := bufio.NewReaderSize(conn, 1<<16)
+	defer cs.handlers.Wait()
+	defer close(cs.done)
+
 	for {
 		f, err := readFrame(r)
 		if err != nil {
 			return
 		}
-		s.Counters.addReceived(4 + frameHeaderBytes + len(f.payload))
+		s.Counters.addReceived(cs.shard, 4+frameHeaderBytes+len(f.payload))
 
 		// Epoch fence: a request stamped with a membership epoch older
 		// than the gate's is answered FENCED before it can touch the
@@ -460,136 +740,55 @@ func (s *Server) serveConn(conn net.Conn) {
 			epoch = gate.Epoch()
 			if f.epoch < epoch && f.typ != msgJoin {
 				s.fenced.Add(1)
-				var flags byte
-				if gate.MachineAlive(f.sender) {
-					flags = pongFlagReadmitted
-				}
+				readmitted := gate.MachineAlive(f.sender)
 				f.recycle()
-				respond(frame{typ: msgFenced, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte{flags}})
+				cs.respond(frame{typ: msgFenced, reqID: f.reqID, epoch: epoch, id: f.id, payload: pongFlagPayload(readmitted)})
 				continue
 			}
 		}
 		switch f.typ {
 		case msgPull:
 			s.pulls.Add(1)
-			handlers.Add(1)
-			go func(f frame, epoch uint64) {
-				defer handlers.Done()
-				payload, err := s.store.ExpertBytes(f.id)
-				resp := frame{typ: msgExpert, reqID: f.reqID, epoch: epoch, id: f.id, payload: payload}
-				if err != nil {
-					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
-				}
-				respond(resp)
-			}(f, epoch)
+			cs.dispatch(f, epoch)
 		case msgPullV:
 			s.pulls.Add(1)
 			if len(f.payload) < versionedPullBytes {
-				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: short versioned pull")})
 				f.recycle()
+				cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: short versioned pull")})
 				continue
 			}
-			version := binary.BigEndian.Uint64(f.payload[:versionedPullBytes])
-			f.recycle()
-			vs, ok := s.store.(VersionedStore)
-			if !ok {
-				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store is not versioned")})
-				continue
-			}
-			handlers.Add(1)
-			go func(f frame, epoch uint64) {
-				defer handlers.Done()
-				payload, err := vs.ExpertBytesAt(f.id, version)
-				resp := frame{typ: msgExpert, reqID: f.reqID, epoch: epoch, id: f.id, payload: payload}
-				if err != nil {
-					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
-				}
-				respond(resp)
-			}(f, epoch)
+			cs.dispatch(f, epoch)
 		case msgGrad:
-			handlers.Add(1)
-			go func(f frame, epoch uint64) {
-				defer handlers.Done()
-				err := s.applyGradient(f)
-				// The store has consumed (or rejected) the payload and
-				// may not retain it, so the read buffer can go back.
-				f.recycle()
-				resp := frame{typ: msgGradAck, reqID: f.reqID, epoch: epoch, id: f.id}
-				if err != nil {
-					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
-				}
-				respond(resp)
-			}(f, epoch)
+			cs.dispatch(f, epoch)
 		case msgJoin:
-			h := s.joinHandler()
-			if h == nil {
+			if s.joinHandler() == nil {
 				f.recycle()
-				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, payload: []byte("transport: join not supported here")})
+				cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, payload: []byte("transport: join not supported here")})
 				continue
 			}
-			handlers.Add(1)
-			go func(f frame) {
-				defer handlers.Done()
-				viewEpoch, admit, err := h.AdmitJoin(f.sender, f.payload)
-				f.recycle()
-				if err != nil {
-					respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, payload: []byte(err.Error())})
-					return
-				}
-				s.joins.Add(1)
-				respond(frame{typ: msgAdmit, reqID: f.reqID, epoch: viewEpoch, payload: admit})
-			}(f)
+			cs.dispatch(f, epoch)
 		case msgMigrate:
-			sink, ok := s.store.(MigrationSink)
-			if !ok {
+			if _, ok := s.store.(MigrationSink); !ok {
 				f.recycle()
-				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store cannot stage migrations")})
+				cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store cannot stage migrations")})
 				continue
 			}
-			handlers.Add(1)
-			go func(f frame, epoch uint64) {
-				defer handlers.Done()
-				err := sink.AcceptMigration(f.id, f.payload)
-				f.recycle()
-				resp := frame{typ: msgMigrateAck, reqID: f.reqID, epoch: epoch, id: f.id}
-				if err != nil {
-					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
-				} else {
-					s.migrations.Add(1)
-				}
-				respond(resp)
-			}(f, epoch)
+			cs.dispatch(f, epoch)
 		case msgRepl:
-			sink, ok := s.store.(ReplicationSink)
-			if !ok {
+			if _, ok := s.store.(ReplicationSink); !ok {
 				f.recycle()
-				respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store cannot hold replicas")})
+				cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store cannot hold replicas")})
 				continue
 			}
-			handlers.Add(1)
-			go func(f frame, epoch uint64) {
-				defer handlers.Done()
-				err := sink.AcceptReplica(f.id, f.payload)
-				f.recycle()
-				resp := frame{typ: msgReplAck, reqID: f.reqID, epoch: epoch, id: f.id}
-				if err != nil {
-					resp = frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())}
-				} else {
-					s.repls.Add(1)
-				}
-				respond(resp)
-			}(f, epoch)
+			cs.dispatch(f, epoch)
 		case msgPing:
 			// Heartbeats piggyback on the data connection and never
 			// touch the store; answer inline so liveness is observed
 			// even while store handlers are busy. The PONG carries the
 			// server's epoch and whether it considers the prober alive.
 			s.pings.Add(1)
-			flags := byte(pongFlagReadmitted)
-			if gate != nil && !gate.MachineAlive(f.sender) {
-				flags = 0
-			}
-			respond(frame{typ: msgPong, reqID: f.reqID, epoch: epoch, payload: []byte{flags}})
+			readmitted := gate == nil || gate.MachineAlive(f.sender)
+			cs.respond(frame{typ: msgPong, reqID: f.reqID, epoch: epoch, payload: pongFlagPayload(readmitted)})
 		default:
 			return // protocol violation: drop the connection
 		}
@@ -609,26 +808,75 @@ func (s *Server) applyGradient(f frame) error {
 
 	s.gradMu.Lock()
 	if e, ok := s.gradSeen[key]; ok {
-		s.gradMu.Unlock()
 		s.gradDups.Add(1)
-		<-e.done
-		return e.err
+		e.refs++
+		for !e.done {
+			s.gradCond.Wait()
+		}
+		err := e.err
+		s.gradUnrefLocked(e)
+		s.gradMu.Unlock()
+		return err
 	}
-	e := &gradEntry{done: make(chan struct{})}
+	e := s.gradEntryLocked()
 	s.gradSeen[key] = e
-	s.gradOrder = append(s.gradOrder, key)
-	if len(s.gradOrder) > gradDedupWindow {
-		delete(s.gradSeen, s.gradOrder[0])
-		s.gradOrder = s.gradOrder[1:]
+	if len(s.gradOrder) < gradDedupWindow {
+		s.gradOrder = append(s.gradOrder, key)
+	} else {
+		// The window is full: evict the oldest token in place. The ring
+		// overwrite (rather than gradOrder[1:] plus append) keeps the
+		// backing array fixed — front-slicing made every subsequent
+		// append reallocate the whole window.
+		old := s.gradOrder[s.gradHead]
+		if oe, ok := s.gradSeen[old]; ok {
+			delete(s.gradSeen, old)
+			s.gradUnrefLocked(oe)
+		}
+		s.gradOrder[s.gradHead] = key
+		s.gradHead++
+		if s.gradHead == gradDedupWindow {
+			s.gradHead = 0
+		}
 	}
 	s.gradMu.Unlock()
 
-	e.err = s.store.AddGradient(f.id, f.payload[gradTokenBytes:])
-	if e.err == nil {
+	err := s.store.AddGradient(f.id, f.payload[gradTokenBytes:])
+	if err == nil {
 		s.grads.Add(1)
 	}
-	close(e.done)
-	return e.err
+	s.gradMu.Lock()
+	e.err = err
+	e.done = true
+	if e.refs == 0 {
+		// Already evicted with no waiters: recycle now. (Possible only
+		// if the window turned over entirely while AddGradient ran.)
+		s.gradFree = append(s.gradFree, e)
+	} else {
+		s.gradCond.Broadcast()
+	}
+	s.gradMu.Unlock()
+	return err
+}
+
+// gradEntryLocked returns a fresh in-flight entry, reusing a recycled
+// one when available. refs starts at 1: the dedup window's reference.
+func (s *Server) gradEntryLocked() *gradEntry {
+	if n := len(s.gradFree); n > 0 {
+		e := s.gradFree[n-1]
+		s.gradFree = s.gradFree[:n-1]
+		e.err, e.done, e.refs = nil, false, 1
+		return e
+	}
+	return &gradEntry{refs: 1}
+}
+
+// gradUnrefLocked drops one reference (a departing waiter or the
+// window eviction) and recycles the entry once nothing can touch it.
+func (s *Server) gradUnrefLocked(e *gradEntry) {
+	e.refs--
+	if e.refs == 0 && e.done {
+		s.gradFree = append(s.gradFree, e)
+	}
 }
 
 // Close stops the listener and all connections, waiting for handlers.

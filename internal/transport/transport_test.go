@@ -38,6 +38,9 @@ type memStore struct {
 	// serveDelayHook, if set, runs on every ExpertBytes call (used to
 	// widen race windows in the single-flight test).
 	serveHook func()
+	// gradHook, if set, observes every applied gradient's payload
+	// while it is still valid (used by the no-retain batch tests).
+	gradHook func(id ExpertID, payload []byte)
 }
 
 func newMemStore() *memStore {
@@ -64,6 +67,9 @@ func (s *memStore) AddGradient(id ExpertID, payload []byte) error {
 		return fmt.Errorf("expert %v not hosted", id)
 	}
 	s.grads[id]++
+	if s.gradHook != nil {
+		s.gradHook(id, payload)
+	}
 	return nil
 }
 
