@@ -34,9 +34,11 @@ cover:
 		./internal/metrics
 
 # Record the performance trajectory: run the micro-benchmarks (fabric
-# admission/reallocation, tensor kernels, transport framing, livecluster
-# iteration, lockstep-vs-pipelined training) and write them as JSON. The
-# Seed/Oracle variants pin the pre-optimization code paths, and the
+# admission/reallocation and the 32–4096-machine scaling curve, tensor
+# kernels, transport framing, livecluster iteration, lockstep-vs-
+# pipelined training) and write them as JSON. The Seed/Oracle variants
+# pin the pre-optimization code paths, the A2AScale/AdmissionScale
+# *Hier points carry the hierarchical allocator's curve, and the
 # TrainLockstep*/TrainPipelined* pairs (loopback and 100µs-RTT) carry
 # the cross-step pipeline's steps/sec ratio, so the speedups are in the
 # file.
@@ -46,4 +48,4 @@ bench:
 		./internal/tensor \
 		./internal/transport \
 		./internal/livecluster \
-		| tee /dev/stderr | go run ./cmd/benchjson -baseline BENCH_4.json > BENCH_5.json
+		| tee /dev/stderr | go run ./cmd/benchjson -baseline BENCH_5.json > BENCH_6.json

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"janus/internal/config"
+	"janus/internal/fabric"
+	"janus/internal/topology"
+)
+
+// The allocator mode must not be observable from a full training run:
+// an end-to-end iteration (gate, fetch pipeline, collectives, gradient
+// push) over the real topology produces bitwise-identical times and
+// traffic under the hierarchical allocator as under the incremental
+// default. This pins the fabric-level bit-identity contract at the
+// highest call site in the repository.
+func TestRunAllocModeDifferential(t *testing.T) {
+	model := config.MoEBERT(32)
+	run := func(mode fabric.AllocMode) Config {
+		spec := topology.DefaultSpec(4)
+		spec.AllocMode = mode
+		return Config{Model: model, Spec: spec, TopoAware: true, Prefetch: true}
+	}
+	inc := mustRun(t, run(fabric.ModeIncremental))
+	hier := mustRun(t, run(fabric.ModeHierarchical))
+	pairs := [][2]float64{
+		{inc.IterationTime, hier.IterationTime},
+		{inc.ForwardTime, hier.ForwardTime},
+		{inc.BackwardTime, hier.BackwardTime},
+		{inc.CommBlockedTime, hier.CommBlockedTime},
+		{inc.InterNodeEgressBytes, hier.InterNodeEgressBytes},
+		{inc.PeakMemBytes, hier.PeakMemBytes},
+	}
+	for i, m := range inc.PerMachineEgress {
+		pairs = append(pairs, [2]float64{m, hier.PerMachineEgress[i]})
+	}
+	for i, p := range pairs {
+		if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+			t.Errorf("sample %d: incremental=%v hierarchical=%v", i, p[0], p[1])
+		}
+	}
+	for class, v := range inc.TrafficByClass {
+		if math.Float64bits(v) != math.Float64bits(hier.TrafficByClass[class]) {
+			t.Errorf("traffic[%s]: incremental=%v hierarchical=%v", class, v, hier.TrafficByClass[class])
+		}
+	}
+}

@@ -14,7 +14,7 @@
 //  2. Bottleneck selection order within a component matches the naive
 //     scan. The naive scan picks the first link (in flow-ord × path
 //     order) achieving the minimum share, i.e. the lexicographic
-//     minimum of (share, scanRank). The share-keyed heap uses exactly
+//     minimum of (share, link index). The share-keyed heap uses exactly
 //     that key, with stale entries skipped via allocVer. Selection
 //     order *across* components never affects any computed value.
 //
@@ -29,7 +29,7 @@ package fabric
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // settle recomputes max-min rates for the scope perturbed by the
@@ -44,125 +44,19 @@ func (n *Network) settle() {
 	trig := n.trigLinks
 	n.trigLinks = nil
 
-	n.compGen++
-	gen := n.compGen
-	scopeF := n.scopeFlows[:0]
-	scopeL := n.scopeLinks[:0]
-	if n.mode == ModeOracle {
-		// Reference scope: every active flow and every link they (or
-		// the retiring flows) cross.
-		n.compact()
-		for _, f := range n.active {
-			f.compGen = gen
-			scopeF = append(scopeF, f)
-			for _, l := range f.path {
-				if l.compGen != gen {
-					l.compGen = gen
-					scopeL = append(scopeL, l)
-				}
-			}
-		}
-		for _, l := range trig {
-			if l.compGen != gen {
-				l.compGen = gen
-				scopeL = append(scopeL, l)
-			}
-		}
-	} else {
-		// Connected component of the trigger links: flows are the
-		// hyperedges joining links, so a BFS over link→flows→links
-		// closes the scope.
-		queue := n.bfsQueue[:0]
-		for _, l := range trig {
-			if l.compGen != gen {
-				l.compGen = gen
-				scopeL = append(scopeL, l)
-				queue = append(queue, l)
-			}
-		}
-		for len(queue) > 0 {
-			l := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			for _, ref := range l.flows {
-				f := ref.f
-				if f.compGen == gen {
-					continue
-				}
-				f.compGen = gen
-				scopeF = append(scopeF, f)
-				for _, pl := range f.path {
-					if pl.compGen != gen {
-						pl.compGen = gen
-						scopeL = append(scopeL, pl)
-						queue = append(queue, pl)
-					}
-				}
-			}
-		}
-		n.bfsQueue = queue[:0]
-		// The naive scan visits flows in activation order; restricting
-		// it to the component means iterating the component's flows in
-		// that same (sub)order. When the component covers most of the
-		// active population, re-collecting from the ord-ordered active
-		// list is cheaper than sorting the BFS discovery order.
-		if 4*len(scopeF) >= n.nActive+n.nDead {
-			scopeF = scopeF[:0]
-			for _, f := range n.active {
-				if f.compGen == gen {
-					scopeF = append(scopeF, f)
-				}
-			}
-		} else {
-			sort.Slice(scopeF, func(i, j int) bool { return scopeF[i].ord < scopeF[j].ord })
-		}
-		if n.nDead > 64 && n.nDead > n.nActive {
-			n.compact()
-		}
-	}
-
-	// Reset link fill state and assign scan ranks: a link's rank is its
-	// first-visit position in the flow-ord × path-order scan, the exact
-	// tie-break the naive bottleneck rescan implements.
-	rank := 0
-	for _, l := range scopeL {
-		l.nActive = 0
-		l.residual = l.capacity
-		l.scanRank = -1
-		l.allocVer++
-		l.pushVer = l.allocVer - 1 // not yet pushed this fill
-	}
-	for _, f := range scopeF {
-		f.frozen = false
-		f.newRate = 0
-		for _, l := range f.path {
-			l.nActive++
-			if l.scanRank < 0 {
-				l.scanRank = rank
-				rank++
-			}
-		}
-	}
-
-	if n.mode == ModeOracle {
+	var scopeF []*Flow
+	var scopeL []*Link
+	switch n.mode {
+	case ModeOracle:
+		scopeF, scopeL = n.scopeOracle(trig)
+		n.resetFill(scopeF, scopeL)
 		fillOracle(scopeF)
-	} else {
-		// Dense components (flows outnumber links) make the lazy heap
-		// churn one entry per (frozen flow, path link); a scoped scan
-		// has no such churn and costs O(rounds·links). Sparse,
-		// link-heavy components are where the heap's O(log) selection
-		// wins. Either choice computes bit-identical rates.
-		useScan := true
-		switch n.fill {
-		case FillAdaptive:
-			useScan = 3*len(scopeF) >= len(scopeL)
-		case FillHeap:
-			useScan = false
-		}
-		if useScan {
-			fillScan(scopeF, scopeL)
-		} else {
-			n.fillIncremental(scopeF)
-		}
+	case ModeHierarchical:
+		scopeF, scopeL = n.settleHier(trig)
+	default:
+		scopeF, scopeL = n.scopeComponent(trig)
+		n.resetFill(scopeF, scopeL)
+		n.fillAdaptive(scopeF, scopeL)
 	}
 
 	// Re-anchor exactly the flows whose rate changed bitwise. Using the
@@ -171,6 +65,9 @@ func (n *Network) settle() {
 	for _, f := range scopeF {
 		if f.newRate == f.rate {
 			continue
+		}
+		if n.mode == ModeHierarchical {
+			n.profUpdate(f)
 		}
 		rem := f.anchorRem - f.goodput*(now-f.anchorAt)
 		if rem < 0 {
@@ -223,6 +120,150 @@ func (n *Network) settle() {
 	}
 }
 
+// scopeOracle is the reference scope: every active flow and every link
+// they (or the retiring flows) cross.
+func (n *Network) scopeOracle(trig []*Link) ([]*Flow, []*Link) {
+	n.compGen++
+	gen := n.compGen
+	scopeF := n.scopeFlows[:0]
+	scopeL := n.scopeLinks[:0]
+	n.compact()
+	for _, f := range n.active {
+		f.compGen = gen
+		scopeF = append(scopeF, f)
+		for _, l := range f.path {
+			if l.compGen != gen {
+				l.compGen = gen
+				scopeL = append(scopeL, l)
+			}
+		}
+	}
+	for _, l := range trig {
+		if l.compGen != gen {
+			l.compGen = gen
+			scopeL = append(scopeL, l)
+		}
+	}
+	return scopeF, scopeL
+}
+
+// scopeComponent closes the connected component of the trigger links:
+// flows are the hyperedges joining links, so a BFS over link→flows→links
+// closes the scope. The returned flows are in activation (ord) order.
+func (n *Network) scopeComponent(trig []*Link) ([]*Flow, []*Link) {
+	n.compGen++
+	gen := n.compGen
+	scopeF := n.scopeFlows[:0]
+	scopeL := n.scopeLinks[:0]
+	queue := n.bfsQueue[:0]
+	for _, l := range trig {
+		if l.compGen != gen {
+			l.compGen = gen
+			scopeL = append(scopeL, l)
+			queue = append(queue, l)
+		}
+	}
+	for len(queue) > 0 {
+		l := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ref := range l.flows {
+			f := ref.f
+			if f.compGen == gen {
+				continue
+			}
+			f.compGen = gen
+			scopeF = append(scopeF, f)
+			for _, pl := range f.path {
+				if pl.compGen != gen {
+					pl.compGen = gen
+					scopeL = append(scopeL, pl)
+					queue = append(queue, pl)
+				}
+			}
+		}
+	}
+	n.bfsQueue = queue[:0]
+	scopeF = n.orderScope(scopeF, gen)
+	if n.nDead > 64 && n.nDead > n.nActive {
+		n.compact()
+	}
+	n.scopeFlows = scopeF // keep the (possibly regrown) backing array
+	return scopeF, scopeL
+}
+
+// orderScope puts a discovered scope-flow set into activation order.
+// The naive scan visits flows in activation order; restricting it to a
+// scope means iterating the scope's flows in that same (sub)order. When
+// the scope covers most of the active population, re-collecting from
+// the ord-ordered active list is cheaper than sorting the discovery
+// order. (slices.SortFunc, unlike sort.Slice, boxes nothing: the
+// comparison stays on the stack and the steady-state settle path stays
+// allocation-free.)
+func (n *Network) orderScope(scopeF []*Flow, gen uint64) []*Flow {
+	if 4*len(scopeF) >= n.nActive+n.nDead {
+		scopeF = scopeF[:0]
+		for _, f := range n.active {
+			if f.compGen == gen {
+				scopeF = append(scopeF, f)
+			}
+		}
+	} else {
+		slices.SortFunc(scopeF, func(a, b *Flow) int {
+			if a.ord < b.ord {
+				return -1
+			}
+			if a.ord > b.ord {
+				return 1
+			}
+			return 0
+		})
+	}
+	return scopeF
+}
+
+// resetFill resets link fill state for a new waterfill. Bottleneck
+// ties are broken by the links' creation index — a key that is stable
+// across settles, which is what lets the hierarchical mode replay an
+// external link's freeze in exactly the global tie order (see hier.go).
+func (n *Network) resetFill(scopeF []*Flow, scopeL []*Link) {
+	for _, l := range scopeL {
+		l.nActive = 0
+		l.residual = l.capacity
+		l.allocVer++
+		l.pushVer = l.allocVer - 1 // not yet pushed this fill
+		l.hierSel = false
+		l.newLevel = math.Inf(1)
+	}
+	for _, f := range scopeF {
+		f.frozen = false
+		f.newRate = 0
+		for _, l := range f.path {
+			l.nActive++
+		}
+	}
+}
+
+// fillAdaptive picks the incremental fill implementation. Dense
+// components (flows outnumber links) make the lazy heap churn one entry
+// per (frozen flow, path link); a scoped scan has no such churn and
+// costs O(rounds·links). Sparse, link-heavy components are where the
+// heap's O(log) selection wins. Either choice computes bit-identical
+// rates.
+func (n *Network) fillAdaptive(scopeF []*Flow, scopeL []*Link) {
+	useScan := true
+	switch n.fill {
+	case FillAdaptive:
+		useScan = 3*len(scopeF) >= len(scopeL)
+	case FillHeap:
+		useScan = false
+	}
+	if useScan {
+		fillScan(scopeF, scopeL)
+	} else {
+		n.fillIncremental(scopeF)
+	}
+}
+
 // fillOracle is the original naive progressive filling: rescan every
 // flow's path for the minimum fair share, freeze the crossing flows,
 // repeat. Kept verbatim as the reference oracle.
@@ -237,7 +278,7 @@ func fillOracle(scopeF []*Flow) {
 					continue
 				}
 				s := l.residual / float64(l.nActive)
-				if s < share {
+				if s < share || (s == share && (bottleneck == nil || l.index < bottleneck.index)) {
 					share = s
 					bottleneck = l
 				}
@@ -275,25 +316,24 @@ func fillOracle(scopeF []*Flow) {
 }
 
 // fillScan is progressive filling over the component only: each round
-// picks the lexicographic (share, scanRank) minimum across the scope
-// links — exactly the link the naive flow-ord × path-order rescan
-// would reach first — and freezes the flows crossing it. Freezing via
-// the link's flow list instead of a scopeF rescan is value-identical:
-// every frozen flow gets the same share, and the residual decrements it
-// applies commute bitwise (same subtrahend, integer nActive).
+// picks the lexicographic (share, link index) minimum across the scope
+// links — the same tie-break the oracle's rescan implements — and
+// freezes the flows crossing it. Freezing via the link's flow list
+// instead of a scopeF rescan is value-identical: every frozen flow
+// gets the same share, and the residual decrements it applies commute
+// bitwise (same subtrahend, integer nActive).
 func fillScan(scopeF []*Flow, scopeL []*Link) {
 	unfrozen := len(scopeF)
 	for unfrozen > 0 {
 		share := math.Inf(1)
-		rank := -1
 		var bottleneck *Link
 		for _, l := range scopeL {
 			if l.nActive == 0 {
 				continue
 			}
 			s := l.residual / float64(l.nActive)
-			if s < share || (s == share && l.scanRank < rank) {
-				share, rank, bottleneck = s, l.scanRank, l
+			if s < share || (s == share && (bottleneck == nil || l.index < bottleneck.index)) {
+				share, bottleneck = s, l
 			}
 		}
 		if bottleneck == nil {
@@ -318,10 +358,11 @@ func fillScan(scopeF []*Flow, scopeL []*Link) {
 	}
 }
 
-// fillIncremental selects bottlenecks through a (share, scanRank)-keyed
-// min-heap with lazy invalidation: every time a link's residual/nActive
-// change it gets a fresh entry (allocVer fences the stale ones), so the
-// popped valid minimum is exactly the link the naive rescan would pick.
+// fillIncremental selects bottlenecks through a (share, link index)-
+// keyed min-heap with lazy invalidation: every time a link's
+// residual/nActive change it gets a fresh entry (allocVer fences the
+// stale ones), so the popped valid minimum is exactly the link the
+// naive rescan would pick.
 // Each link can be a valid bottleneck at most once per fill (its
 // nActive drops to zero), so the fill costs O(flows·pathlen·log links)
 // instead of O(rounds·flows·pathlen).
@@ -330,7 +371,7 @@ func (n *Network) fillIncremental(scopeF []*Flow) {
 	for _, f := range scopeF {
 		for _, l := range f.path {
 			if l.pushVer != l.allocVer {
-				h = lheapPush(h, linkEntry{share: l.residual / float64(l.nActive), rank: l.scanRank, ver: l.allocVer, link: l})
+				h = lheapPush(h, linkEntry{share: l.residual / float64(l.nActive), rank: l.index, ver: l.allocVer, link: l})
 				l.pushVer = l.allocVer
 			}
 		}
@@ -364,7 +405,7 @@ func (n *Network) fillIncremental(scopeF []*Flow) {
 		for _, ref := range l.flows {
 			for _, pl := range ref.f.path {
 				if pl.nActive > 0 && pl.pushVer != pl.allocVer {
-					h = lheapPush(h, linkEntry{share: pl.residual / float64(pl.nActive), rank: pl.scanRank, ver: pl.allocVer, link: pl})
+					h = lheapPush(h, linkEntry{share: pl.residual / float64(pl.nActive), rank: pl.index, ver: pl.allocVer, link: pl})
 					pl.pushVer = pl.allocVer
 				}
 			}
@@ -473,7 +514,7 @@ func (n *Network) siftDown(i int) bool {
 	return i > start
 }
 
-// --- link min-heap, keyed (share, scanRank), lazy invalidation ------------
+// --- link min-heap, keyed (share, link index), lazy invalidation ----------
 
 type linkEntry struct {
 	share float64

@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// allocsRetry measures fn's steady-state allocations, retrying while
+// nonzero: AllocsPerRun counts process-global mallocs, so a stray
+// allocation from another test's winding-down goroutine can pollute
+// one measurement. A real per-op leak (>= 1 alloc every run) fails
+// every attempt deterministically.
+func allocsRetry(runs int, fn func()) float64 {
+	var n float64
+	for attempt := 0; attempt < 3; attempt++ {
+		n = testing.AllocsPerRun(runs, fn)
+		if n == 0 {
+			return 0
+		}
+	}
+	return n
+}
+
+// gateNet builds a small fat-tree under the given mode, admits one
+// sparse All-to-All of effectively infinite flows, and steps the
+// engine until every flow is active and the initial settle has run.
+// The returned trigger is one flow's path — the exact trigger shape a
+// completion settle sees.
+func gateNet(t *testing.T, mode AllocMode) (*benchTopo, []*Link) {
+	t.Helper()
+	topo := newBenchTopo(8, 4, mode)
+	specs := topo.sparseA2ASpecs(0, 4, 1e18)
+	flows := topo.net.StartFlows(specs)
+	for topo.net.nActive < len(flows) || topo.net.settlePending {
+		if !topo.eng.Step() {
+			t.Fatal("engine drained before the admission settled")
+		}
+	}
+	return topo, flows[0].path
+}
+
+// TestSettleSteadyStateZeroAlloc is the hierarchical allocator's
+// allocation-regression gate: a warm settle — scope resolution,
+// progressive filling, freeze-profile caps, scope memo, bottleneck
+// cache — must perform zero heap allocations in every mode. All fill
+// scratch (cap arrays, source buckets, share heap, domain lists, memo
+// values) lives on the Network and grows once; this test pins that the
+// warm path never falls off it (allocation count, not bytes, so a
+// single escaped local fails it).
+//
+// The settle core is invoked directly, with the scratch restore the
+// real settle performs, because a full engine-driven flow lifecycle
+// legitimately allocates (Flow objects, event scheduling) — the gated
+// invariant is the per-settle compute path, the term that multiplies
+// with machine count.
+//
+// GC is disabled for the measurement window because a cycle mid-run
+// would make the runtime's own bookkeeping show up in the count.
+func TestSettleSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race runtime")
+	}
+	modes := []struct {
+		name string
+		mode AllocMode
+	}{
+		{"incremental", ModeIncremental},
+		{"hierarchical", ModeHierarchical},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			topo, trig := gateNet(t, m.mode)
+			net := topo.net
+			settleOnce := func() {
+				var scopeF []*Flow
+				var scopeL []*Link
+				if m.mode == ModeHierarchical {
+					scopeF, scopeL = net.settleHier(trig)
+				} else {
+					scopeF, scopeL = net.scopeComponent(trig)
+					net.resetFill(scopeF, scopeL)
+					net.fillAdaptive(scopeF, scopeL)
+				}
+				net.scopeFlows = scopeF[:0]
+				net.scopeLinks = scopeL[:0]
+			}
+			settleOnce() // warm scope memo and fill scratch
+			settleOnce() // grow every reused slice to capacity
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			if n := allocsRetry(50, settleOnce); n != 0 {
+				t.Fatalf("%s settle: %v allocs/op in steady state, want 0", m.name, n)
+			}
+		})
+	}
+}

@@ -11,8 +11,9 @@ import (
 // progSpec is a reproducible random workload: a topology plus a
 // scheduled program of flow admissions (some batched, some single).
 type progSpec struct {
-	caps []float64 // link capacities
-	lats []float64 // link latencies
+	caps  []float64 // link capacities
+	lats  []float64 // link latencies
+	trunk []bool    // MarkTrunk flags (nil = all edge)
 	// batches[t] admitted at time adTimes[t]
 	adTimes []float64
 	batches [][]progFlow
@@ -93,7 +94,11 @@ func runProgram(p progSpec, mode AllocMode, fill ...FillStrategy) progResult {
 	}
 	var links []*Link
 	for i := range p.caps {
-		links = append(links, net.NewLink("l", "test", p.caps[i], p.lats[i]))
+		l := net.NewLink("l", "test", p.caps[i], p.lats[i])
+		if i < len(p.trunk) && p.trunk[i] {
+			l.MarkTrunk()
+		}
+		links = append(links, l)
 	}
 	var res progResult
 	var flows []*Flow

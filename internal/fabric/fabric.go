@@ -54,6 +54,12 @@ const (
 	// ModeOracle recomputes every active flow by naive progressive
 	// filling with full rescans, exactly as the original implementation.
 	ModeOracle
+	// ModeHierarchical partitions the links into edge domains and a
+	// trunk core (see MarkTrunk) and settles only the domains whose
+	// bottleneck levels actually change, coupling them through cached
+	// per-link levels and expanding the scope to the exact max-min
+	// fixpoint. Bit-identical to ModeIncremental (see hier.go).
+	ModeHierarchical
 )
 
 // Link is a directed, fixed-capacity network resource.
@@ -84,13 +90,49 @@ type Link struct {
 	sumRate    float64
 	sumGoodput float64
 
-	// settle scratch (see alloc.go)
+	// settle scratch (see alloc.go). hpos/hshare are the link's slot and
+	// cached key in the hierarchical fill's indexed bottleneck heap
+	// (hier.go); hpos is -1 while the link is not in the heap.
 	nActive  int
 	residual float64
-	scanRank int
 	compGen  uint64
 	allocVer uint32
 	pushVer  uint32
+	hpos     int32
+	hshare   float64
+
+	// prof is the trunk link's freeze profile: the committed rates of
+	// its crossing flows, sorted (rate, ord). It is the "macro-flow"
+	// aggregate the hierarchical settle replays instead of enumerating
+	// an in-scope trunk's mostly-unperturbed population (see hier.go).
+	// Maintained only under ModeHierarchical, only on trunk links.
+	prof []profEntry
+
+	// hierarchical-mode state (see hier.go). level/levelSel are the
+	// committed bottleneck-level cache: the share at which this link was
+	// last selected as a bottleneck (or tied a bottleneck layer) and
+	// froze — or would have frozen — its flows, valid only while
+	// levelSel (a never-selected link freezes nobody and exerts no
+	// external pressure). popRes/popN snapshot the link's residual
+	// capacity and unfrozen-flow count at that pop, so a later settle
+	// can replay the link's in-layer drift without rescoping it.
+	// newLevel/hierSel/newPopRes/newPopN are per-fill scratch.
+	trunk     bool
+	level     float64
+	levelSel  bool
+	popRes    float64
+	popN      int32
+	newLevel  float64
+	hierSel   bool
+	newPopRes float64
+	newPopN   int32
+
+	// Cap-source scratch for the counting layout of a fill attempt's
+	// event stream (see hierFill): generation tag, entry count and
+	// scatter cursor for this link's bucket of sourced cap events.
+	srcGen  uint64
+	srcCnt  int32
+	srcSlot int32
 }
 
 // linkRef locates a flow on a link together with the index of this link
@@ -102,6 +144,28 @@ type linkRef struct {
 
 // Name returns the link's name.
 func (l *Link) Name() string { return l.name }
+
+// MarkTrunk declares this link part of the shared trunk core for
+// ModeHierarchical's domain partition: flows crossing a trunk link do
+// not merge the edge domains they touch — the domains couple only
+// through the trunk's cached bottleneck level (the per-trunk aggregate
+// the settle validates). Call before starting flows over the link; the
+// mark is inert in every other alloc mode. Returns l for chaining.
+func (l *Link) MarkTrunk() *Link {
+	l.trunk = true
+	// Defensive: if flows already settled over this link, seed the
+	// freeze profile so the invariant "every committed crossing flow of
+	// a trunk is in its profile" holds from here on.
+	for _, ref := range l.flows {
+		if ref.f.profOn {
+			l.profIns(ref.f.rate, ref.f)
+		}
+	}
+	return l
+}
+
+// IsTrunk reports whether MarkTrunk was called.
+func (l *Link) IsTrunk() bool { return l.trunk }
 
 // Class returns the traffic-accounting class assigned at creation.
 func (l *Link) Class() string { return l.class }
@@ -158,10 +222,22 @@ type Flow struct {
 	heapIdx   int   // index in Network.fheap, -1 when not queued
 	posInLink []int // posInLink[i] = index of this flow in path[i].flows
 
-	// settle scratch (see alloc.go)
-	compGen uint64
-	newRate float64
-	frozen  bool
+	// settle scratch (see alloc.go); hierCap/hierCapIdx/hierBoundary
+	// are the hierarchical mode's boundary classification (see hier.go):
+	// the (level, index) of the minimum selected external link, the
+	// flow's external demand cap.
+	compGen      uint64
+	newRate      float64
+	frozen       bool
+	hierCap      float64
+	hierCapIdx   int
+	hierCapL     *Link
+	hierBoundary bool
+	// profOn marks that this flow's committed rate is recorded in the
+	// freeze profile of every trunk link on its path; phGen marks it as
+	// a phantom of the current fill attempt (see hier.go).
+	profOn bool
+	phGen  uint64
 }
 
 // Name returns the flow's name.
@@ -242,6 +318,30 @@ type Network struct {
 	bfsQueue   []*Link
 	lheap      []linkEntry
 
+	// hierarchical-mode state (see hier.go): a monotone union-find over
+	// link indices partitioning non-trunk links into edge domains (with
+	// per-root member lists), domain scope marks, the boundary-flow cap
+	// heap, and the expansion scratch of the fixpoint iteration.
+	dsuParent     []int32
+	dsuSize       []int32
+	domNext       []int32
+	domTail       []int32
+	domMark       []uint64
+	domMarkGen    uint64
+	domList       []int32
+	capHeap       []capEntry
+	capArr        []capEntry
+	capSent       []capEntry
+	capSrcs       []*Link
+	srcKeys       []srcKey
+	growLinks     []*Link
+	growTrunks    []*Link
+	hierMut       []linkMut
+	hheap         []*Link
+	hierMemoMap   map[uint64][]int32
+	hierRestarts  uint64
+	hierFallbacks uint64
+
 	// OnFlowDone, if set, is invoked for every completed flow after its
 	// own onComplete callback. Used by the metrics recorder.
 	OnFlowDone func(*Flow)
@@ -263,7 +363,7 @@ func (n *Network) Links() []*Link { return n.links }
 func (n *Network) ActiveFlows() int { return n.nActive }
 
 // SetAllocMode selects the allocator implementation. Must be called
-// before any flow is started; both modes produce bit-identical results,
+// before any flow is started; all modes produce bit-identical results,
 // so this only matters for performance (and for differential tests).
 func (n *Network) SetAllocMode(m AllocMode) { n.mode = m }
 
@@ -283,7 +383,7 @@ const (
 	FillAdaptive FillStrategy = iota
 	// FillScan always rescans the component's links per fill round.
 	FillScan
-	// FillHeap always uses the (share, scanRank)-keyed lazy min-heap.
+	// FillHeap always uses the (share, link index)-keyed lazy min-heap.
 	FillHeap
 )
 
@@ -298,7 +398,7 @@ func (n *Network) NewLink(name, class string, capacityBps, latency float64) *Lin
 	if capacityBps <= 0 {
 		panic(fmt.Sprintf("fabric: link %q capacity must be positive, got %v", name, capacityBps))
 	}
-	l := &Link{name: name, class: class, capacity: capacityBps, latency: latency, index: len(n.links), net: n, scanRank: -1}
+	l := &Link{name: name, class: class, capacity: capacityBps, latency: latency, index: len(n.links), net: n, level: math.Inf(1)}
 	n.links = append(n.links, l)
 	return l
 }
@@ -410,6 +510,12 @@ func pathLatency(path []*Link) float64 {
 // same instant assigns their first max-min share.
 func (n *Network) activate(batch []*Flow) {
 	now := n.eng.Now()
+	if n.mode == ModeHierarchical {
+		n.ensureHier()
+		for _, f := range batch {
+			n.unionDomains(f.path)
+		}
+	}
 	for _, f := range batch {
 		f.active = true
 		f.activated = now
@@ -439,6 +545,14 @@ func (n *Network) onCompletionEvent() {
 	for len(n.fheap) > 0 && n.fheap[0].finishAt <= now {
 		f := n.popCompletion()
 		f.active = false
+		if f.profOn {
+			for _, l := range f.path {
+				if l.trunk {
+					l.profDel(f.rate, f.ord)
+				}
+			}
+			f.profOn = false
+		}
 		f.rate = 0
 		f.goodput = 0
 		f.remaining = 0

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fabric
+
+// raceEnabled gates the allocation-regression tests; see the race
+// variant of this file.
+const raceEnabled = false

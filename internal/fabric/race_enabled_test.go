@@ -1,0 +1,8 @@
+//go:build race
+
+package fabric
+
+// raceEnabled gates the allocation-regression tests: the race runtime
+// instruments allocations and clears pools differently, so the
+// zero-alloc invariants are asserted only in the normal tier.
+const raceEnabled = true

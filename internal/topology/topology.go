@@ -31,6 +31,14 @@ type Spec struct {
 	GPUsPerNode int // GPUs per machine
 	GPUsPerPCIe int // GPUs attached to one PCIe switch (and one NIC)
 
+	// AllocMode selects the fabric allocator. The zero value is
+	// fabric.ModeIncremental (the default); fabric.ModeHierarchical
+	// activates the edge-domain/trunk-core decomposition, for which the
+	// builder marks every NIC link as trunk core — the spine is the
+	// only inter-machine coupling, so machines become edge domains. All
+	// modes compute bit-identical timelines (see internal/fabric).
+	AllocMode fabric.AllocMode
+
 	// Effective per-direction capacities, bytes/second.
 	NVLinkBps float64 // GPU <-> NVSwitch port
 	PCIeBps   float64 // GPU <-> PCIe switch, and PCIe switch <-> CPU
@@ -253,6 +261,11 @@ func NewOn(eng *sim.Engine, net *fabric.Network, spec Spec) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{Spec: spec, Engine: eng, Net: net}
+	if spec.AllocMode != fabric.ModeIncremental {
+		// A zero-value spec leaves a shared network's mode untouched;
+		// an explicit mode is authoritative.
+		net.SetAllocMode(spec.AllocMode)
+	}
 	for mi := 0; mi < spec.NumMachines; mi++ {
 		m := &Machine{Index: mi, Cluster: c}
 		m.CPU = sim.NewProcessor(eng, fmt.Sprintf("m%d.cpu", mi))
@@ -261,8 +274,11 @@ func NewOn(eng *sim.Engine, net *fabric.Network, spec Spec) (*Cluster, error) {
 			sw := &PCIeSwitch{Index: si}
 			sw.ToCPU = net.NewLink(fmt.Sprintf("m%d.sw%d->cpu", mi, si), "pcie-host", spec.PCIeBps, spec.PCIeLatency)
 			sw.FromCPU = net.NewLink(fmt.Sprintf("m%d.cpu->sw%d", mi, si), "pcie-host", spec.PCIeBps, spec.PCIeLatency)
-			sw.NICOut = net.NewLink(fmt.Sprintf("m%d.nic%d.out", mi, si), "nic", spec.NICBps, spec.NICLatency)
-			sw.NICIn = net.NewLink(fmt.Sprintf("m%d.nic%d.in", mi, si), "nic", spec.NICBps, spec.NICLatency)
+			// NIC links are the spine attachment — the only inter-machine
+			// resources — so they are the hierarchical mode's trunk core;
+			// the mark is inert under every other allocator.
+			sw.NICOut = net.NewLink(fmt.Sprintf("m%d.nic%d.out", mi, si), "nic", spec.NICBps, spec.NICLatency).MarkTrunk()
+			sw.NICIn = net.NewLink(fmt.Sprintf("m%d.nic%d.in", mi, si), "nic", spec.NICBps, spec.NICLatency).MarkTrunk()
 			m.Switches = append(m.Switches, sw)
 		}
 		for li := 0; li < spec.GPUsPerNode; li++ {
