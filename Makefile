@@ -2,9 +2,9 @@
 # tier vets and race-checks the concurrent retry/reconnect/degradation
 # code at reduced test sizes (-short skips the long experiment sweeps)
 # and smoke-fuzzes the wire decoders (frame, JGR1 gradient, the JOIN
-# admit payload, the checkpoint migration stream, and the REPL replica
-# snapshot) so every verify run spends a few seconds hunting parser
-# panics beyond the seeded corpus.
+# admit payload, the checkpoint migration stream, the REPL replica
+# snapshot, and the SERVE inference micro-batch) so every verify run
+# spends a few seconds hunting parser panics beyond the seeded corpus.
 .PHONY: verify tier1 race fuzz cover bench
 
 verify: tier1 race
@@ -19,6 +19,7 @@ fuzz:
 	go test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s ./internal/transport
 	go test -run '^$$' -fuzz '^FuzzDecodeAdmit$$' -fuzztime 10s ./internal/transport
 	go test -run '^$$' -fuzz '^FuzzDecodeRepl$$' -fuzztime 10s ./internal/transport
+	go test -run '^$$' -fuzz '^FuzzDecodeServe$$' -fuzztime 10s ./internal/transport
 	go test -run '^$$' -fuzz '^FuzzDecodeTrainGrad$$' -fuzztime 10s ./internal/livecluster
 	go test -run '^$$' -fuzz '^FuzzDecodeStream$$' -fuzztime 10s ./internal/checkpoint
 

@@ -1,0 +1,246 @@
+// Command janusserve runs the overload-robust serving plane against a
+// real miniature cluster on loopback TCP: a seeded open-loop traffic
+// generator (Zipf expert popularity, diurnal ramp, optional flash-crowd
+// burst) offers load to the request front-end, which admits or sheds,
+// batches into bounded micro-batches, propagates each request's
+// deadline budget down to the expert stores, and degrades along the
+// explicit SLO ladder (full → replica → stale → top-1 → shed) instead
+// of collapsing.
+//
+// The tool is its own smoke gate: it re-checks every serving invariant
+// after the drill — terminal-state arithmetic (each submitted request
+// answered, expired, or shed exactly once), "a shed request never also
+// answered", p99 of answered requests within the deadline, goodput at
+// the heaviest load ≥ 80% of peak — and exits non-zero on the first
+// violation.
+//
+//	janusserve -rate 4000 -deadline 150ms -shed-queue 64
+//
+// With -rate 0 the knee is calibrated closed-loop first and the sweep
+// offers 0.5x, 1x, 2x, and 4x the knee. -canary-frac rolls a canary
+// checkpoint (same weights, new version) onto that fraction of
+// traffic; -canary-regress injects a latency regression into the
+// candidate so the SLO monitor's auto-rollback (and its fence: zero
+// candidate answers afterwards) can be drilled:
+//
+//	janusserve -canary-frac 0.5 -canary-regress 20ms
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"janus/internal/faultinject"
+	"janus/internal/livecluster"
+	"janus/internal/metrics"
+	"janus/internal/serving"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	machines := flag.Int("machines", 3, "cluster machines (TCP servers)")
+	experts := flag.Int("experts", 9, "experts in the MoE layer")
+	hidden := flag.Int("hidden", 16, "hidden dimension H")
+	topk := flag.Int("topk", 2, "experts routed per request")
+	zipf := flag.Float64("zipf", 1.1, "expert popularity Zipf exponent")
+	seed := flag.Int64("seed", 77, "traffic/routing/content seed")
+	rows := flag.Int("rows", 2, "token rows per request")
+	workers := flag.Int("workers", 2, "front-end workers")
+	maxBatch := flag.Int("max-batch", 8, "micro-batch bound")
+	rate := flag.Float64("rate", 0, "offered load in req/s (0 = calibrate the knee and sweep 0.5x..4x)")
+	deadline := flag.Duration("deadline", 150*time.Millisecond, "per-request deadline budget")
+	shedQueue := flag.Int("shed-queue", 64, "admission queue bound (full = shed)")
+	staleness := flag.Int("staleness", 5, "stale-rung bound in steps")
+	top1At := flag.Int("top1-pressure", 32, "queue depth that degrades routing to top-1 (0 = never)")
+	hedge := flag.Duration("hedge-delay", 0, "hedge pulls against gray-slow owners after this delay (0 = off)")
+	ticks := flag.Int("ticks", 60, "drill ticks per load point")
+	tick := flag.Duration("tick", 5*time.Millisecond, "tick length")
+	diurnal := flag.Float64("diurnal", 0.25, "diurnal ramp amplitude in [0,1)")
+	burstMult := flag.Float64("burst-mult", 1.5, "flash-crowd rate multiplier on the heaviest point (1 = off)")
+	canaryFrac := flag.Float64("canary-frac", 0, "fraction of traffic for the canary drill (0 = skip)")
+	canaryRegress := flag.Duration("canary-regress", 20*time.Millisecond, "injected latency regression in the canary")
+	canarySLO := flag.Duration("canary-slo", 2*time.Millisecond, "canary per-answer SLO bound")
+	flag.Parse()
+
+	inj := faultinject.New(*seed)
+	cl, err := livecluster.Start(livecluster.Config{
+		Machines: *machines, WorkersPerNode: 1,
+		NumExperts: *experts, TopK: min(3, *experts), Hidden: *hidden,
+		TokensPerWorker: 24, Seed: 42, Credits: 8,
+		Injector:         inj,
+		PullTimeout:      300 * time.Millisecond,
+		PullRetries:      2,
+		RetryBackoff:     2 * time.Millisecond,
+		FailoverEnabled:  true,
+		HeartbeatTimeout: 200 * time.Millisecond,
+		Replicas:         1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janusserve:", err)
+		return 1
+	}
+	defer cl.Close()
+	cl.SyncReplicas()
+	backend := cl.ServeBackend()
+	defer backend.Close()
+
+	front, err := serving.New(serving.Config{
+		Backend: backend, Seed: *seed, TopK: *topk, Zipf: *zipf,
+		RowsPerRequest: *rows, QueueCap: *shedQueue,
+		Deadline: *deadline, Workers: *workers, MaxBatch: *maxBatch,
+		MaxStalenessSteps: *staleness, Top1Pressure: *top1At,
+		HedgeDelay: *hedge,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janusserve:", err)
+		return 1
+	}
+	defer front.Close()
+
+	violations := 0
+	fail := func(format string, args ...any) {
+		violations++
+		fmt.Fprintf(os.Stderr, "janusserve: INVARIANT: "+format+"\n", args...)
+	}
+
+	// Offered rates: explicit, or a sweep around the calibrated knee.
+	var rates []float64
+	if *rate > 0 {
+		rates = []float64{*rate}
+	} else {
+		start := time.Now()
+		const kneeReqs = 200
+		for id := uint64(1); id <= kneeReqs; id++ {
+			if r := front.Submit(context.Background(), id); r.Err != nil {
+				fmt.Fprintln(os.Stderr, "janusserve: knee calibration:", r.Err)
+				return 1
+			}
+		}
+		knee := kneeReqs / time.Since(start).Seconds()
+		fmt.Printf("calibrated knee: %.0f req/s\n", knee)
+		rates = []float64{0.5 * knee, knee, 2 * knee, 4 * knee}
+	}
+
+	fmt.Printf("%10s %9s %9s %7s %8s %9s %10s %8s %8s\n",
+		"offered/s", "submitted", "answered", "shed", "expired", "degraded", "goodput/s", "p50 ms", "p99 ms")
+	var peak, lastGoodput float64
+	nextID := uint64(10000)
+	for pi, offered := range rates {
+		if pi == len(rates)-1 && *burstMult > 1 {
+			inj.Burst("traffic", *ticks/3, 2**ticks/3, *burstMult)
+		}
+		tr := serving.Traffic{
+			BaseRate:      offered * tick.Seconds(),
+			DiurnalAmp:    *diurnal,
+			DiurnalPeriod: *ticks,
+			Injector:      inj,
+			Label:         "traffic",
+			Seed:          *seed + int64(pi),
+		}
+		before := front.Stats()
+		var (
+			mu        sync.Mutex
+			latencies []float64
+			wg        sync.WaitGroup
+			submitted int64
+		)
+		start := time.Now()
+		for t := 0; t < *ticks; t++ {
+			inj.SetStep(t)
+			for i := 0; i < tr.Arrivals(t); i++ {
+				id := nextID
+				nextID++
+				submitted++
+				wg.Add(1)
+				go func(id uint64) {
+					defer wg.Done()
+					if r := front.Submit(context.Background(), id); r.Err == nil {
+						mu.Lock()
+						latencies = append(latencies, float64(r.Latency)/float64(time.Millisecond))
+						mu.Unlock()
+					}
+				}(id)
+			}
+			time.Sleep(*tick)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		inj.SetStep(0)
+		d := front.Stats().Sub(before)
+		lat := metrics.Summarize(latencies)
+		goodput := float64(d.AnsweredTotal()) / elapsed
+		fmt.Printf("%10.0f %9d %9d %7d %8d %9d %10.0f %8.2f %8.2f\n",
+			float64(submitted)/elapsed, submitted, d.AnsweredTotal(), d.Shed,
+			d.DeadlineExpired, d.DegradedTotal(), goodput, lat.P50, lat.P99)
+
+		if got := d.AnsweredTotal() + d.DeadlineExpired + d.Shed; got != submitted {
+			fail("point %d lost requests: %d terminals of %d submitted", pi, got, submitted)
+		}
+		if d.Shed != d.Answered[metrics.RungShed] {
+			fail("point %d: shed %d vs shed-rung terminals %d — a shed request answered",
+				pi, d.Shed, d.Answered[metrics.RungShed])
+		}
+		deadlineMs := float64(*deadline) / float64(time.Millisecond)
+		if lat.P99 > deadlineMs {
+			fail("point %d: p99 %.2fms over the %.0fms deadline", pi, lat.P99, deadlineMs)
+		}
+		if goodput > peak {
+			peak = goodput
+		}
+		lastGoodput = goodput
+	}
+	if len(rates) > 1 && lastGoodput < 0.8*peak {
+		fail("goodput collapsed past the knee: %.0f/s at the heaviest point vs %.0f/s peak", lastGoodput, peak)
+	}
+
+	if *canaryFrac > 0 {
+		plane, err := livecluster.DecodeExpertPlane(cl.ExportSnapshot(0, 2))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "janusserve:", err)
+			return 1
+		}
+		err = front.StartCanary(serving.Canary{
+			Version: 2, Plane: plane, Frac: *canaryFrac,
+			SLO: *canarySLO, Delay: *canaryRegress,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "janusserve:", err)
+			return 1
+		}
+		pre := front.Stats()
+		for i := 0; i < 200 && front.Stats().RolledBack == pre.RolledBack; i++ {
+			front.Submit(context.Background(), nextID)
+			nextID++
+		}
+		rolled := front.Stats()
+		if *canaryRegress > *canarySLO && rolled.RolledBack != pre.RolledBack+1 {
+			fail("regressed canary not rolled back")
+		}
+		postFence := int64(0)
+		for i := 0; i < 60; i++ {
+			if r := front.Submit(context.Background(), nextID); r.Canary {
+				postFence++
+			}
+			nextID++
+		}
+		postFence += front.Stats().CanaryServed - rolled.CanaryServed
+		if rolled.RolledBack > pre.RolledBack && postFence != 0 {
+			fail("%d answers from the rolled-back canary", postFence)
+		}
+		fmt.Printf("canary: %d candidate answers, rollbacks=%d, post-fence answers=%d\n",
+			rolled.CanaryServed-pre.CanaryServed, rolled.RolledBack-pre.RolledBack, postFence)
+	}
+
+	fmt.Printf("final counters: %s\n", front.Stats())
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "janusserve: %d invariant violation(s)\n", violations)
+		return 1
+	}
+	fmt.Println("all serving invariants held")
+	return 0
+}

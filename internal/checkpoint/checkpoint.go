@@ -38,6 +38,14 @@ type Snapshot struct {
 	Experts map[uint32][]byte
 	// Dense holds the serialized dense (non-expert) parameters.
 	Dense []byte
+	// ModelVersion distinguishes model lineages sharing a directory:
+	// a canary rollout saves its candidate weights with a bumped
+	// ModelVersion so the serving plane can tell baseline and canary
+	// generations apart (and fence a rolled-back one) without decoding
+	// any weights. Zero for snapshots that predate the field — the
+	// manifest omits it when zero, so old checkpoints stay readable
+	// and new baseline checkpoints stay byte-compatible.
+	ModelVersion int
 }
 
 // ErrNoCheckpoint is returned by LoadLatest when no committed,
@@ -60,6 +68,7 @@ var magic = []byte("JCKPT1\n")
 type manifest struct {
 	FormatVersion int     `json:"format_version"`
 	Step          int     `json:"step"`
+	ModelVersion  int     `json:"model_version,omitempty"`
 	Entries       []entry `json:"entries"`
 }
 
@@ -191,7 +200,7 @@ func Save(dir string, snap *Snapshot) (int64, error) {
 		}
 	}()
 
-	m := manifest{FormatVersion: formatVersion, Step: snap.Step}
+	m := manifest{FormatVersion: formatVersion, Step: snap.Step, ModelVersion: snap.ModelVersion}
 	var written int64
 	put := func(name string, data []byte) error {
 		if err := writeFileSync(filepath.Join(tmp, name), data); err != nil {
@@ -255,7 +264,7 @@ func Load(dir string, version int) (*Snapshot, error) {
 	if m.Step != version {
 		return nil, fmt.Errorf("checkpoint: v%d: manifest claims step %d", version, m.Step)
 	}
-	snap := &Snapshot{Step: m.Step, Experts: make(map[uint32][]byte, len(m.Entries))}
+	snap := &Snapshot{Step: m.Step, ModelVersion: m.ModelVersion, Experts: make(map[uint32][]byte, len(m.Entries))}
 	for _, e := range m.Entries {
 		if e.Name != filepath.Base(e.Name) || e.Name == manifestName {
 			return nil, fmt.Errorf("checkpoint: v%d: illegal entry name %q", version, e.Name)

@@ -245,3 +245,41 @@ func TestPruneKeepsNewest(t *testing.T) {
 		t.Fatalf("versions after prune = %v, want [4 5]", vs)
 	}
 }
+
+func TestModelVersionRoundTripAndBackCompat(t *testing.T) {
+	dir := t.TempDir()
+	// A canary snapshot carries its lineage through save/load.
+	canary := &Snapshot{Step: 5, ModelVersion: 2,
+		Experts: map[uint32][]byte{1: {9, 9}}, Dense: []byte{1}}
+	if _, err := Save(dir, canary); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != 2 {
+		t.Fatalf("ModelVersion = %d, want 2", got.ModelVersion)
+	}
+	// A baseline snapshot (ModelVersion 0) writes a manifest without
+	// the field at all, so pre-canary readers and checkpoints stay
+	// byte-compatible.
+	base := &Snapshot{Step: 6, Experts: map[uint32][]byte{1: {7}}}
+	if _, err := Save(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, versionDir(6), manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("model_version")) {
+		t.Fatalf("zero ModelVersion serialized: %s", raw)
+	}
+	got, err = Load(dir, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != 0 {
+		t.Fatalf("ModelVersion = %d, want 0", got.ModelVersion)
+	}
+}

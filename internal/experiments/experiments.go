@@ -46,6 +46,7 @@ func Registry() []Experiment {
 		{"partition", "Extension: asymmetric partition — quorum-gated failover and epoch fencing vs split brain", func() (Result, error) { return Partition() }},
 		{"churn", "Extension: elastic membership — live join, fenced expert migration, and flap survival vs a static twin", func() (Result, error) { return Churn() }},
 		{"replication", "Extension: synchronous hot-expert replication — lossless failover vs stale-fallback control", func() (Result, error) { return Replication() }},
+		{"serving", "Extension: overload-robust serving plane — admission control, deadline propagation, SLO ladder, canary rollback", func() (Result, error) { return Serving() }},
 	}
 }
 

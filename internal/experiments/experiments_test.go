@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover", "partition", "churn", "replication"}
+	want := []string{"table1", "fig3", "goodput", "fig7", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "straggler", "faultsweep", "failover", "partition", "churn", "replication", "serving"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry ids = %v", got)
@@ -518,6 +518,44 @@ func TestChurnExperiment(t *testing.T) {
 	}
 	out := res.Render()
 	for _, frag := range []string{"elastic membership", "join machine 3", "bitwise identical"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+func TestServingExperiment(t *testing.T) {
+	res, err := Serving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(servingSweep.mults) {
+		t.Fatalf("sweep rows = %d, want %d", len(res.Rows), len(servingSweep.mults))
+	}
+	if res.DiffChecked == 0 {
+		t.Error("differential gate checked nothing")
+	}
+	// The knee behaviour: past saturation the plane sheds instead of
+	// collapsing, so the heaviest point both sheds a lot and keeps
+	// goodput near peak (the 80% gate already ran in-run).
+	last := res.Rows[len(res.Rows)-1]
+	if last.Shed == 0 {
+		t.Errorf("4x offered load shed nothing: %+v", last)
+	}
+	for _, row := range res.Rows {
+		if row.P99Ms > res.DeadlineMs {
+			t.Errorf("%gx p99 %.2fms over deadline", row.Mult, row.P99Ms)
+		}
+	}
+	if res.RolledBack != 1 || res.PostFenceCanary != 0 {
+		t.Errorf("canary drill: rollbacks=%d postFence=%d, want 1/0", res.RolledBack, res.PostFenceCanary)
+	}
+	if res.CanaryServed == 0 {
+		t.Error("canary answered nothing before the rollback")
+	}
+	out := res.Render()
+	for _, frag := range []string{"calibrated knee", "goodput/s", "auto-rollback", "bitwise"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("render missing %q", frag)
 		}

@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+// burstSchedule evaluates RateMultiplier for label over steps [0, n).
+func burstSchedule(in *Injector, label string, n int) []float64 {
+	out := make([]float64, n)
+	for s := 0; s < n; s++ {
+		in.SetStep(s)
+		out[s] = in.RateMultiplier(label)
+	}
+	return out
+}
+
+func TestBurstWindowEdges(t *testing.T) {
+	in := New(7)
+	// Flash crowd: 4x offered load over steps [3, 6).
+	in.Burst("traffic", 3, 6, 4)
+	want := []float64{
+		1, 1, 1, // 0,1,2: before window
+		4, 4, 4, // 3,4,5: burst
+		1, 1, // 6,7: window closed (to is exclusive)
+	}
+	got := burstSchedule(in, "traffic", len(want))
+	for s, w := range want {
+		if got[s] != w {
+			t.Fatalf("step %d: RateMultiplier = %v, want %v (full: %v)", s, got[s], w, got)
+		}
+	}
+}
+
+func TestBurstOpenWindowNeverCloses(t *testing.T) {
+	in := New(7)
+	in.Burst("traffic", 2, 0, 2.5)
+	got := burstSchedule(in, "traffic", 5)
+	want := []float64{1, 1, 2.5, 2.5, 2.5}
+	for s, w := range want {
+		if got[s] != w {
+			t.Fatalf("step %d: RateMultiplier = %v, want %v", s, got[s], w)
+		}
+	}
+}
+
+func TestBurstMatchesOnlyItsLabel(t *testing.T) {
+	in := New(7)
+	in.Burst("front", 0, 0, 3)
+	in.SetStep(0)
+	if m := in.RateMultiplier("front"); m != 3 {
+		t.Fatalf("front multiplier = %v, want 3", m)
+	}
+	if m := in.RateMultiplier("other"); m != 1 {
+		t.Fatalf("burst rule for front leaked onto other: %v", m)
+	}
+}
+
+func TestBurstRulesCompose(t *testing.T) {
+	in := New(7)
+	// Overlapping bursts multiply: a diurnal peak with a flash crowd on
+	// top of it.
+	in.Burst("traffic", 0, 10, 2)
+	in.Burst("traffic", 5, 8, 3)
+	in.SetStep(4)
+	if m := in.RateMultiplier("traffic"); m != 2 {
+		t.Fatalf("step 4 multiplier = %v, want 2", m)
+	}
+	in.SetStep(5)
+	if m := in.RateMultiplier("traffic"); m != 6 {
+		t.Fatalf("step 5 multiplier = %v, want 6", m)
+	}
+	in.SetStep(8)
+	if m := in.RateMultiplier("traffic"); m != 2 {
+		t.Fatalf("step 8 multiplier = %v, want 2", m)
+	}
+}
+
+func TestBurstIsDeterministic(t *testing.T) {
+	a, b := New(1), New(2)
+	a.Burst("t", 1, 4, 5)
+	b.Burst("t", 1, 4, 5)
+	// Different seeds, identical schedules: the multiplier takes no rng
+	// draw, so seeded replays see the same offered-load curve.
+	ga, gb := burstSchedule(a, "t", 6), burstSchedule(b, "t", 6)
+	for s := range ga {
+		if ga[s] != gb[s] {
+			t.Fatalf("step %d: schedules diverged across seeds: %v vs %v", s, ga, gb)
+		}
+	}
+}
+
+func TestBurstDoesNotTouchTheWire(t *testing.T) {
+	in := New(7)
+	in.Burst("a", 0, 0, 10)
+	in.SetStep(0)
+	// A burst shapes load at the source; the wrapped conn itself stays
+	// healthy and the rule never registers as a wire fault.
+	w, r := tcpPair(t, in, "a")
+	if _, err := w.Write([]byte{9}); err != nil {
+		t.Fatalf("write under burst: %v", err)
+	}
+	if b := readN(t, r, 1); b[0] != 9 {
+		t.Fatalf("peer read %v, want [9]", b)
+	}
+	if in.killActive("a") {
+		t.Fatal("burst rule must not kill the endpoint")
+	}
+}

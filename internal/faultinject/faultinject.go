@@ -60,6 +60,13 @@ type Fault struct {
 	// FlapDown > 0 with FlapUp <= 0 degenerates to a permanent kill.
 	FlapDown int
 	FlapUp   int
+	// RateMult is an open-loop arrival-rate multiplier for traffic
+	// generators that consult RateMultiplier: while the rule's window
+	// is active, the labelled source multiplies its offered load by
+	// this factor (a flash crowd). RateMult never touches the wire —
+	// it shapes load at the source — so, like Block, it is a state,
+	// not a countable fault, and never consumes the Times budget.
+	RateMult float64
 }
 
 // Rule activates a Fault for one labelled endpoint over a step window.
@@ -155,6 +162,31 @@ func (in *Injector) Flap(label string, from, to, down, up int) {
 // [0, jitter). The rule is windowless and outcome-neutral.
 func (in *Injector) Slow(label string, delay, jitter time.Duration, prob float64) {
 	in.AddRule(Rule{Label: label, Fault: Fault{Delay: delay, DelayJitter: jitter, SlowProb: prob}})
+}
+
+// Burst marks a flash crowd: while [from, to) is active the traffic
+// source labelled label multiplies its open-loop arrival rate by mult.
+// Window semantics match every other rule (from inclusive, to
+// exclusive, to <= 0 = never closes).
+func (in *Injector) Burst(label string, from, to int, mult float64) {
+	in.AddRule(Rule{Label: label, FromStep: from, ToStep: to, Fault: Fault{RateMult: mult}})
+}
+
+// RateMultiplier returns the combined arrival-rate multiplier the
+// labelled traffic source should apply at the injector's current step:
+// the product of every active Burst rule's RateMult, 1 when none is
+// active. Deterministic — no rng draw — so a seeded run replays the
+// same offered-load curve.
+func (in *Injector) RateMultiplier(label string) float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m := 1.0
+	for _, rs := range in.rules {
+		if rs.Fault.RateMult > 0 && rs.active(label, in.step) {
+			m *= rs.Fault.RateMult
+		}
+	}
+	return m
 }
 
 // SetStep advances the harness's iteration counter; rules gate on it.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Assignment holds per-worker token counts for each expert of one MoE
@@ -169,6 +170,86 @@ func Zipf(numWorkers, numExperts, tokensPerWorker int, s float64, seed int64) As
 		}
 	}
 	return a
+}
+
+// Sampler draws the expert set of one inference request. Unlike the
+// training-side Assignment (a per-iteration histogram), serving needs a
+// per-request pick that is a pure function of (seed, request id): the
+// front-end, a replaying test, and a differential control must all
+// route request r to the same experts without sharing any state. Picks
+// follow the same Zipf popularity the training gates use, so flash
+// crowds concentrate on the same hot experts the paper's skew predicts.
+type Sampler struct {
+	NumExperts int
+	TopK       int
+	seed       uint64
+	cum        []float64 // cumulative Zipf popularity, cum[len-1] == 1
+}
+
+// NewSampler builds a serving gate over numExperts with Zipf exponent s
+// (0 = uniform) picking topK distinct experts per request.
+func NewSampler(numExperts, topK int, s float64, seed int64) *Sampler {
+	if numExperts <= 0 || topK <= 0 || topK > numExperts {
+		panic(fmt.Sprintf("gate: sampler shape %d/%d", numExperts, topK))
+	}
+	if s < 0 {
+		panic("gate: negative Zipf exponent")
+	}
+	cum := make([]float64, numExperts)
+	var sum float64
+	for e := range cum {
+		sum += 1 / math.Pow(float64(e+1), s)
+		cum[e] = sum
+	}
+	for e := range cum {
+		cum[e] /= sum
+	}
+	return &Sampler{NumExperts: numExperts, TopK: topK, seed: uint64(seed), cum: cum}
+}
+
+// splitmix64 advances and finalizes one step of the splitmix64 stream —
+// the same finalizer the failover rendezvous hash uses, here as a
+// stateless per-request RNG.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ExpertsInto writes the TopK distinct experts of request reqID into
+// dst (grown as needed) in draw order: dst[0] is the request's primary
+// expert, which a degraded top-1 answer uses alone. The result depends
+// only on (seed, reqID).
+func (sp *Sampler) ExpertsInto(reqID uint64, dst []int) []int {
+	dst = dst[:0]
+	state := splitmix64(sp.seed ^ 0x9E3779B97F4A7C15*reqID)
+	for len(dst) < sp.TopK {
+		state = splitmix64(state + 0x9E3779B97F4A7C15)
+		u := float64(state>>11) / (1 << 53) // uniform in [0,1)
+		e := sort.SearchFloat64s(sp.cum, u)
+		if e >= sp.NumExperts {
+			e = sp.NumExperts - 1
+		}
+		dup := false
+		for _, p := range dst {
+			if p == e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}
+
+// Experts returns the TopK distinct experts of request reqID.
+func (sp *Sampler) Experts(reqID uint64) []int {
+	return sp.ExpertsInto(reqID, make([]int, 0, sp.TopK))
 }
 
 // Series produces per-iteration assignments whose skew drifts over

@@ -143,3 +143,95 @@ func TestEmptyAssignmentImbalance(t *testing.T) {
 		t.Fatalf("empty imbalance = %v, want 1", f)
 	}
 }
+
+func TestSamplerDeterministicAndDistinct(t *testing.T) {
+	sp := NewSampler(16, 3, 1.0, 42)
+	for req := uint64(0); req < 200; req++ {
+		a := sp.Experts(req)
+		b := sp.Experts(req)
+		if len(a) != 3 {
+			t.Fatalf("req %d: %d experts, want 3", req, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("req %d: replay diverged: %v vs %v", req, a, b)
+			}
+			if a[i] < 0 || a[i] >= 16 {
+				t.Fatalf("req %d: expert %d out of range", req, a[i])
+			}
+			for j := 0; j < i; j++ {
+				if a[i] == a[j] {
+					t.Fatalf("req %d: duplicate expert in %v", req, a)
+				}
+			}
+		}
+	}
+	// A second sampler with the same seed is a clone; a different seed
+	// must eventually differ.
+	twin := NewSampler(16, 3, 1.0, 42)
+	other := NewSampler(16, 3, 1.0, 43)
+	same, diff := true, false
+	for req := uint64(0); req < 50; req++ {
+		a, b, c := sp.Experts(req), twin.Experts(req), other.Experts(req)
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+			}
+			if a[i] != c[i] {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Fatal("same-seed samplers diverged")
+	}
+	if !diff {
+		t.Fatal("different-seed samplers identical")
+	}
+}
+
+func TestSamplerZipfSkew(t *testing.T) {
+	// With a strong exponent the low-index experts must dominate the
+	// draw — the flash-crowd hot-expert property the serving plane
+	// stresses.
+	sp := NewSampler(16, 1, 1.2, 7)
+	counts := make([]int, 16)
+	for req := uint64(0); req < 4000; req++ {
+		counts[sp.Experts(req)[0]]++
+	}
+	if counts[0] <= counts[8] || counts[0] <= counts[15] {
+		t.Fatalf("no Zipf skew visible: %v", counts)
+	}
+	head := counts[0] + counts[1] + counts[2]
+	if head*2 < 4000 {
+		t.Fatalf("hot head holds %d/4000 draws, want a majority", head)
+	}
+	// Uniform (s = 0) must not concentrate like that.
+	uni := NewSampler(16, 1, 0, 7)
+	ucounts := make([]int, 16)
+	for req := uint64(0); req < 4000; req++ {
+		ucounts[uni.Experts(req)[0]]++
+	}
+	uhead := ucounts[0] + ucounts[1] + ucounts[2]
+	if uhead*2 >= 4000 {
+		t.Fatalf("uniform sampler concentrated: %v", ucounts)
+	}
+}
+
+func TestSamplerInvalidShapesPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSampler(0, 1, 1, 1) },
+		func() { NewSampler(4, 0, 1, 1) },
+		func() { NewSampler(4, 5, 1, 1) },
+		func() { NewSampler(4, 2, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid sampler shape did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

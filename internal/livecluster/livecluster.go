@@ -25,6 +25,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"janus/internal/faultinject"
@@ -376,6 +377,10 @@ type machineStore struct {
 	// but does not own, applied whole from REPL streams (replication.go;
 	// lazily allocated so every store constructor stays replica-ready).
 	replicas map[transport.ExpertID]*replicaEntry
+
+	// serveDelay (nanoseconds) injects compute slowness into the serving
+	// path; the deadline drills set it via Cluster.SetServeDelay.
+	serveDelay atomic.Int64
 }
 
 func (s *machineStore) ExpertBytes(id transport.ExpertID) ([]byte, error) {

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestServingCountersFoldAcrossHandles(t *testing.T) {
+	var sv Serving
+	const workers, per = 16, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := sv.Handle()
+			for i := 0; i < per; i++ {
+				h.AddAdmitted()
+				h.AddAnswered(RungFull)
+			}
+			h.AddShed()
+			h.AddAnswered(RungShed)
+			h.AddDeadlineExpired()
+			h.AddHedged()
+			h.AddCanaryServed()
+		}()
+	}
+	wg.Wait()
+	s := sv.Snapshot()
+	if s.Admitted != workers*per || s.Answered[RungFull] != workers*per {
+		t.Fatalf("admitted/full = %d/%d, want %d", s.Admitted, s.Answered[RungFull], workers*per)
+	}
+	if s.Shed != workers || s.Answered[RungShed] != workers {
+		t.Fatalf("shed = %d/%d, want %d", s.Shed, s.Answered[RungShed], workers)
+	}
+	if s.DeadlineExpired != workers || s.Hedged != workers || s.CanaryServed != workers {
+		t.Fatalf("expired/hedged/canary = %d/%d/%d, want %d each",
+			s.DeadlineExpired, s.Hedged, s.CanaryServed, workers)
+	}
+	if s.AnsweredTotal() != workers*per {
+		t.Fatalf("AnsweredTotal = %d, want %d", s.AnsweredTotal(), workers*per)
+	}
+	if s.DegradedTotal() != 0 {
+		t.Fatalf("DegradedTotal = %d, want 0", s.DegradedTotal())
+	}
+}
+
+func TestServingSnapshotSubAdd(t *testing.T) {
+	var sv Serving
+	h := sv.Handle()
+	h.AddAdmitted()
+	h.AddAnswered(RungReplica)
+	before := sv.Snapshot()
+	h.AddAdmitted()
+	h.AddAnswered(RungTop1)
+	h.AddRolledBack()
+	after := sv.Snapshot()
+	d := after.Sub(before)
+	if d.Admitted != 1 || d.Answered[RungTop1] != 1 || d.RolledBack != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.Answered[RungReplica] != 0 {
+		t.Fatalf("delta leaked earlier events: %+v", d)
+	}
+	if d.DegradedTotal() != 1 {
+		t.Fatalf("DegradedTotal = %d, want 1", d.DegradedTotal())
+	}
+	sum := before.Add(d)
+	if sum != after {
+		t.Fatalf("Add(Sub) not inverse: %+v vs %+v", sum, after)
+	}
+	if (ServingSnapshot{}).IsZero() != true || after.IsZero() {
+		t.Fatal("IsZero broken")
+	}
+}
+
+func TestServingAnsweredClampsRung(t *testing.T) {
+	var sv Serving
+	h := sv.Handle()
+	h.AddAnswered(-1)
+	h.AddAnswered(ServingRungs + 3)
+	if s := sv.Snapshot(); s.Answered[RungShed] != 2 {
+		t.Fatalf("out-of-range rungs = %+v, want clamped to shed", s)
+	}
+}
+
+func TestServingStringAndRungNames(t *testing.T) {
+	var sv Serving
+	h := sv.Handle()
+	h.AddAdmitted()
+	h.AddAnswered(RungStale)
+	out := sv.Snapshot().String()
+	for _, frag := range []string{"admitted=1", "stale=1", "rolled-back=0"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("String() = %q missing %q", out, frag)
+		}
+	}
+	want := []string{"full", "replica", "stale", "top1", "shed"}
+	for r, w := range want {
+		if RungName(r) != w {
+			t.Fatalf("RungName(%d) = %q, want %q", r, RungName(r), w)
+		}
+	}
+	if RungName(9) != "rung9" {
+		t.Fatalf("RungName(9) = %q", RungName(9))
+	}
+}

@@ -1,0 +1,654 @@
+// Package serving is the overload-robust inference plane over a live
+// Janus cluster: a request front-end that admits (or sheds) simulated
+// user requests, batches them into bounded micro-batches, routes each
+// through the serving gate, and pulls expert outputs over the wire —
+// surviving overload and machine failure by walking an explicit SLO
+// degradation ladder instead of collapsing.
+//
+// The ladder, best rung first:
+//
+//	full    — every expert pull answered by its owner, fresh weights
+//	replica — at least one pull served from an in-sync replica
+//	stale   — frontend-local weights at most MaxStalenessSteps old
+//	top1    — routed top-1 instead of top-k under queue pressure
+//	shed    — rejected with retry-after; never answered
+//
+// Every request ends in exactly one terminal state — answered at the
+// rung that produced its bytes, deadline-expired, or shed — and each
+// terminal is counted once, so "a shed request never also answered" is
+// checkable as an arithmetic invariant over the counters.
+//
+// Deadlines propagate end to end: the request carries a total budget,
+// expert pulls inherit the minimum remaining budget of their batch
+// through the wire header, and expired work is cancelled at every
+// stage — admission, batch formation, inside the remote store, and
+// answer emission.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"janus/internal/gate"
+	"janus/internal/metrics"
+	"janus/internal/moe"
+	"janus/internal/tensor"
+	"janus/internal/transport"
+)
+
+// Backend is the cluster surface the front-end serves from.
+// livecluster's ServeBackend implements it; tests substitute fakes to
+// drive every ladder transition deterministically.
+type Backend interface {
+	// NumExperts is the width of the expert plane.
+	NumExperts() int
+	// Hidden is the model's hidden width H (request row width).
+	Hidden() int
+	// Step is the training-step clock the stale cache ages against.
+	Step() int
+	// OwnerAddr returns the dial address of an expert's alive owner.
+	OwnerAddr(expert int) (string, bool)
+	// ReplicaAddr returns the dial address of an alive in-sync replica
+	// holder (never the owner).
+	ReplicaAddr(expert int) (string, bool)
+	// PeerSlow reports the gray-failure verdict for a dial address.
+	PeerSlow(addr string) bool
+	// Serve runs one SERVE round trip: micro-batch in, expert outputs
+	// and provenance (transport.ProvOwner or ProvReplica) out.
+	Serve(ctx context.Context, addr string, expert int, payload []byte) (byte, []float32, error)
+	// FetchExpert clones an expert's current weights for the stale
+	// cache, stamped with the step the copy was taken at.
+	FetchExpert(expert int) (*moe.Expert, int, error)
+}
+
+// Terminal errors a Result carries.
+var (
+	// ErrShed marks a request rejected by admission control or left
+	// unservable by every ladder rung; Result.RetryAfter suggests when
+	// to retry.
+	ErrShed = errors.New("serving: request shed, retry later")
+	// ErrExpired marks work cancelled because its deadline budget ran
+	// out before an answer could be emitted.
+	ErrExpired = errors.New("serving: deadline expired")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("serving: frontend closed")
+)
+
+// Config shapes a Frontend.
+type Config struct {
+	Backend Backend
+	// Seed drives request routing, request content, and canary
+	// membership; equal seeds replay identical traffic.
+	Seed int64
+	// TopK experts are routed per request (degraded to 1 under
+	// pressure); Zipf is the popularity exponent (0 = uniform).
+	TopK int
+	Zipf float64
+	// RowsPerRequest is each request's token-batch height.
+	RowsPerRequest int
+	// QueueCap bounds the admission queue; a full queue sheds.
+	QueueCap int
+	// Deadline is each request's total latency budget.
+	Deadline time.Duration
+	// Workers drain the queue; MaxBatch bounds one micro-batch.
+	Workers  int
+	MaxBatch int
+	// MaxStalenessSteps bounds the stale rung: cached weights older
+	// than this many steps are unusable (0 = only perfectly fresh).
+	MaxStalenessSteps int
+	// Top1Pressure is the admission-time queue depth at which routing
+	// degrades to top-1 (0 = never degrade routing).
+	Top1Pressure int
+	// HedgeDelay arms hedged reads: a pull whose owner is flagged
+	// gray-slow races the owner against a replica started after this
+	// delay (0 = never hedge).
+	HedgeDelay time.Duration
+	// Metrics receives the serving counter family (nil = private).
+	Metrics *metrics.Serving
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Backend == nil:
+		return errors.New("serving: nil backend")
+	case c.TopK < 1 || c.TopK > c.Backend.NumExperts():
+		return fmt.Errorf("serving: TopK %d over %d experts", c.TopK, c.Backend.NumExperts())
+	case c.RowsPerRequest < 1:
+		return errors.New("serving: RowsPerRequest < 1")
+	case c.QueueCap < 1:
+		return errors.New("serving: QueueCap < 1")
+	case c.Deadline <= 0:
+		return errors.New("serving: Deadline <= 0")
+	case c.Workers < 1 || c.MaxBatch < 1:
+		return errors.New("serving: Workers/MaxBatch < 1")
+	case c.Zipf < 0 || c.MaxStalenessSteps < 0 || c.Top1Pressure < 0 || c.HedgeDelay < 0:
+		return errors.New("serving: negative knob")
+	}
+	return nil
+}
+
+// Result is a request's terminal state.
+type Result struct {
+	ReqID uint64
+	// Rung is the ladder rung that produced the answer (RungShed for
+	// shed requests; RungFull reported on expiry for lack of better).
+	Rung int
+	// Out is the answer (nil when shed or expired).
+	Out []float32
+	// Latency is Submit-to-terminal time.
+	Latency time.Duration
+	// RetryAfter is the shed back-off hint (zero otherwise).
+	RetryAfter time.Duration
+	// Canary marks an answer computed from the canary checkpoint.
+	Canary bool
+	// Err is nil for answered requests, ErrShed or ErrExpired else.
+	Err error
+}
+
+// request is one admitted unit of work.
+type request struct {
+	id       uint64
+	start    time.Time
+	deadline time.Time
+	pressure int // queue depth observed at admission
+	done     chan Result
+}
+
+type staleEntry struct {
+	ex   *moe.Expert
+	step int
+}
+
+// Frontend is the serving plane's request front-end.
+type Frontend struct {
+	cfg     Config
+	sampler *gate.Sampler
+
+	mu     sync.RWMutex // guards queue close vs Submit
+	closed bool
+	queue  chan *request
+	wg     sync.WaitGroup
+
+	// svcNanos is the EWMA of per-request service time, the admission
+	// feasibility estimate.
+	svcNanos atomic.Int64
+
+	staleMu sync.RWMutex
+	stale   map[int]staleEntry
+
+	admitH *metrics.ServingHandle
+
+	// Canary plane (canary.go). canaryGen is the rollout fence: it
+	// advances on every StartCanary and every rollback, and a canary
+	// answer is emitted only if the generation it was computed under is
+	// still current.
+	canary    atomic.Pointer[canaryState]
+	canaryGen atomic.Uint64
+}
+
+// New builds a Frontend, warms its stale-weights cache (best effort),
+// and starts the worker pool. Callers must Close it.
+func New(cfg Config) (*Frontend, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &metrics.Serving{}
+	}
+	f := &Frontend{
+		cfg:     cfg,
+		sampler: gate.NewSampler(cfg.Backend.NumExperts(), cfg.TopK, cfg.Zipf, cfg.Seed),
+		queue:   make(chan *request, cfg.QueueCap),
+		stale:   make(map[int]staleEntry, cfg.Backend.NumExperts()),
+		admitH:  cfg.Metrics.Handle(),
+	}
+	f.RefreshStale()
+	for w := 0; w < cfg.Workers; w++ {
+		f.wg.Add(1)
+		go f.worker()
+	}
+	return f, nil
+}
+
+// Close drains the workers and rejects further Submits.
+func (f *Frontend) Close() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.queue)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Stats folds the serving counters.
+func (f *Frontend) Stats() metrics.ServingSnapshot { return f.cfg.Metrics.Snapshot() }
+
+// RefreshStale re-pulls every expert's current weights into the local
+// stale cache (best effort: experts without a reachable owner keep
+// their previous entry).
+func (f *Frontend) RefreshStale() {
+	for e := 0; e < f.cfg.Backend.NumExperts(); e++ {
+		ex, step, err := f.cfg.Backend.FetchExpert(e)
+		if err != nil {
+			continue
+		}
+		f.staleMu.Lock()
+		f.stale[e] = staleEntry{ex: ex, step: step}
+		f.staleMu.Unlock()
+	}
+}
+
+// serviceEstimate is the EWMA per-request service time (zero until the
+// first batch completes, so a cold frontend admits freely).
+func (f *Frontend) serviceEstimate() time.Duration {
+	return time.Duration(f.svcNanos.Load())
+}
+
+// observeService folds one per-request service-time sample into the
+// admission estimate.
+func (f *Frontend) observeService(d time.Duration) {
+	const alpha = 0.3
+	old := f.svcNanos.Load()
+	if old == 0 {
+		f.svcNanos.Store(int64(d))
+		return
+	}
+	f.svcNanos.Store(old + int64(alpha*float64(int64(d)-old)))
+}
+
+// Submit runs one request to its terminal state: shed at admission,
+// answered at some ladder rung, or deadline-expired. It blocks until
+// the terminal (bounded by the deadline budget plus scheduling slack)
+// and is safe for concurrent use.
+func (f *Frontend) Submit(ctx context.Context, reqID uint64) Result {
+	start := time.Now()
+	depth := len(f.queue)
+
+	// Deadline-feasibility bound: if the queue ahead of this request is
+	// already estimated to eat the whole budget, answering late is
+	// strictly worse than an honest early reject — shed with the
+	// estimate as the retry hint.
+	if est := time.Duration(depth+1) * f.serviceEstimate(); est > f.cfg.Deadline {
+		return f.shedResult(reqID, start, est)
+	}
+	req := &request{
+		id:       reqID,
+		start:    start,
+		deadline: start.Add(f.cfg.Deadline),
+		pressure: depth,
+		done:     make(chan Result, 1),
+	}
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return Result{ReqID: reqID, Rung: metrics.RungShed, Err: ErrClosed}
+	}
+	select {
+	case f.queue <- req:
+		f.mu.RUnlock()
+	default:
+		// Queue bound: full means shed, never block the caller.
+		f.mu.RUnlock()
+		return f.shedResult(reqID, start, f.cfg.Deadline)
+	}
+	f.admitH.AddAdmitted()
+	select {
+	case res := <-req.done:
+		return res
+	case <-ctx.Done():
+		// The worker will still drive the request to a terminal and
+		// count it; the caller just stops waiting.
+		return Result{ReqID: reqID, Rung: metrics.RungShed, Err: ctx.Err()}
+	}
+}
+
+// shedResult counts and shapes an admission-time shed.
+func (f *Frontend) shedResult(reqID uint64, start time.Time, retryAfter time.Duration) Result {
+	f.admitH.AddShed()
+	f.admitH.AddAnswered(metrics.RungShed)
+	return Result{
+		ReqID:      reqID,
+		Rung:       metrics.RungShed,
+		Latency:    time.Since(start),
+		RetryAfter: retryAfter,
+		Err:        ErrShed,
+	}
+}
+
+// worker drains the queue in micro-batches: one blocking receive, then
+// up to MaxBatch-1 opportunistic drains, so batches grow exactly when
+// load does.
+func (f *Frontend) worker() {
+	defer f.wg.Done()
+	h := f.cfg.Metrics.Handle()
+	for first := range f.queue {
+		batch := make([]*request, 1, f.cfg.MaxBatch)
+		batch[0] = first
+	fill:
+		for len(batch) < f.cfg.MaxBatch {
+			select {
+			case r, ok := <-f.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			default:
+				break fill
+			}
+		}
+		t0 := time.Now()
+		f.serveBatch(h, batch)
+		f.observeService(time.Since(t0) / time.Duration(len(batch)))
+	}
+}
+
+// groupMember locates one request's rows inside an expert group.
+type groupMember struct {
+	reqIdx int
+	offset int // row offset inside the group's stacked input
+}
+
+// expertGroup is the stacked per-expert work of one micro-batch.
+type expertGroup struct {
+	expert  int
+	members []groupMember
+	rows    []float32 // stacked request rows, RowsPerRequest per member
+	out     []float32 // stacked outputs after resolve
+	rung    int
+	failed  bool
+}
+
+// serveBatch drives every request of one micro-batch to a terminal.
+func (f *Frontend) serveBatch(h *metrics.ServingHandle, batch []*request) {
+	now := time.Now()
+	rows, hid := f.cfg.RowsPerRequest, f.cfg.Backend.Hidden()
+
+	type plan struct {
+		req     *request
+		experts []int // ascending combine order
+		top1    bool
+		canary  *canaryState
+		dead    bool
+	}
+	plans := make([]plan, 0, len(batch))
+	for _, req := range batch {
+		// Stage 2 cancellation: budget spent waiting in the queue.
+		if now.After(req.deadline) {
+			h.AddDeadlineExpired()
+			req.done <- Result{ReqID: req.id, Latency: time.Since(req.start), Err: ErrExpired}
+			continue
+		}
+		p := plan{req: req}
+		if st := f.canaryFor(req.id); st != nil {
+			p.canary = st
+		}
+		drawn := f.sampler.Experts(req.id)
+		p.top1 = f.cfg.Top1Pressure > 0 && req.pressure >= f.cfg.Top1Pressure
+		if p.top1 {
+			drawn = drawn[:1] // the draw-order primary expert
+		}
+		p.experts = append([]int(nil), drawn...)
+		sort.Ints(p.experts)
+		plans = append(plans, p)
+	}
+
+	// Canary members are computed whole from the canary plane
+	// (canary.go); everything else stacks into per-expert groups.
+	groups := make(map[int]*expertGroup)
+	for i := range plans {
+		p := &plans[i]
+		if p.canary != nil {
+			f.serveCanary(h, p.req, p.experts, p.top1, p.canary)
+			p.dead = true
+			continue
+		}
+		data := RequestRows(f.cfg.Seed, p.req.id, rows, hid)
+		for _, e := range p.experts {
+			g := groups[e]
+			if g == nil {
+				g = &expertGroup{expert: e}
+				groups[e] = g
+			}
+			g.members = append(g.members, groupMember{reqIdx: i, offset: len(g.rows) / hid})
+			g.rows = append(g.rows, data...)
+		}
+	}
+
+	// Resolve groups in ascending expert order so wire traffic and
+	// fallbacks replay identically run to run.
+	order := make([]int, 0, len(groups))
+	for e := range groups {
+		order = append(order, e)
+	}
+	sort.Ints(order)
+	for _, e := range order {
+		g := groups[e]
+		budget := time.Duration(0)
+		for i, m := range g.members {
+			rem := time.Until(plans[m.reqIdx].req.deadline)
+			if i == 0 || rem < budget {
+				budget = rem
+			}
+		}
+		f.resolveGroup(h, g, budget)
+	}
+
+	// Emission: combine each request's groups ascending, re-check the
+	// deadline, and count the terminal exactly once.
+	for i := range plans {
+		p := &plans[i]
+		if p.dead {
+			continue
+		}
+		req := p.req
+		rung := metrics.RungFull
+		if p.top1 {
+			rung = metrics.RungTop1
+		}
+		var out []float32
+		unservable := false
+		for _, e := range p.experts {
+			g := groups[e]
+			if g.failed {
+				unservable = true
+				break
+			}
+			if g.rung > rung {
+				rung = g.rung
+			}
+			var off int
+			for _, m := range g.members {
+				if m.reqIdx == i {
+					off = m.offset * hid
+					break
+				}
+			}
+			slice := g.out[off : off+rows*hid]
+			if out == nil {
+				out = append([]float32(nil), slice...)
+			} else {
+				for j, v := range slice {
+					out[j] += v
+				}
+			}
+		}
+		switch {
+		case unservable:
+			// Bottom of the ladder: no owner, no replica, no usable
+			// stale weights. Shed post-admission.
+			h.AddShed()
+			h.AddAnswered(metrics.RungShed)
+			req.done <- Result{
+				ReqID: req.id, Rung: metrics.RungShed,
+				Latency: time.Since(req.start), RetryAfter: f.cfg.Deadline, Err: ErrShed,
+			}
+		case time.Now().After(req.deadline):
+			// Stage 4 cancellation: the answer exists but arrived past
+			// the budget; a late answer is a broken SLO, not a success.
+			h.AddDeadlineExpired()
+			req.done <- Result{ReqID: req.id, Latency: time.Since(req.start), Err: ErrExpired}
+		default:
+			h.AddAnswered(rung)
+			req.done <- Result{
+				ReqID: req.id, Rung: rung, Out: out, Latency: time.Since(req.start),
+			}
+		}
+	}
+}
+
+// resolveGroup walks one expert group down the ladder: owner over the
+// wire (hedged when the owner is gray-slow), then an in-sync replica
+// over the wire, then frontend-local stale weights. Failure of every
+// rung marks the group failed (members shed at emission).
+func (f *Frontend) resolveGroup(h *metrics.ServingHandle, g *expertGroup, budget time.Duration) {
+	rows := len(g.rows) / f.cfg.Backend.Hidden()
+	if budget > 0 {
+		if payload, err := transport.EncodeServe(uint64(budget/time.Microsecond), rows, f.cfg.Backend.Hidden(), g.rows); err == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), budget)
+			ownerAddr, ownerOK := f.cfg.Backend.OwnerAddr(g.expert)
+			replAddr, replOK := f.cfg.Backend.ReplicaAddr(g.expert)
+			if ownerOK {
+				var prov byte
+				var data []float32
+				var err error
+				if f.cfg.HedgeDelay > 0 && replOK && f.cfg.Backend.PeerSlow(ownerAddr) {
+					h.AddHedged()
+					prov, data, err = f.hedgedServe(ctx, ownerAddr, replAddr, g.expert, payload)
+				} else {
+					prov, data, err = f.cfg.Backend.Serve(ctx, ownerAddr, g.expert, payload)
+				}
+				if err == nil {
+					g.out = data
+					g.rung = metrics.RungFull
+					if prov == transport.ProvReplica {
+						g.rung = metrics.RungReplica
+					}
+					cancel()
+					return
+				}
+				// Stage 3 cancellation already happened remotely for
+				// expired work; anything else falls down the ladder.
+			}
+			if replOK {
+				if _, data, err := f.cfg.Backend.Serve(ctx, replAddr, g.expert, payload); err == nil {
+					g.out = data
+					g.rung = metrics.RungReplica
+					cancel()
+					return
+				}
+			}
+			cancel()
+		}
+	}
+	// Stale rung: local weights no older than MaxStalenessSteps.
+	f.staleMu.RLock()
+	ent, ok := f.stale[g.expert]
+	f.staleMu.RUnlock()
+	if ok && f.cfg.Backend.Step()-ent.step <= f.cfg.MaxStalenessSteps {
+		g.out = forwardLocal(ent.ex, rows, f.cfg.Backend.Hidden(), g.rows)
+		g.rung = metrics.RungStale
+		return
+	}
+	g.failed = true
+}
+
+// hedgedServe races the gray-slow owner against a replica started
+// HedgeDelay later; the first clean answer wins, and losing legs are
+// abandoned to the context.
+func (f *Frontend) hedgedServe(ctx context.Context, ownerAddr, replAddr string, expert int, payload []byte) (byte, []float32, error) {
+	type leg struct {
+		prov byte
+		data []float32
+		err  error
+	}
+	ch := make(chan leg, 2)
+	call := func(addr string) {
+		p, d, err := f.cfg.Backend.Serve(ctx, addr, expert, payload)
+		ch <- leg{p, d, err}
+	}
+	go call(ownerAddr)
+	timer := time.NewTimer(f.cfg.HedgeDelay)
+	defer timer.Stop()
+	pending, hedged := 1, false
+	var lastErr error
+	for pending > 0 {
+		select {
+		case l := <-ch:
+			pending--
+			if l.err == nil {
+				return l.prov, l.data, nil
+			}
+			lastErr = l.err
+			if !hedged {
+				hedged = true
+				pending++
+				go call(replAddr)
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				go call(replAddr)
+			}
+		}
+	}
+	return 0, nil, lastErr
+}
+
+// forwardLocal runs one expert forward pass over stacked rows and
+// copies the output out of the tensor pool.
+func forwardLocal(ex *moe.Expert, rows, hid int, data []float32) []float32 {
+	x := tensor.New(rows, hid)
+	copy(x.Data, data)
+	y, cache := ex.Forward(x)
+	cache.Release()
+	out := append([]float32(nil), y.Data...)
+	tensor.Put(y)
+	tensor.Put(x)
+	return out
+}
+
+// RequestRows is the deterministic content of request reqID: the
+// front-end, the in-process reference, and the differential tests all
+// derive a request's rows from (seed, reqID) alone so answers are
+// comparable bitwise across processes and runs.
+func RequestRows(seed int64, reqID uint64, rows, hid int) []float32 {
+	m := tensor.NewRandom(rows, hid, 1, seed+int64(reqID))
+	return m.Data
+}
+
+// Reference computes the full-quality answer of request reqID straight
+// from an expert plane — the oracle the differential tests and the
+// canary compute path share. Expert outputs combine in ascending
+// expert order, matching the front-end exactly.
+func Reference(plane map[int]*moe.Expert, sp *gate.Sampler, seed int64, reqID uint64, rows, hid int, top1 bool) ([]float32, error) {
+	drawn := sp.Experts(reqID)
+	if top1 {
+		drawn = drawn[:1]
+	}
+	experts := append([]int(nil), drawn...)
+	sort.Ints(experts)
+	data := RequestRows(seed, reqID, rows, hid)
+	var out []float32
+	for _, e := range experts {
+		ex, ok := plane[e]
+		if !ok {
+			return nil, fmt.Errorf("serving: reference plane missing expert %d", e)
+		}
+		y := forwardLocal(ex, rows, hid, data)
+		if out == nil {
+			out = y
+		} else {
+			for j, v := range y {
+				out[j] += v
+			}
+		}
+	}
+	return out, nil
+}

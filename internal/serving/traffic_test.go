@@ -1,0 +1,91 @@
+package serving
+
+import (
+	"math"
+	"testing"
+
+	"janus/internal/faultinject"
+)
+
+func TestTrafficDiurnalAndMean(t *testing.T) {
+	tr := Traffic{BaseRate: 4, DiurnalAmp: 0.5, DiurnalPeriod: 40, Seed: 3}
+	var total int
+	minRate, maxRate := math.Inf(1), math.Inf(-1)
+	const ticks = 4000
+	for i := 0; i < ticks; i++ {
+		r := tr.Rate(i)
+		minRate = math.Min(minRate, r)
+		maxRate = math.Max(maxRate, r)
+		total += tr.Arrivals(i)
+	}
+	if minRate < 1.9 || maxRate > 6.1 {
+		t.Fatalf("diurnal swing [%v, %v], want ~[2, 6]", minRate, maxRate)
+	}
+	mean := float64(total) / ticks
+	if math.Abs(mean-4) > 0.2 {
+		t.Fatalf("long-run mean %v, want ~4 (dither must be unbiased)", mean)
+	}
+}
+
+func TestTrafficBurstMultiplies(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.Burst("serve", 10, 20, 4)
+	tr := Traffic{BaseRate: 2, Injector: inj, Label: "serve", Seed: 5}
+	inj.SetStep(5)
+	if got := tr.Rate(0); got != 2 {
+		t.Fatalf("pre-burst rate = %v", got)
+	}
+	inj.SetStep(10)
+	if got := tr.Rate(0); got != 8 {
+		t.Fatalf("in-burst rate = %v, want 8", got)
+	}
+	inj.SetStep(20)
+	if got := tr.Rate(0); got != 2 {
+		t.Fatalf("post-burst rate = %v", got)
+	}
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	a := Traffic{BaseRate: 2.5, DiurnalAmp: 0.3, DiurnalPeriod: 17, Seed: 9}
+	b := a
+	for i := 0; i < 500; i++ {
+		if a.Arrivals(i) != b.Arrivals(i) {
+			t.Fatalf("arrivals diverge at tick %d", i)
+		}
+	}
+	c := Traffic{BaseRate: 2.5, DiurnalAmp: 0.3, DiurnalPeriod: 17, Seed: 10}
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.Arrivals(i) != c.Arrivals(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds dithered identically for 500 ticks")
+	}
+}
+
+func TestRequestRowsDeterministic(t *testing.T) {
+	a := RequestRows(7, 42, 3, 8)
+	b := RequestRows(7, 42, 3, 8)
+	if len(a) != 24 {
+		t.Fatalf("rows length %d, want 24", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay differs at %d", i)
+		}
+	}
+	c := RequestRows(7, 43, 3, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct requests got identical rows")
+	}
+}

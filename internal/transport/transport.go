@@ -42,6 +42,8 @@ const (
 	msgMigrateAck = 0x0C // server -> client: migrated weights staged
 	msgRepl       = 0x0D // client -> server: versioned replica weight stream
 	msgReplAck    = 0x0E // server -> client: replica stream applied
+	msgServe      = 0x0F // client -> server: inference micro-batch with a deadline budget
+	msgServeOut   = 0x10 // server -> client: expert outputs with answer provenance
 	msgError      = 0x7F // server -> client: request failed
 )
 
@@ -370,6 +372,18 @@ type ReplicationSink interface {
 	AcceptReplica(id ExpertID, payload []byte) error
 }
 
+// ServingStore is an optional extension of Store for stores that can
+// run inference micro-batches through a hosted (or in-sync replicated)
+// expert. The payload is an EncodeServe stream — remaining deadline
+// budget plus token rows — valid only for the duration of the call; the
+// response is an EncodeServeOut stream (provenance + output rows) the
+// transport writes to the wire and does not retain. A store must refuse
+// (with an error wrapping ErrServeExpired's message) work whose budget
+// has already expired on arrival rather than compute and discard it.
+type ServingStore interface {
+	ServeExpert(id ExpertID, payload []byte) ([]byte, error)
+}
+
 // EpochGate is the server's hook into a membership layer. When set,
 // every request carrying an epoch older than Epoch() is rejected with
 // a FENCED response instead of touching the store — a zombie ex-owner
@@ -398,6 +412,7 @@ type Server struct {
 	joins      atomic.Int64
 	migrations atomic.Int64
 	repls      atomic.Int64
+	serves     atomic.Int64
 	gate       atomic.Value // EpochGate
 	joiner     atomic.Value // JoinHandler
 	Counters   Counters
@@ -511,6 +526,10 @@ func (s *Server) MigrationsStaged() int64 { return s.migrations.Load() }
 // ReplicasApplied returns how many REPL streams this server's store
 // accepted.
 func (s *Server) ReplicasApplied() int64 { return s.repls.Load() }
+
+// ServesAnswered returns how many SERVE micro-batches this server's
+// store computed and answered.
+func (s *Server) ServesAnswered() int64 { return s.serves.Load() }
 
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
@@ -698,6 +717,16 @@ func (cs *connState) handle(f frame, epoch uint64) {
 		}
 		s.repls.Add(1)
 		cs.respond(frame{typ: msgReplAck, reqID: f.reqID, epoch: epoch, id: f.id})
+	case msgServe:
+		sv := s.store.(ServingStore)
+		out, err := sv.ServeExpert(f.id, f.payload)
+		f.recycle()
+		if err != nil {
+			cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte(err.Error())})
+			return
+		}
+		s.serves.Add(1)
+		cs.respond(frame{typ: msgServeOut, reqID: f.reqID, epoch: epoch, id: f.id, payload: out})
 	}
 }
 
@@ -778,6 +807,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			if _, ok := s.store.(ReplicationSink); !ok {
 				f.recycle()
 				cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store cannot hold replicas")})
+				continue
+			}
+			cs.dispatch(f, epoch)
+		case msgServe:
+			if _, ok := s.store.(ServingStore); !ok {
+				f.recycle()
+				cs.respond(frame{typ: msgError, reqID: f.reqID, epoch: epoch, id: f.id, payload: []byte("transport: store cannot serve inference")})
 				continue
 			}
 			cs.dispatch(f, epoch)

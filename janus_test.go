@@ -47,8 +47,8 @@ func TestAssignmentHelpers(t *testing.T) {
 }
 
 func TestExperimentRegistryAccessible(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(Experiments()))
 	}
 	if _, ok, _ := RunExperiment("does-not-exist"); ok {
 		t.Fatal("unknown experiment found")
